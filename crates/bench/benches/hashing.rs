@@ -1,0 +1,25 @@
+//! Criterion benchmark for the hash families (ablation from DESIGN.md):
+//! multiply-shift versus tabulation hashing, as used by the HyperCube
+//! router.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pq_relation::{BucketHasher, HashFamily, MultiplyShiftHash, TabulationHash};
+
+fn bench_hash_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_family_throughput");
+    let values: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+
+    let ms = MultiplyShiftHash::new(7).hasher(0, 64);
+    group.bench_with_input(BenchmarkId::from_parameter("multiply_shift"), &values, |b, vs| {
+        b.iter(|| vs.iter().map(|&v| ms.bucket(v)).sum::<usize>())
+    });
+
+    let tab = TabulationHash::new(7).hasher(0, 64);
+    group.bench_with_input(BenchmarkId::from_parameter("tabulation"), &values, |b, vs| {
+        b.iter(|| vs.iter().map(|&v| tab.bucket(v)).sum::<usize>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash_families);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmarks for the one-round HyperCube algorithm (E4 support):
+//! end-to-end simulated runtime per query shape and cluster size on
+//! matching data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pq_bench::matching_database_for_query;
+use pq_core::hypercube::run_hypercube;
+use pq_query::ConjunctiveQuery;
+
+fn bench_hypercube_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypercube_one_round");
+    group.sample_size(10);
+    let cases = vec![
+        (ConjunctiveQuery::triangle(), 4_000usize),
+        (ConjunctiveQuery::chain(3), 4_000),
+        (ConjunctiveQuery::star(3), 4_000),
+    ];
+    for (query, m) in cases {
+        let db = matching_database_for_query(&query, m, 7);
+        for p in [16usize, 64] {
+            group.bench_with_input(
+                BenchmarkId::new(query.name().to_string(), format!("p{p}")),
+                &p,
+                |b, &p| b.iter(|| run_hypercube(&query, &db, p, 11)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_hypercube_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypercube_input_scaling");
+    group.sample_size(10);
+    let query = ConjunctiveQuery::triangle();
+    for m in [1_000usize, 4_000, 16_000] {
+        let db = matching_database_for_query(&query, m, 13);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| run_hypercube(&query, &db, 64, 17))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hypercube_queries, bench_hypercube_scaling);
+criterion_main!(benches);

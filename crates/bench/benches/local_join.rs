@@ -1,0 +1,34 @@
+//! Criterion benchmark for the local (per-server) evaluation strategy
+//! (ablation from DESIGN.md): binary-at-a-time natural join versus the
+//! greedy multiway natural join used by `natural_join_all`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pq_bench::matching_database_for_query;
+use pq_query::{instantiate, ConjunctiveQuery};
+use pq_relation::{natural_join, natural_join_all};
+
+fn bench_local_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_join_strategy");
+    group.sample_size(20);
+    let query = ConjunctiveQuery::chain(4);
+    for m in [2_000usize, 8_000] {
+        let db = matching_database_for_query(&query, m, 3);
+        let bound = instantiate(&query, &db);
+        group.bench_with_input(BenchmarkId::new("greedy_multiway", m), &bound, |b, bound| {
+            b.iter(|| natural_join_all(bound))
+        });
+        group.bench_with_input(BenchmarkId::new("left_deep_binary", m), &bound, |b, bound| {
+            b.iter(|| {
+                let mut acc = bound[0].clone();
+                for r in &bound[1..] {
+                    acc = natural_join(&acc, r);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_join);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmarks for the multi-round machinery (E8/E9 support):
+//! bushy-plan execution for chain queries and the connected-components
+//! strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pq_bench::matching_database_for_query;
+use pq_core::multiround::connected::{connected_components, CcStrategy};
+use pq_core::multiround::plan::{bushy_chain_plan, execute_plan};
+use pq_query::ConjunctiveQuery;
+use pq_relation::DataGenerator;
+
+fn bench_chain_plans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_plan_execution");
+    group.sample_size(10);
+    let k = 8;
+    let query = ConjunctiveQuery::chain(k);
+    let db = matching_database_for_query(&query, 4_000, 3);
+    for fan_in in [2usize, 4] {
+        let plan = bushy_chain_plan(k, fan_in);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("fan{fan_in}")), &plan, |b, plan| {
+            b.iter(|| execute_plan(plan, &query, &db, 32, 7))
+        });
+    }
+    group.finish();
+}
+
+fn bench_connected_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connected_components");
+    group.sample_size(10);
+    let mut gen = DataGenerator::new(11, 1 << 24);
+    let edges = gen.layered_matching_graph(1_000, 16);
+    for strategy in [CcStrategy::Propagation, CcStrategy::PointerJumping] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, &s| b.iter(|| connected_components(&edges, 16, 7, s)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_plans, bench_connected_components);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmarks for the share-exponent machinery (ablation from
+//! DESIGN.md): the LP solve itself, and floor vs greedy-fill share
+//! integerisation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pq_bench::uniform_sizes;
+use pq_core::shares::{integer_shares, optimal_share_exponents, ShareRounding};
+use pq_query::{packing, ConjunctiveQuery};
+
+fn bench_share_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("share_exponent_lp");
+    let queries = vec![
+        ConjunctiveQuery::triangle(),
+        ConjunctiveQuery::chain(8),
+        ConjunctiveQuery::cycle(8),
+        ConjunctiveQuery::k4(),
+        ConjunctiveQuery::b_query(6, 2),
+    ];
+    for q in queries {
+        let sizes = uniform_sizes(&q, 1 << 24);
+        group.bench_with_input(BenchmarkId::from_parameter(q.name().to_string()), &q, |b, q| {
+            b.iter(|| optimal_share_exponents(q, &sizes, 64))
+        });
+    }
+    group.finish();
+}
+
+fn bench_share_rounding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("share_rounding");
+    let q = ConjunctiveQuery::cycle(6);
+    let sizes = uniform_sizes(&q, 1 << 24);
+    let exps = optimal_share_exponents(&q, &sizes, 1000);
+    for strategy in [ShareRounding::Floor, ShareRounding::GreedyFill] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, &s| b.iter(|| integer_shares(&exps, s)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_packing_polytope(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packing_polytope_vertices");
+    for q in [
+        ConjunctiveQuery::triangle(),
+        ConjunctiveQuery::cycle(6),
+        ConjunctiveQuery::k4(),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(q.name().to_string()), &q, |b, q| {
+            b.iter(|| packing::fractional_edge_packing_vertices(q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_share_lp, bench_share_rounding, bench_packing_polytope);
+criterion_main!(benches);

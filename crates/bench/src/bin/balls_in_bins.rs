@@ -1,0 +1,87 @@
+//! E11 — Appendix A: weighted balls-in-bins tail bounds, the engine behind
+//! the HyperCube load analysis (Lemma 3.2 / Corollary 3.3 / Lemma 4.2).
+//!
+//! Two experiments:
+//! * hash `n` balls of bounded weight into `K` bins many times and compare
+//!   the empirical maximum bin load against the `(1+δ)·m/K` level predicted
+//!   by Theorem A.1 at failure probability 1e-6;
+//! * partition a binary matching relation with the HyperCube hash grid and
+//!   compare the maximum cell against the `O(m/p)` prediction of
+//!   Corollary 3.3.
+
+use pq_bench::report::{fmt_f64, ExperimentReport};
+use pq_core::bounds::balls::{load_multiplier_for_confidence, max_bin_load, weighted_balls_tail_bound};
+use pq_relation::{BucketHasher, DataGenerator, HashFamily, MultiplyShiftHash, Schema};
+
+fn main() {
+    // ---- Balls in bins. ----
+    let mut report = ExperimentReport::new(
+        "E11a / weighted balls in bins",
+        "empirical max bin load vs the Theorem A.1 prediction (100 trials each)",
+        &[
+            "balls",
+            "bins K",
+            "max ball weight",
+            "mean m/K",
+            "empirical max (worst trial)",
+            "predicted (1+delta)m/K @1e-6",
+            "bound value at empirical delta",
+        ],
+    );
+    let family = MultiplyShiftHash::new(97);
+    for (n, k, heavy_weight) in [(100_000usize, 64usize, 1.0f64), (100_000, 256, 1.0), (50_000, 64, 8.0)] {
+        let ids: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let mut weights = vec![1.0f64; n];
+        // A sprinkling of heavier balls, still within beta*m/K.
+        for w in weights.iter_mut().step_by(97) {
+            *w = heavy_weight;
+        }
+        let total: f64 = weights.iter().sum();
+        let mean = total / k as f64;
+        let beta = weights.iter().cloned().fold(0.0, f64::max) * k as f64 / total;
+        let mut worst = 0.0f64;
+        for trial in 0..100 {
+            let max = max_bin_load(&ids, &weights, k, &family, trial);
+            worst = worst.max(max);
+        }
+        let predicted = load_multiplier_for_confidence(k, beta, 1e-6) * mean;
+        let empirical_delta = (worst / mean - 1.0).max(0.0);
+        report.add_row(vec![
+            n.to_string(),
+            k.to_string(),
+            fmt_f64(heavy_weight),
+            fmt_f64(mean),
+            fmt_f64(worst),
+            fmt_f64(predicted),
+            format!("{:.2e}", weighted_balls_tail_bound(k, beta, empirical_delta)),
+        ]);
+    }
+    report.print();
+
+    // ---- HyperCube partitioning of a matching relation (Corollary 3.3). ----
+    let mut hc_report = ExperimentReport::new(
+        "E11b / HyperCube cell loads",
+        "max grid-cell tuples when hashing a matching relation into a p1 x p2 grid",
+        &["tuples m", "grid", "mean m/p", "empirical max", "max/mean"],
+    );
+    let mut gen = DataGenerator::new(5, 1 << 24);
+    for (m, p1, p2) in [(100_000usize, 8usize, 8usize), (100_000, 16, 16), (200_000, 32, 8)] {
+        let rel = gen.matching_relation(Schema::from_strs("R", &["a", "b"]), m);
+        let h1 = family.hasher(1000 + p1, p1);
+        let h2 = family.hasher(2000 + p2, p2);
+        let mut cells = vec![0usize; p1 * p2];
+        for t in rel.iter() {
+            cells[h1.bucket(t.get(0)) * p2 + h2.bucket(t.get(1))] += 1;
+        }
+        let max = *cells.iter().max().expect("non-empty");
+        let mean = m as f64 / (p1 * p2) as f64;
+        hc_report.add_row(vec![
+            m.to_string(),
+            format!("{p1}x{p2}"),
+            fmt_f64(mean),
+            max.to_string(),
+            fmt_f64(max as f64 / mean),
+        ]);
+    }
+    hc_report.print();
+}

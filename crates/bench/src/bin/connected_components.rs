@@ -1,0 +1,56 @@
+//! E9 — Theorem 5.20: connected components with bounded load need Ω(log p)
+//! rounds.
+//!
+//! The hard instances are graphs whose components are paths crossing
+//! `k = p^δ` layers of matchings. The experiment sweeps `p` (scaling the
+//! number of layers with it) and reports the rounds used by min-label
+//! propagation and by propagation + pointer jumping under a per-round load
+//! that stays `O(M/p)`, together with `log2 p` for reference.
+
+use pq_bench::report::{fmt_f64, ExperimentReport};
+use pq_core::multiround::connected::{connected_components, CcStrategy};
+use pq_relation::DataGenerator;
+
+fn main() {
+    let mut report = ExperimentReport::new(
+        "E9 / connected components",
+        "rounds vs p on layered-matching graphs with k = p^(2/3) layers",
+        &[
+            "p",
+            "layers",
+            "edges",
+            "propagation rounds",
+            "jumping rounds",
+            "log2 p",
+            "max load [bits]",
+            "M/p [bits]",
+        ],
+    );
+
+    for p in [8usize, 16, 32, 64, 128] {
+        let layers = ((p as f64).powf(2.0 / 3.0).round() as usize).max(2);
+        let group = 60_000 / layers; // keep |E| roughly constant
+        let mut gen = DataGenerator::new(p as u64, 1 << 24);
+        let edges = gen.layered_matching_graph(group, layers);
+        let input_bits = edges.size_bits(pq_relation::bits_per_value(1 << 24));
+
+        let prop = connected_components(&edges, p, 7, CcStrategy::Propagation);
+        let jump = connected_components(&edges, p, 7, CcStrategy::PointerJumping);
+        assert_eq!(
+            prop.labels.canonicalized().len(),
+            jump.labels.canonicalized().len()
+        );
+
+        report.add_row(vec![
+            p.to_string(),
+            layers.to_string(),
+            edges.len().to_string(),
+            prop.metrics.num_rounds().to_string(),
+            jump.metrics.num_rounds().to_string(),
+            fmt_f64((p as f64).log2()),
+            jump.metrics.max_load().to_string(),
+            fmt_f64(input_bits as f64 / p as f64),
+        ]);
+    }
+    report.print();
+}

@@ -1,0 +1,55 @@
+//! E4 — Theorems 3.4, 3.5 and 3.15: on skew-free (matching) databases the
+//! HyperCube algorithm's measured maximum load tracks
+//! `L_upper = L_lower = M / p^{1/τ*}` as the number of servers grows, for a
+//! collection of query shapes (triangle, chains, star, K4).
+
+use pq_bench::report::{fmt_f64, ExperimentReport};
+use pq_bench::matching_database_for_query;
+use pq_core::bounds::one_round::{lower_bound_load, upper_bound_load};
+use pq_core::prelude::*;
+use pq_query::packing::vertex_cover_number;
+
+fn main() {
+    let queries = vec![
+        (ConjunctiveQuery::triangle(), 12_000usize),
+        (ConjunctiveQuery::chain(3), 12_000),
+        (ConjunctiveQuery::chain(4), 12_000),
+        (ConjunctiveQuery::star(3), 12_000),
+        (ConjunctiveQuery::k4(), 4_000),
+    ];
+
+    for (query, m) in queries {
+        let db = matching_database_for_query(&query, m, 41);
+        let tau = vertex_cover_number(&query);
+        let mut report = ExperimentReport::new(
+            "E4 / load vs p",
+            format!(
+                "{} on matching relations of {m} tuples (tau* = {}), expected load ~ M/p^(1/tau*)",
+                query.name(),
+                fmt_f64(tau)
+            ),
+            &[
+                "p",
+                "measured L [bits]",
+                "L_lower [bits]",
+                "L_upper [bits]",
+                "measured/lower",
+                "answers",
+            ],
+        );
+        for p in [4usize, 8, 16, 32, 64, 128] {
+            let run = run_hypercube(&query, &db, p, 13);
+            let lower = lower_bound_load(&query, &db.sizes_bits(), p);
+            let upper = upper_bound_load(&query, &db.sizes_bits(), p);
+            report.add_row(vec![
+                p.to_string(),
+                run.metrics.max_load().to_string(),
+                fmt_f64(lower),
+                fmt_f64(upper),
+                fmt_f64(run.metrics.max_load() as f64 / lower),
+                run.output.len().to_string(),
+            ]);
+        }
+        report.print();
+    }
+}

@@ -1,0 +1,127 @@
+//! E8 — Examples 5.2/5.3, Lemma 5.4, Corollary 5.15: multi-round plans for
+//! chain queries and the rounds/load tradeoff.
+//!
+//! For L_k the bushy plan with fan-in `kε` reaches load `O(M/p^{1−ε})` in
+//! `~log_{kε} k` rounds; the measured rounds and per-round loads are printed
+//! next to the round lower bound and the `M/p^{1−ε}` reference.
+
+use pq_bench::report::{fmt_f64, ExperimentReport};
+use pq_core::bounds::multiround::{chain_rounds_lower_bound, rounds_upper_bound};
+use pq_core::multiround::plan::{bushy_chain_plan, execute_plan, left_deep_plan, star_of_paths_plan};
+use pq_core::prelude::*;
+use pq_relation::Relation;
+
+/// An identity-matching database for a binary-atom query: every relation is
+/// the identity matching of size `m`, so it is a matching database with a
+/// non-trivial answer (`m` tuples) and non-empty intermediate views.
+fn identity_database(query: &ConjunctiveQuery, m: usize) -> Database {
+    let mut db = Database::new((m as u64).max(2));
+    for atom in query.atoms() {
+        db.insert(Relation::from_rows(
+            Schema::from_strs(atom.relation(), &["a", "b"]),
+            (0..m as u64).map(|i| vec![i, i]).collect(),
+        ));
+    }
+    db
+}
+
+fn main() {
+    let p = 64usize;
+    let m = 8_000usize;
+
+    // Chains with different fan-ins (ε = 0 → fan-in 2, ε = 1/2 → fan-in 4).
+    let mut report = ExperimentReport::new(
+        "E8a / chain plans",
+        format!("bushy plans for L_k on matching data, m = {m}, p = {p}"),
+        &[
+            "query",
+            "plan",
+            "rounds (measured)",
+            "rounds lower",
+            "rounds upper",
+            "max load [bits]",
+            "M/p^(1-eps) ref",
+            "answers",
+        ],
+    );
+    for k in [8usize, 16] {
+        let query = ConjunctiveQuery::chain(k);
+        let db = identity_database(&query, m);
+        let m_bits = db.relation_size_bits("S1") as f64;
+        for (label, fan_in, eps) in [("fan-2 (eps=0)", 2usize, 0.0f64), ("fan-4 (eps=1/2)", 4, 0.5)] {
+            let run = execute_plan(&bushy_chain_plan(k, fan_in), &query, &db, p, 11);
+            report.add_row(vec![
+                query.name().to_string(),
+                label.to_string(),
+                run.metrics.num_rounds().to_string(),
+                chain_rounds_lower_bound(k, eps).to_string(),
+                rounds_upper_bound(&query, eps).to_string(),
+                run.metrics.max_load().to_string(),
+                fmt_f64(m_bits / (p as f64).powf(1.0 - eps)),
+                run.output.len().to_string(),
+            ]);
+        }
+        // Left-deep strawman.
+        let run = execute_plan(&left_deep_plan(&query), &query, &db, p, 11);
+        report.add_row(vec![
+            query.name().to_string(),
+            "left-deep".to_string(),
+            run.metrics.num_rounds().to_string(),
+            chain_rounds_lower_bound(k, 0.0).to_string(),
+            rounds_upper_bound(&query, 0.0).to_string(),
+            run.metrics.max_load().to_string(),
+            fmt_f64(m_bits / p as f64),
+            run.output.len().to_string(),
+        ]);
+    }
+    report.print();
+
+    // SP_k: two rounds at load O(M/p) versus one round at load O(M/p^{1/k}).
+    let mut sp_report = ExperimentReport::new(
+        "E8b / SP_k (Example 5.3)",
+        format!("SP_k: one-round HC vs the two-round plan, m = {m}, p = {p}"),
+        &[
+            "query",
+            "1-round load [bits]",
+            "M/p^(1/k) ref",
+            "2-round load [bits]",
+            "M/p ref",
+            "answers",
+        ],
+    );
+    for k in [2usize, 3] {
+        let query = ConjunctiveQuery::star_of_paths(k);
+        let db = identity_database(&query, m);
+        let m_bits = db.relation_size_bits("R1") as f64;
+        let one = run_hypercube(&query, &db, p, 31);
+        let two = execute_plan(&star_of_paths_plan(k), &query, &db, p, 31);
+        assert_eq!(one.output.canonicalized(), two.output.canonicalized());
+        sp_report.add_row(vec![
+            query.name().to_string(),
+            one.metrics.max_load().to_string(),
+            fmt_f64(m_bits / (p as f64).powf(1.0 / k as f64)),
+            two.metrics.max_load().to_string(),
+            fmt_f64(m_bits / p as f64),
+            two.output.len().to_string(),
+        ]);
+    }
+    sp_report.print();
+
+    // Per-round loads for the L_16 fan-4 plan (Example 5.2's shape).
+    let query = ConjunctiveQuery::chain(16);
+    let db = identity_database(&query, m);
+    let run = execute_plan(&bushy_chain_plan(16, 4), &query, &db, p, 11);
+    let mut round_report = ExperimentReport::new(
+        "E8c / per-round loads",
+        "L_16 with the fan-4 plan (Example 5.2): two rounds, load ~ M/sqrt(p)".to_string(),
+        &["round", "max load [bits]", "views computed"],
+    );
+    for (i, load) in run.metrics.per_round_max_loads().iter().enumerate() {
+        round_report.add_row(vec![
+            (i + 1).to_string(),
+            load.to_string(),
+            run.round_views[i].join(", "),
+        ]);
+    }
+    round_report.print();
+}

@@ -1,0 +1,46 @@
+//! E10 — Corollary 3.19 / Example 3.20: the replication-rate / load
+//! tradeoff.
+//!
+//! For the triangle query (τ* = 3/2) the replication rate must be
+//! `Ω(√(M/L))`; for the star query (τ* = 1) constant replication is
+//! possible. The HyperCube algorithm's measured replication rate (total
+//! bits received / input bits) is swept against the load budget by varying
+//! `p`, and compared with the Corollary 3.19 bound at the measured load.
+
+use pq_bench::matching_database_for_query;
+use pq_bench::report::{fmt_f64, ExperimentReport};
+use pq_core::bounds::replication::{replication_rate_lower_bound, replication_rate_shape};
+use pq_core::prelude::*;
+
+fn main() {
+    let m = 16_000usize;
+
+    for query in [ConjunctiveQuery::triangle(), ConjunctiveQuery::star(3)] {
+        let db = matching_database_for_query(&query, m, 19);
+        let mut report = ExperimentReport::new(
+            "E10 / replication rate",
+            format!("{}: measured replication vs the Corollary 3.19 bound", query.name()),
+            &[
+                "p",
+                "measured L [bits]",
+                "measured replication",
+                "Cor. 3.19 bound",
+                "(M/L)^(tau*-1) shape",
+            ],
+        );
+        for p in [4usize, 8, 16, 32, 64, 128, 256] {
+            let run = run_hypercube(&query, &db, p, 23);
+            let load = run.metrics.max_load() as f64;
+            let bound = replication_rate_lower_bound(&query, &db.sizes_bits(), load);
+            let shape = replication_rate_shape(&query, db.relation_size_bits("S1") as f64, load);
+            report.add_row(vec![
+                p.to_string(),
+                fmt_f64(load),
+                fmt_f64(run.metrics.replication_rate()),
+                fmt_f64(bound),
+                fmt_f64(shape),
+            ]);
+        }
+        report.print();
+    }
+}

@@ -1,0 +1,71 @@
+//! E1 — Table 2 of the paper: share exponents, fractional vertex-covering
+//! number τ*, and the one-round space-exponent lower bound `1 − 1/τ*` for
+//! the named query families C_k, T_k, L_k and B_{k,m}.
+//!
+//! Every number is *derived* from the query hypergraph by the LP/polytope
+//! machinery (no hard-coded formulas) and printed next to the closed form
+//! the paper states, so any mismatch is immediately visible.
+
+use pq_bench::report::{fmt_f64, ExperimentReport};
+use pq_bench::uniform_sizes;
+use pq_core::bounds::one_round::space_exponent_lower_bound;
+use pq_core::shares::optimal_share_exponents;
+use pq_query::{packing, ConjunctiveQuery};
+
+fn share_exponent_summary(q: &ConjunctiveQuery) -> String {
+    // Equal sizes: µ is irrelevant to the exponents, pick a large M.
+    let e = optimal_share_exponents(q, &uniform_sizes(q, 1 << 30), 1 << 16);
+    let mut parts: Vec<String> = Vec::new();
+    for v in q.variables() {
+        parts.push(format!("{}={}", v, fmt_f64(e.exponents[&v])));
+    }
+    parts.join(" ")
+}
+
+fn main() {
+    let mut report = ExperimentReport::new(
+        "E1 / Table 2",
+        "share exponents, tau*, and space-exponent lower bound per query family",
+        &[
+            "query",
+            "tau* (LP)",
+            "tau* (paper)",
+            "eps lower bound (LP)",
+            "eps (paper)",
+            "share exponents (LP)",
+        ],
+    );
+
+    let mut add = |q: &ConjunctiveQuery, tau_paper: f64, eps_paper: f64| {
+        let tau = packing::vertex_cover_number(q);
+        let eps = space_exponent_lower_bound(q);
+        report.add_row(vec![
+            q.name().to_string(),
+            fmt_f64(tau),
+            fmt_f64(tau_paper),
+            fmt_f64(eps),
+            fmt_f64(eps_paper),
+            share_exponent_summary(q),
+        ]);
+    };
+
+    for k in 3..=8 {
+        let q = ConjunctiveQuery::cycle(k);
+        add(&q, k as f64 / 2.0, 1.0 - 2.0 / k as f64);
+    }
+    for k in 2..=5 {
+        let q = ConjunctiveQuery::star(k);
+        add(&q, 1.0, 0.0);
+    }
+    for k in 2..=8 {
+        let q = ConjunctiveQuery::chain(k);
+        let tau = (k as f64 / 2.0).ceil();
+        add(&q, tau, 1.0 - 1.0 / tau);
+    }
+    for (k, m) in [(3usize, 2usize), (4, 2), (5, 2), (4, 3), (5, 3), (6, 3)] {
+        let q = ConjunctiveQuery::b_query(k, m);
+        add(&q, k as f64 / m as f64, 1.0 - m as f64 / k as f64);
+    }
+
+    report.print();
+}

@@ -1,0 +1,103 @@
+//! E2 — Table 3 of the paper: the rounds/space tradeoff. For C_k, L_k, T_k
+//! and SP_k it reports (a) the space exponent achievable in one round
+//! (`1 − 1/τ*`), (b) the number of rounds needed to reach load `O(M/p)`
+//! (ε = 0), upper bound from Lemma 5.4 and lower bound from
+//! Cor. 5.15/5.17/Lemma 5.18, and (c) the measured number of rounds of the
+//! executable plans on the simulator.
+
+use pq_bench::report::{fmt_f64, ExperimentReport};
+use pq_bench::{identity_chain_database, matching_database_for_query};
+use pq_core::bounds::multiround::{
+    chain_rounds_lower_bound, cycle_rounds_lower_bound, rounds_upper_bound,
+    treelike_rounds_lower_bound,
+};
+use pq_core::bounds::one_round::space_exponent_lower_bound;
+use pq_core::multiround::plan::{bushy_chain_plan, execute_plan, star_of_paths_plan};
+use pq_core::prelude::*;
+use pq_query::ConjunctiveQuery;
+
+fn main() {
+    let mut report = ExperimentReport::new(
+        "E2 / Table 3",
+        "space exponent for one round and rounds to reach load O(M/p)",
+        &[
+            "query",
+            "eps (1 round)",
+            "eps paper",
+            "rounds lower",
+            "rounds upper",
+            "rounds paper",
+            "measured rounds",
+        ],
+    );
+
+    // C_k: paper says eps = 1 - 2/k, rounds ~ ceil(log2 k).
+    for k in [4usize, 6, 8] {
+        let q = ConjunctiveQuery::cycle(k);
+        let eps = space_exponent_lower_bound(&q);
+        let lower = cycle_rounds_lower_bound(k, 0.0);
+        let upper = rounds_upper_bound(&q, 0.0);
+        report.add_row(vec![
+            q.name().to_string(),
+            fmt_f64(eps),
+            fmt_f64(1.0 - 2.0 / k as f64),
+            lower.to_string(),
+            upper.to_string(),
+            format!("~log2 {k} = {}", (k as f64).log2().ceil() as usize),
+            "-".to_string(),
+        ]);
+    }
+
+    // L_k: measured via the bushy binary plan.
+    for k in [4usize, 8, 16] {
+        let q = ConjunctiveQuery::chain(k);
+        let eps = space_exponent_lower_bound(&q);
+        let lower = chain_rounds_lower_bound(k, 0.0);
+        let upper = rounds_upper_bound(&q, 0.0);
+        let db = identity_chain_database(k, 2_000);
+        let run = execute_plan(&bushy_chain_plan(k, 2), &q, &db, 16, 7);
+        report.add_row(vec![
+            q.name().to_string(),
+            fmt_f64(eps),
+            fmt_f64(1.0 - 1.0 / (k as f64 / 2.0).ceil()),
+            lower.to_string(),
+            upper.to_string(),
+            format!("~log2 {k} = {}", (k as f64).log2().ceil() as usize),
+            run.metrics.num_rounds().to_string(),
+        ]);
+    }
+
+    // T_k: one round suffices at eps = 0.
+    for k in [3usize, 5] {
+        let q = ConjunctiveQuery::star(k);
+        let db = matching_database_for_query(&q, 2_000, 3);
+        let run = run_hypercube(&q, &db, 16, 5);
+        report.add_row(vec![
+            q.name().to_string(),
+            fmt_f64(space_exponent_lower_bound(&q)),
+            "0".to_string(),
+            "1".to_string(),
+            rounds_upper_bound(&q, 0.0).to_string(),
+            "1".to_string(),
+            run.metrics.num_rounds().to_string(),
+        ]);
+    }
+
+    // SP_k: eps = 1 - 1/k for one round; two rounds reach load O(M/p).
+    for k in [2usize, 3, 4] {
+        let q = ConjunctiveQuery::star_of_paths(k);
+        let db = matching_database_for_query(&q, 2_000, 9);
+        let run = execute_plan(&star_of_paths_plan(k), &q, &db, 4 * k, 11);
+        report.add_row(vec![
+            q.name().to_string(),
+            fmt_f64(space_exponent_lower_bound(&q)),
+            fmt_f64(1.0 - 1.0 / k as f64),
+            treelike_rounds_lower_bound(&q, 0.0).to_string(),
+            rounds_upper_bound(&q, 0.0).to_string(),
+            "2".to_string(),
+            run.metrics.num_rounds().to_string(),
+        ]);
+    }
+
+    report.print();
+}

@@ -1,0 +1,92 @@
+//! E3 — Example 3.17 / Lemma 3.18: the triangle query with unequal relation
+//! sizes. Enumerates the five vertices of the edge-packing polytope with
+//! their loads `L(u, M, p)`, locates the crossover `p ≈ M/M_1` between the
+//! linear-speedup regime (broadcast the small relation) and the
+//! `p^{2/3}`-speedup regime, and verifies the HyperCube algorithm's measured
+//! load on both sides of the crossover.
+
+use pq_bench::report::{fmt_f64, ExperimentReport};
+use pq_core::bounds::one_round::{argmax_packing, load_for_packing, lower_bound_load, speedup_exponent};
+use pq_core::prelude::*;
+use pq_query::packing::fractional_edge_packing_vertices;
+use pq_relation::{DataGenerator, Schema};
+use std::collections::BTreeMap;
+
+fn main() {
+    let query = ConjunctiveQuery::triangle();
+
+    // Analytic part: the five polytope vertices and their loads.
+    let m1_bits = 1u64 << 14;
+    let m_bits = 1u64 << 22;
+    let mut sizes: BTreeMap<String, u64> = BTreeMap::new();
+    sizes.insert("S1".to_string(), m1_bits);
+    sizes.insert("S2".to_string(), m_bits);
+    sizes.insert("S3".to_string(), m_bits);
+    let sizes_vec = [m1_bits as f64, m_bits as f64, m_bits as f64];
+
+    let mut vertex_report = ExperimentReport::new(
+        "E3a / Example 3.17",
+        format!("packing-polytope vertices of C3 with M1={m1_bits}, M2=M3={m_bits}, p=256"),
+        &["packing u", "L(u, M, p) [bits]"],
+    );
+    for u in fractional_edge_packing_vertices(&query) {
+        let load = load_for_packing(&u, &sizes_vec, 256);
+        vertex_report.add_row(vec![
+            format!("({}, {}, {})", fmt_f64(u[0]), fmt_f64(u[1]), fmt_f64(u[2])),
+            fmt_f64(load),
+        ]);
+    }
+    vertex_report.print();
+
+    // Crossover sweep: speedup exponent flips from 1 (linear) to 2/3 at
+    // p ~ M/M1 = 2^8 = 256.
+    let mut crossover = ExperimentReport::new(
+        "E3b / Lemma 3.18",
+        "optimal packing and speedup exponent as p grows (crossover at p = M/M1 = 256)",
+        &["p", "L_lower [bits]", "argmax packing", "speedup exponent"],
+    );
+    for exp in [2u32, 4, 6, 8, 10, 12, 14] {
+        let p = 1usize << exp;
+        let (u, load) = argmax_packing(&query, &sizes, p);
+        crossover.add_row(vec![
+            p.to_string(),
+            fmt_f64(load),
+            format!("({}, {}, {})", fmt_f64(u[0]), fmt_f64(u[1]), fmt_f64(u[2])),
+            fmt_f64(speedup_exponent(&query, &sizes, p)),
+        ]);
+    }
+    crossover.print();
+
+    // Measured part: run HyperCube with a small S1 and larger S2, S3 on both
+    // sides of the crossover and compare the measured load with L_lower.
+    let m1 = 200usize;
+    let m = 12_800usize; // M/M1 = 64: crossover at p = 64
+    let mut gen = DataGenerator::new(7, 1 << 22);
+    let db = gen.matching_database(&[
+        (Schema::from_strs("S1", &["a", "b"]), m1),
+        (Schema::from_strs("S2", &["a", "b"]), m),
+        (Schema::from_strs("S3", &["a", "b"]), m),
+    ]);
+    let mut measured = ExperimentReport::new(
+        "E3c / measured",
+        format!("HyperCube load with |S1|={m1}, |S2|=|S3|={m} (crossover at p=64)"),
+        &["p", "measured load [bits]", "L_lower [bits]", "ratio", "shares"],
+    );
+    for p in [8usize, 16, 32, 64, 128, 256, 512] {
+        let run = run_hypercube(&query, &db, p, 3);
+        let lower = lower_bound_load(&query, &db.sizes_bits(), p);
+        let shares: Vec<String> = query
+            .variables()
+            .iter()
+            .map(|v| format!("{}={}", v, run.shares[v]))
+            .collect();
+        measured.add_row(vec![
+            p.to_string(),
+            run.metrics.max_load().to_string(),
+            fmt_f64(lower),
+            fmt_f64(run.metrics.max_load() as f64 / lower),
+            shares.join(" "),
+        ]);
+    }
+    measured.print();
+}

@@ -1,0 +1,138 @@
+//! Database builders shared by the experiment binaries.
+
+use pq_query::ConjunctiveQuery;
+use pq_relation::{DataGenerator, Database, Relation, Schema, Tuple};
+use std::collections::BTreeMap;
+
+/// A matching database for an arbitrary query: one random matching relation
+/// of `m` tuples per atom, over a domain large enough that accidental skew
+/// is negligible.
+pub fn matching_database_for_query(query: &ConjunctiveQuery, m: usize, seed: u64) -> Database {
+    let domain = ((m as u64) * 64).max(1 << 12);
+    let mut gen = DataGenerator::new(seed, domain);
+    let specs: Vec<(Schema, usize)> = query
+        .atoms()
+        .iter()
+        .map(|a| {
+            let cols: Vec<String> = (0..a.arity()).map(|i| format!("c{i}")).collect();
+            (Schema::new(a.relation(), cols), m)
+        })
+        .collect();
+    gen.matching_database(&specs)
+}
+
+/// Equal bit sizes for every relation of a query (used by the analytic
+/// tables, which assume `M_1 = … = M_ℓ`).
+pub fn uniform_sizes(query: &ConjunctiveQuery, bits: u64) -> BTreeMap<String, u64> {
+    query
+        .relation_names()
+        .into_iter()
+        .map(|r| (r, bits))
+        .collect()
+}
+
+/// A star-query database (`T_k`) where value `0` of the centre variable `z`
+/// carries `heavy` tuples in every relation and the remaining tuples form
+/// matchings.
+pub fn skewed_star_database(k: usize, m: usize, heavy: usize, seed: u64) -> Database {
+    assert!(heavy <= m, "heavy tuples cannot exceed the cardinality");
+    let domain = 1u64 << 24;
+    let mut gen = DataGenerator::new(seed, domain);
+    let mut db = Database::new(domain);
+    for j in 1..=k {
+        let mut rel = gen.matching_relation(
+            Schema::from_strs(&format!("S{j}"), &["a", "b"]),
+            m - heavy,
+        );
+        for i in 0..heavy as u64 {
+            rel.push(Tuple::from([0, (1 << 23) + (j as u64) * (m as u64) + i]));
+        }
+        db.insert(rel);
+    }
+    db
+}
+
+/// A triangle database where vertex `0` is a hub participating in `hub`
+/// triangles (its degree in `S1` and `S3` is `hub`), and the remaining
+/// tuples are matchings.
+pub fn hub_triangle_database(m: usize, hub: usize, seed: u64) -> Database {
+    assert!(hub <= m, "hub tuples cannot exceed the cardinality");
+    let domain = 1u64 << 24;
+    let mut gen = DataGenerator::new(seed, domain);
+    let mut db = Database::new(domain);
+    let base = 1u64 << 22;
+    let mut s1 = gen.matching_relation(Schema::from_strs("S1", &["a", "b"]), m - hub);
+    let mut s2 = gen.matching_relation(Schema::from_strs("S2", &["a", "b"]), m - hub);
+    let mut s3 = gen.matching_relation(Schema::from_strs("S3", &["a", "b"]), m - hub);
+    for i in 0..hub as u64 {
+        s1.push(Tuple::from([0, base + i]));
+        s2.push(Tuple::from([base + i, 2 * base + i]));
+        s3.push(Tuple::from([2 * base + i, 0]));
+    }
+    db.insert(s1);
+    db.insert(s2);
+    db.insert(s3);
+    db
+}
+
+/// A chain-query database (`L_k`) of identity matchings, which yields
+/// exactly `m` answers — convenient when a predictable output size matters.
+pub fn identity_chain_database(k: usize, m: usize) -> Database {
+    let mut db = Database::new((m as u64).max(2));
+    for j in 1..=k {
+        db.insert(Relation::from_rows(
+            Schema::from_strs(&format!("S{j}"), &["a", "b"]),
+            (0..m as u64).map(|i| vec![i, i]).collect(),
+        ));
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_database_covers_all_atoms() {
+        let q = ConjunctiveQuery::cycle(4);
+        let db = matching_database_for_query(&q, 100, 1);
+        assert_eq!(db.num_relations(), 4);
+        assert!(db.is_matching_database());
+        for name in q.relation_names() {
+            assert_eq!(db.expect_relation(&name).len(), 100);
+        }
+    }
+
+    #[test]
+    fn skewed_star_has_requested_heavy_hitter() {
+        let db = skewed_star_database(3, 500, 100, 2);
+        for j in 1..=3 {
+            let rel = db.expect_relation(&format!("S{j}"));
+            assert_eq!(rel.len(), 500);
+            assert_eq!(rel.select_eq("a", 0).len(), 100);
+        }
+    }
+
+    #[test]
+    fn hub_triangle_contains_hub_triangles() {
+        let db = hub_triangle_database(300, 50, 3);
+        let q = ConjunctiveQuery::triangle();
+        let out = pq_query::evaluate_sequential(&q, &db);
+        assert!(out.len() >= 50);
+    }
+
+    #[test]
+    fn identity_chain_has_m_answers() {
+        let db = identity_chain_database(4, 77);
+        let q = ConjunctiveQuery::chain(4);
+        assert_eq!(pq_query::evaluate_sequential(&q, &db).len(), 77);
+    }
+
+    #[test]
+    fn uniform_sizes_covers_relations() {
+        let q = ConjunctiveQuery::star(3);
+        let sizes = uniform_sizes(&q, 1 << 20);
+        assert_eq!(sizes.len(), 3);
+        assert!(sizes.values().all(|&s| s == 1 << 20));
+    }
+}

@@ -1,0 +1,18 @@
+//! Shared helpers for the experiment harness binaries (`src/bin/*.rs`) and
+//! the Criterion benchmarks.
+//!
+//! Each binary reproduces one table, worked example or asymptotic claim from
+//! the paper's evaluation; the mapping is recorded in `DESIGN.md`
+//! (experiment index) and the observed outputs in `EXPERIMENTS.md`.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod data;
+pub mod report;
+
+pub use data::{
+    hub_triangle_database, identity_chain_database, matching_database_for_query,
+    skewed_star_database, uniform_sizes,
+};
+pub use report::{markdown_table, ExperimentReport};

@@ -1,0 +1,142 @@
+//! Plain-text / markdown reporting helpers for the experiment binaries.
+
+use serde::Serialize;
+
+/// A small experiment report: a title, column headers and string rows,
+/// printable both as an aligned console table and as a markdown table
+/// (the format pasted into `EXPERIMENTS.md`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentReport {
+    /// Experiment identifier (e.g. "E1 / Table 2").
+    pub id: String,
+    /// One-line description.
+    pub description: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of stringified cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExperimentReport {
+    /// Create an empty report.
+    pub fn new(id: impl Into<String>, description: impl Into<String>, headers: &[&str]) -> Self {
+        ExperimentReport {
+            id: id.into(),
+            description: description.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringifying each cell).
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned console table.
+    pub fn to_console(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.description));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        markdown_table(&self.headers, &self.rows)
+    }
+
+    /// Print both representations to stdout (console first, then the
+    /// markdown block to paste into EXPERIMENTS.md).
+    pub fn print(&self) {
+        println!("{}", self.to_console());
+        println!("markdown:\n{}", self.to_markdown());
+    }
+}
+
+/// Render headers + rows as a markdown table.
+pub fn markdown_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("| {} |\n", headers.join(" | ")));
+    out.push_str(&format!(
+        "|{}\n",
+        headers.iter().map(|_| "---|").collect::<String>()
+    ));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+/// Format a float compactly (3 significant-ish decimals, no trailing zeros
+/// for integers).
+pub fn fmt_f64(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_console_and_markdown() {
+        let mut r = ExperimentReport::new("E0", "demo", &["a", "b"]);
+        r.add_row(vec!["1".into(), "2".into()]);
+        r.add_row(vec!["300".into(), "4".into()]);
+        let console = r.to_console();
+        assert!(console.contains("E0"));
+        assert!(console.contains("300"));
+        let md = r.to_markdown();
+        assert!(md.starts_with("| a | b |"));
+        assert!(md.contains("| 300 | 4 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut r = ExperimentReport::new("E0", "demo", &["a", "b"]);
+        r.add_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(3.0), "3");
+        assert_eq!(fmt_f64(3.14159), "3.142");
+        assert_eq!(fmt_f64(123456.7), "123457");
+    }
+}

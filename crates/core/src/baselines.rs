@@ -1,0 +1,381 @@
+//! Baseline algorithms the paper compares against (implicitly or
+//! explicitly): single-server evaluation, broadcast joins and the standard
+//! shuffle (hash-partition) join executed as a left-deep sequence of binary
+//! joins.
+//!
+//! * `single_server_join` — the degenerate `L = M` case of Section 2.1: ship
+//!   everything to one server. Correct, no parallelism.
+//! * `broadcast_join` — broadcast every relation except the largest, which
+//!   is partitioned; one round, load `≈ M_max/p + Σ_{j≠max} M_j`. Good when
+//!   all but one relation are tiny (cf. Lemma 3.18's broadcast regime).
+//! * `sequential_plan_join` — the classic parallel hash join: binary joins
+//!   executed one per round, both sides hash-partitioned on their shared
+//!   variables. This is the algorithm whose load degrades to `O(M)` under
+//!   skew in Example 4.1, and the multi-round strawman against which the
+//!   bushy plans of Section 5 are compared.
+
+use crate::hypercube::local_join;
+use pq_mpc::{broadcast_relation, map_servers_parallel, Cluster, Message, RunMetrics};
+use pq_query::{evaluate_bound, instantiate, ConjunctiveQuery};
+use pq_relation::{
+    natural_join, BucketHasher, Database, HashFamily, MultiplyShiftHash, Relation, Schema,
+};
+
+/// Result of a baseline run: the answer plus communication metrics.
+#[derive(Debug, Clone)]
+pub struct BaselineRun {
+    /// Query answer with set semantics, columns in query-variable order.
+    pub output: Relation,
+    /// Communication metrics.
+    pub metrics: RunMetrics,
+}
+
+/// Ship the entire database to server 0 and evaluate there: one round, load
+/// `|I|`, no parallelism (the degenerate case the MPC model excludes by
+/// requiring `L < M`).
+pub fn single_server_join(query: &ConjunctiveQuery, database: &Database, p: usize) -> BaselineRun {
+    let bound = instantiate(query, database);
+    let mut cluster = Cluster::new(p, database.bits_per_value());
+    cluster.set_input_bits(database.total_size_bits());
+    let messages = bound
+        .iter()
+        .map(|rel| Message::tuples(0, rel.clone()))
+        .collect();
+    cluster.communicate(messages);
+    let output = local_join(query, cluster.server(0));
+    BaselineRun {
+        output,
+        metrics: cluster.into_metrics(),
+    }
+}
+
+/// Broadcast every relation except the largest, partition the largest one
+/// round-robin. One round; load `≈ M_max/p + Σ_{j≠max} M_j`.
+pub fn broadcast_join(query: &ConjunctiveQuery, database: &Database, p: usize) -> BaselineRun {
+    let bound = instantiate(query, database);
+    let mut cluster = Cluster::new(p, database.bits_per_value());
+    cluster.set_input_bits(database.total_size_bits());
+
+    let largest = bound
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, r)| r.size_bits(database.bits_per_value()))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+
+    let mut messages = Vec::new();
+    for (j, rel) in bound.iter().enumerate() {
+        if j == largest {
+            for (s, part) in pq_mpc::partition_round_robin(rel, p).into_iter().enumerate() {
+                if !part.is_empty() {
+                    messages.push(Message::tuples(s, part));
+                }
+            }
+        } else {
+            messages.extend(broadcast_relation(rel, p));
+        }
+    }
+    cluster.communicate(messages);
+
+    let outputs = map_servers_parallel(cluster.servers(), |_, s| local_join(query, s));
+    let mut output = Relation::empty(Schema::new(query.name(), query.variables()));
+    for o in outputs {
+        output.extend(o.tuples().iter().cloned());
+    }
+    output.dedup();
+    BaselineRun {
+        output,
+        metrics: cluster.into_metrics(),
+    }
+}
+
+/// The standard parallel (shuffle) hash join, run as a left-deep sequence of
+/// binary joins, one communication round per join. Each binary join hashes
+/// both inputs on their shared attributes; inputs with no shared attribute
+/// fall back to broadcasting the smaller side.
+pub fn sequential_plan_join(
+    query: &ConjunctiveQuery,
+    database: &Database,
+    p: usize,
+    seed: u64,
+) -> BaselineRun {
+    let bound = instantiate(query, database);
+    let mut cluster = Cluster::new(p, database.bits_per_value());
+    cluster.set_input_bits(database.total_size_bits());
+    let family = MultiplyShiftHash::new(seed);
+
+    // Left-deep order: start with the first atom, greedily pick a connected
+    // next relation.
+    let mut remaining: Vec<Relation> = bound;
+    let mut acc = remaining.remove(0);
+    let mut round = 0usize;
+    while !remaining.is_empty() {
+        let next_idx = remaining
+            .iter()
+            .position(|r| !acc.schema().common_attributes(r.schema()).is_empty())
+            .unwrap_or(0);
+        let right = remaining.remove(next_idx);
+        acc = shuffle_binary_join(&mut cluster, &acc, &right, &family, round, query);
+        round += 1;
+    }
+
+    let head = query.variables();
+    let mut output = acc.project(&head, query.name());
+    output.dedup();
+    BaselineRun {
+        output,
+        metrics: cluster.into_metrics(),
+    }
+}
+
+/// One shuffle binary join on the cluster: hash-partition both sides on the
+/// shared attributes (or broadcast the smaller side when disjoint), join
+/// locally, and return the union of the per-server results.
+fn shuffle_binary_join(
+    cluster: &mut Cluster,
+    left: &Relation,
+    right: &Relation,
+    family: &MultiplyShiftHash,
+    round: usize,
+    query: &ConjunctiveQuery,
+) -> Relation {
+    let p = cluster.p();
+    let common = left.schema().common_attributes(right.schema());
+    let mut messages = Vec::new();
+
+    // Unique-per-round relation names so fragments from different rounds
+    // don't merge on the servers.
+    let lname = format!("__L{round}_{}", left.name());
+    let rname = format!("__R{round}_{}", right.name());
+    let left_tagged = left.renamed(&lname);
+    let right_tagged = right.renamed(&rname);
+
+    if common.is_empty() {
+        // Broadcast the smaller side, partition the bigger one.
+        let (small, big) = if left.len() <= right.len() {
+            (&left_tagged, &right_tagged)
+        } else {
+            (&right_tagged, &left_tagged)
+        };
+        messages.extend(broadcast_relation(small, p));
+        for (s, part) in pq_mpc::partition_round_robin(big, p).into_iter().enumerate() {
+            if !part.is_empty() {
+                messages.push(Message::tuples(s, part));
+            }
+        }
+    } else {
+        let hasher = family.hasher(round, p);
+        for (tagged, original) in [(&left_tagged, left), (&right_tagged, right)] {
+            let positions: Vec<usize> = common
+                .iter()
+                .map(|a| original.schema().position(a).expect("common attribute"))
+                .collect();
+            let mut parts: Vec<Relation> =
+                (0..p).map(|_| Relation::empty(tagged.schema().clone())).collect();
+            for t in original.iter() {
+                // Hash the concatenation of the join-key values.
+                let mut key = 0u64;
+                for &pos in &positions {
+                    key = key.wrapping_mul(0x100000001B3).wrapping_add(t.get(pos));
+                }
+                parts[hasher.bucket(key)].push(t.clone());
+            }
+            for (s, part) in parts.into_iter().enumerate() {
+                if !part.is_empty() {
+                    messages.push(Message::tuples(s, part));
+                }
+            }
+        }
+    }
+    cluster.communicate(messages);
+
+    let _ = query; // the per-round joins are binary; the head projection happens at the end
+    let outputs = map_servers_parallel(cluster.servers(), |_, server| {
+        match (server.fragment(&lname), server.fragment(&rname)) {
+            (Some(l), Some(r)) => natural_join(&l.renamed(left.name()), &r.renamed(right.name())),
+            _ => Relation::empty(natural_join(
+                &Relation::empty(left.schema().clone()),
+                &Relation::empty(right.schema().clone()),
+            )
+            .schema()
+            .clone()),
+        }
+    });
+    let mut acc = Relation::empty(outputs[0].schema().clone());
+    for o in outputs {
+        acc.extend(o.tuples().iter().cloned());
+    }
+    acc.dedup();
+    acc
+}
+
+/// A direct two-relation shuffle hash join (the algorithm of Example 4.1),
+/// exposed for the skew experiments: both relations are hash-partitioned on
+/// their shared variables across `p` servers in a single round.
+pub fn shuffle_hash_join(
+    query: &ConjunctiveQuery,
+    database: &Database,
+    p: usize,
+    seed: u64,
+) -> BaselineRun {
+    assert_eq!(
+        query.num_atoms(),
+        2,
+        "shuffle_hash_join expects a binary join query"
+    );
+    let bound = instantiate(query, database);
+    let mut cluster = Cluster::new(p, database.bits_per_value());
+    cluster.set_input_bits(database.total_size_bits());
+    let family = MultiplyShiftHash::new(seed);
+    let joined =
+        shuffle_binary_join(&mut cluster, &bound[0], &bound[1], &family, 0, query);
+    let mut output = joined.project(&query.variables(), query.name());
+    output.dedup();
+    BaselineRun {
+        output,
+        metrics: cluster.into_metrics(),
+    }
+}
+
+/// Convenience oracle wrapper so experiment code can compare against the
+/// sequential answer with the same return type.
+pub fn oracle(query: &ConjunctiveQuery, database: &Database) -> Relation {
+    let bound = instantiate(query, database);
+    evaluate_bound(query, &bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_query::evaluate_sequential;
+    use pq_relation::DataGenerator;
+
+    fn triangle_db(m: usize, seed: u64) -> Database {
+        let mut gen = DataGenerator::new(seed, (m * 50) as u64);
+        gen.matching_database(&[
+            (Schema::from_strs("S1", &["a", "b"]), m),
+            (Schema::from_strs("S2", &["a", "b"]), m),
+            (Schema::from_strs("S3", &["a", "b"]), m),
+        ])
+    }
+
+    fn identity_join_db(m: usize) -> Database {
+        let mut db = Database::new((m as u64).max(2));
+        for name in ["S1", "S2"] {
+            db.insert(Relation::from_rows(
+                Schema::from_strs(name, &["a", "b"]),
+                (0..m as u64).map(|i| vec![i % (m as u64 / 4).max(1), i]).collect(),
+            ));
+        }
+        db
+    }
+
+    #[test]
+    fn single_server_is_correct_and_loads_everything() {
+        let q = ConjunctiveQuery::triangle();
+        let db = triangle_db(100, 1);
+        let run = single_server_join(&q, &db, 4);
+        assert_eq!(
+            run.output.canonicalized(),
+            evaluate_sequential(&q, &db).canonicalized()
+        );
+        assert_eq!(run.metrics.max_load(), db.total_size_bits());
+        assert_eq!(run.metrics.num_rounds(), 1);
+    }
+
+    #[test]
+    fn broadcast_join_is_correct() {
+        let q = ConjunctiveQuery::triangle();
+        let db = triangle_db(150, 2);
+        let run = broadcast_join(&q, &db, 8);
+        assert_eq!(
+            run.output.canonicalized(),
+            evaluate_sequential(&q, &db).canonicalized()
+        );
+        assert_eq!(run.metrics.num_rounds(), 1);
+        // Load is at least the two broadcast relations' size.
+        assert!(run.metrics.max_load() >= 2 * db.relation_size_bits("S1") / 2);
+    }
+
+    #[test]
+    fn sequential_plan_join_triangle_correct() {
+        let q = ConjunctiveQuery::triangle();
+        let db = triangle_db(200, 3);
+        let run = sequential_plan_join(&q, &db, 8, 5);
+        assert_eq!(
+            run.output.canonicalized(),
+            evaluate_sequential(&q, &db).canonicalized()
+        );
+        // Left-deep plan over 3 atoms = 2 rounds.
+        assert_eq!(run.metrics.num_rounds(), 2);
+    }
+
+    #[test]
+    fn sequential_plan_join_chain_correct() {
+        let q = ConjunctiveQuery::chain(4);
+        let mut gen = DataGenerator::new(9, 100_000);
+        let db = gen.matching_database(&[
+            (Schema::from_strs("S1", &["a", "b"]), 300),
+            (Schema::from_strs("S2", &["a", "b"]), 300),
+            (Schema::from_strs("S3", &["a", "b"]), 300),
+            (Schema::from_strs("S4", &["a", "b"]), 300),
+        ]);
+        let run = sequential_plan_join(&q, &db, 8, 5);
+        assert_eq!(
+            run.output.canonicalized(),
+            evaluate_sequential(&q, &db).canonicalized()
+        );
+        assert_eq!(run.metrics.num_rounds(), 3);
+    }
+
+    #[test]
+    fn shuffle_hash_join_on_simple_join_is_correct() {
+        let q = ConjunctiveQuery::simple_join();
+        let db = identity_join_db(400);
+        let run = shuffle_hash_join(&q, &db, 8, 11);
+        assert_eq!(
+            run.output.canonicalized(),
+            evaluate_sequential(&q, &db).canonicalized()
+        );
+        assert_eq!(run.metrics.num_rounds(), 1);
+    }
+
+    #[test]
+    fn shuffle_hash_join_degrades_under_skew() {
+        // Example 4.1: all tuples share one join key -> one server gets
+        // (almost) everything.
+        let q = ConjunctiveQuery::simple_join();
+        let mut db = Database::new(100_000);
+        let m = 500u64;
+        db.insert(Relation::from_rows(
+            Schema::from_strs("S1", &["a", "b"]),
+            (0..m).map(|i| vec![7, i]).collect(),
+        ));
+        db.insert(Relation::from_rows(
+            Schema::from_strs("S2", &["a", "b"]),
+            (0..m).map(|i| vec![7, 10_000 + i]).collect(),
+        ));
+        let run = shuffle_hash_join(&q, &db, 16, 13);
+        assert_eq!(run.output.len(), (m * m) as usize);
+        // The maximum load is the entire input, not |I|/p.
+        assert_eq!(run.metrics.max_load(), db.total_size_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "binary join")]
+    fn shuffle_hash_join_rejects_non_binary_queries() {
+        let q = ConjunctiveQuery::triangle();
+        let db = triangle_db(10, 1);
+        shuffle_hash_join(&q, &db, 4, 1);
+    }
+
+    #[test]
+    fn oracle_matches_evaluate_sequential() {
+        let q = ConjunctiveQuery::star(2);
+        let db = identity_join_db(100);
+        assert_eq!(
+            oracle(&q, &db).canonicalized(),
+            evaluate_sequential(&q, &db).canonicalized()
+        );
+    }
+}

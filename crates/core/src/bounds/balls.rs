@@ -1,0 +1,183 @@
+//! Weighted balls-in-bins tail bounds (Appendix A).
+//!
+//! The HyperCube load analysis reduces to the following question: hashing a
+//! set of weighted balls (tuples, or groups of tuples sharing a join-key
+//! value) into `K` bins, how far above the mean `m/K` can the heaviest bin
+//! get? Theorem A.1 gives the tail bound
+//!
+//! ```text
+//!   Pr[max bin ≥ (1+δ) m/K] ≤ K · e^{−h(δ)/β}      where h(x) = (1+x)ln(1+x) − x
+//! ```
+//!
+//! provided every ball weighs at most `β·m/K`. The stronger form replaces
+//! `h(δ)` by `K·D((1+δ)/K ‖ 1/K)` (relative entropy). This module provides
+//! both bounds and an empirical `max_bin_load` helper used by experiment
+//! E11 to check them against simulation.
+
+use pq_relation::{BucketHasher, HashFamily};
+
+/// `h(x) = (1+x)·ln(1+x) − x`, the exponent of the Bennett-style bound.
+pub fn bennett_h(x: f64) -> f64 {
+    assert!(x >= 0.0, "h(x) is used for x >= 0");
+    (1.0 + x) * (1.0 + x).ln() - x
+}
+
+/// Binary relative entropy `D(q' ‖ q)` for Bernoulli parameters.
+pub fn relative_entropy(q_prime: f64, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q_prime) && (0.0..=1.0).contains(&q));
+    let term = |a: f64, b: f64| if a <= 0.0 { 0.0 } else { a * (a / b).ln() };
+    term(q_prime, q) + term(1.0 - q_prime, 1.0 - q)
+}
+
+/// The tail bound of Theorem A.1: the probability that hashing balls of
+/// total weight `m` and maximum ball weight `β·m/K` into `K` bins produces a
+/// bin heavier than `(1+δ)·m/K`. Values above 1 mean the bound is vacuous.
+pub fn weighted_balls_tail_bound(k_bins: usize, beta: f64, delta: f64) -> f64 {
+    assert!(beta > 0.0, "beta must be positive");
+    (k_bins as f64 * (-bennett_h(delta) / beta).exp()).min(1.0)
+}
+
+/// The sharper tail bound using the relative-entropy exponent
+/// `K·D((1+δ)/K ‖ 1/K)` (Theorem A.2 + union bound); requires
+/// `(1+δ)/K ≤ 1`.
+pub fn weighted_balls_tail_bound_kl(k_bins: usize, beta: f64, delta: f64) -> f64 {
+    assert!(beta > 0.0, "beta must be positive");
+    let k = k_bins as f64;
+    let q_prime = ((1.0 + delta) / k).min(1.0);
+    let exponent = k * relative_entropy(q_prime, 1.0 / k);
+    (k * (-exponent / beta).exp()).min(1.0)
+}
+
+/// The smallest `δ` for which the Theorem A.1 bound drops below
+/// `failure_probability` — i.e. the predicted load multiplier
+/// `(1+δ)` at that confidence. Solved by monotone bisection.
+pub fn load_multiplier_for_confidence(k_bins: usize, beta: f64, failure_probability: f64) -> f64 {
+    assert!(failure_probability > 0.0 && failure_probability < 1.0);
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    while weighted_balls_tail_bound(k_bins, beta, hi) > failure_probability {
+        hi *= 2.0;
+        if hi > 1e9 {
+            break;
+        }
+    }
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if weighted_balls_tail_bound(k_bins, beta, mid) > failure_probability {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    1.0 + hi
+}
+
+/// Empirically hash weighted balls (by index) into `k_bins` with the given
+/// hash family and return the maximum bin weight. Ball `i` is identified by
+/// `ids[i]` and carries `weights[i]`.
+pub fn max_bin_load<F: HashFamily>(
+    ids: &[u64],
+    weights: &[f64],
+    k_bins: usize,
+    family: &F,
+    hash_index: usize,
+) -> f64 {
+    assert_eq!(ids.len(), weights.len(), "one weight per ball id");
+    let hasher = family.hasher(hash_index, k_bins);
+    let mut bins = vec![0.0f64; k_bins];
+    for (&id, &w) in ids.iter().zip(weights.iter()) {
+        bins[hasher.bucket(id)] += w;
+    }
+    bins.into_iter().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_relation::MultiplyShiftHash;
+
+    #[test]
+    fn h_is_zero_at_zero_and_convex_increasing() {
+        assert!(bennett_h(0.0).abs() < 1e-12);
+        assert!(bennett_h(0.5) > 0.0);
+        assert!(bennett_h(2.0) > bennett_h(1.0));
+        // h(1) = 2 ln 2 − 1.
+        assert!((bennett_h(1.0) - (2.0 * 2f64.ln() - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_entropy_properties() {
+        assert!(relative_entropy(0.5, 0.5).abs() < 1e-12);
+        assert!(relative_entropy(0.9, 0.1) > 0.0);
+        assert!(relative_entropy(0.0, 0.3) > 0.0);
+    }
+
+    #[test]
+    fn tail_bound_decreases_in_delta_and_increases_in_beta() {
+        let b1 = weighted_balls_tail_bound(64, 0.01, 0.5);
+        let b2 = weighted_balls_tail_bound(64, 0.01, 1.0);
+        assert!(b2 < b1);
+        let b3 = weighted_balls_tail_bound(64, 0.1, 1.0);
+        assert!(b3 > b2);
+        // Bound is capped at 1.
+        assert!(weighted_balls_tail_bound(1_000_000, 100.0, 0.0001) <= 1.0);
+    }
+
+    #[test]
+    fn kl_bound_is_at_least_as_sharp_as_h_bound() {
+        // Footnote 8: K·D((1+δ)/K || 1/K) ≥ (1+δ)ln(1+δ) − δ, so the KL
+        // bound is no larger.
+        for &delta in &[0.1, 0.5, 1.0, 2.0] {
+            for &k in &[8usize, 64, 256] {
+                let h = weighted_balls_tail_bound(k, 0.05, delta);
+                let kl = weighted_balls_tail_bound_kl(k, 0.05, delta);
+                assert!(kl <= h + 1e-12, "kl {kl} > h {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn load_multiplier_bisection_is_consistent() {
+        let k = 64;
+        let beta = 0.02;
+        let mult = load_multiplier_for_confidence(k, beta, 1e-6);
+        assert!(mult > 1.0);
+        // At the returned delta the bound is (just) below the target.
+        assert!(weighted_balls_tail_bound(k, beta, mult - 1.0) <= 1e-6 * 1.01);
+    }
+
+    #[test]
+    fn empirical_max_bin_respects_bound_for_light_balls() {
+        // 100k unit-weight balls into 64 bins: mean 1562.5; with beta =
+        // 64/100000, the 1e-9-confidence multiplier is small.
+        let n = 100_000usize;
+        let k = 64usize;
+        let ids: Vec<u64> = (0..n as u64).collect();
+        let weights = vec![1.0; n];
+        let family = MultiplyShiftHash::new(77);
+        let max = max_bin_load(&ids, &weights, k, &family, 0);
+        let mean = n as f64 / k as f64;
+        let beta = k as f64 / n as f64;
+        let mult = load_multiplier_for_confidence(k, beta, 1e-9);
+        assert!(
+            max <= mult * mean,
+            "empirical max {max} exceeded predicted {mult} x mean {mean}"
+        );
+    }
+
+    #[test]
+    fn one_heavy_ball_dominates_its_bin() {
+        let ids = vec![1, 2, 3];
+        let weights = vec![100.0, 1.0, 1.0];
+        let family = MultiplyShiftHash::new(3);
+        let max = max_bin_load(&ids, &weights, 8, &family, 0);
+        assert!(max >= 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per ball")]
+    fn mismatched_weights_panic() {
+        let family = MultiplyShiftHash::new(3);
+        max_bin_load(&[1, 2], &[1.0], 4, &family, 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Entropy utilities (Sections 2.3 and 3.2.1).
+//!
+//! The one-round lower bound counts bits information-theoretically: a
+//! random `a_j`-dimensional matching of cardinality `m_j` over domain `[n]`
+//! has entropy
+//!
+//! ```text
+//!   M_j = H(S_j) = a_j·log C(n, m_j) + (a_j − 1)·log(m_j!)        (Eq. 12)
+//! ```
+//!
+//! and a server that receives only a fraction `f_j` of those bits knows, in
+//! expectation, at most a `2 f_j` fraction of the tuples (Lemma 3.9).
+//! Proposition 3.14 relates the entropy to the naive encoding size
+//! `M_j = a_j·m_j·log n`. These are the quantities the experiments report
+//! when comparing measured loads (in naive bits) against the
+//! entropy-denominated bounds.
+
+/// Shannon entropy (base 2) of a discrete distribution given as
+/// probabilities. Zero-probability entries contribute nothing.
+///
+/// # Panics
+/// Panics when probabilities are negative or do not sum to ≈ 1.
+pub fn entropy(probabilities: &[f64]) -> f64 {
+    let sum: f64 = probabilities.iter().sum();
+    assert!(
+        probabilities.iter().all(|&p| p >= -1e-12),
+        "probabilities must be non-negative"
+    );
+    assert!(
+        (sum - 1.0).abs() < 1e-6,
+        "probabilities must sum to 1 (got {sum})"
+    );
+    -probabilities
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.log2())
+        .sum::<f64>()
+}
+
+/// Binary entropy `H(x) = −x·log2 x − (1−x)·log2(1−x)`.
+pub fn binary_entropy(x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "binary entropy needs x in [0,1]");
+    let term = |p: f64| if p <= 0.0 { 0.0 } else { -p * p.log2() };
+    term(x) + term(1.0 - x)
+}
+
+/// `log2(m!)` via the exact sum of logarithms (adequate for the cardinalities
+/// used here; no Stirling approximation error to worry about in tests).
+pub fn log2_factorial(m: u64) -> f64 {
+    (2..=m).map(|i| (i as f64).log2()).sum()
+}
+
+/// `log2 C(n, m)` (binomial coefficient), computed as a sum of logs.
+pub fn log2_binomial(n: u64, m: u64) -> f64 {
+    assert!(m <= n, "C(n, m) needs m <= n");
+    let m = m.min(n - m);
+    (0..m)
+        .map(|i| ((n - i) as f64).log2() - ((i + 1) as f64).log2())
+        .sum()
+}
+
+/// The entropy (in bits) of a uniformly random `arity`-dimensional matching
+/// with `m` tuples over domain `[n]` — Eq. 12's `M_j`.
+pub fn matching_entropy_bits(arity: u64, m: u64, n: u64) -> f64 {
+    assert!(m <= n, "a matching cannot have more tuples than domain values");
+    arity as f64 * log2_binomial(n, m) + (arity.saturating_sub(1)) as f64 * log2_factorial(m)
+}
+
+/// The naive encoding size `M_j = a_j · m_j · log2 n` used for the load
+/// accounting.
+pub fn naive_encoding_bits(arity: u64, m: u64, n: u64) -> f64 {
+    arity as f64 * m as f64 * (n as f64).log2()
+}
+
+/// Proposition 3.14's lower bounds on the matching entropy relative to the
+/// naive encoding: returns the guaranteed ratio `M_j / M_j`
+/// (`≥ 1/2` when `n ≥ m²`, `≥ 1/4` when `n = m` and `a_j ≥ 2`).
+pub fn entropy_to_naive_ratio_lower_bound(arity: u64, m: u64, n: u64) -> f64 {
+    if n >= m.saturating_mul(m) {
+        0.5
+    } else if n == m && arity >= 2 {
+        0.25
+    } else {
+        0.0
+    }
+}
+
+/// Lemma 3.9: a server receiving at most `fraction · H(S_j)` bits about a
+/// random matching knows, in expectation, at most this many of its `m`
+/// tuples (`2·f·m` in the general case, `f·m` when `m = n`).
+pub fn expected_known_tuples(fraction: f64, m: u64, n: u64) -> f64 {
+    assert!(fraction >= 0.0);
+    if m == n {
+        (fraction * m as f64).min(m as f64)
+    } else {
+        (2.0 * fraction * m as f64).min(m as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn entropy_of_uniform_and_point_distributions() {
+        assert!(close(entropy(&[0.5, 0.5]), 1.0, 1e-12));
+        assert!(close(entropy(&[0.25; 4]), 2.0, 1e-12));
+        assert!(close(entropy(&[1.0, 0.0]), 0.0, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn entropy_rejects_unnormalised_input() {
+        entropy(&[0.5, 0.2]);
+    }
+
+    #[test]
+    fn binary_entropy_properties() {
+        assert!(close(binary_entropy(0.5), 1.0, 1e-12));
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        // Symmetry.
+        assert!(close(binary_entropy(0.1), binary_entropy(0.9), 1e-12));
+        // H(x) <= 2·(-x log x) for x <= 1/2 (used in Prop. 3.11).
+        for &x in &[0.05, 0.1, 0.3, 0.5] {
+            assert!(binary_entropy(x) <= 2.0 * (-x * f64::log2(x)) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_factorial_and_binomial() {
+        assert!(close(log2_factorial(5), 120f64.log2(), 1e-9));
+        assert_eq!(log2_factorial(0), 0.0);
+        assert_eq!(log2_factorial(1), 0.0);
+        assert!(close(log2_binomial(10, 3), 120f64.log2(), 1e-9));
+        assert!(close(log2_binomial(10, 7), 120f64.log2(), 1e-9));
+        assert_eq!(log2_binomial(10, 0), 0.0);
+        assert_eq!(log2_binomial(10, 10), 0.0);
+    }
+
+    #[test]
+    fn matching_entropy_matches_hand_computation() {
+        // Binary matching, m = 2, n = 3: C(3,2)^2 * 2! = 18 possible
+        // matchings, so the entropy is log2(18).
+        let h = matching_entropy_bits(2, 2, 3);
+        assert!(close(h, 18f64.log2(), 1e-9));
+        // Unary "matching" (a set): C(n, m) choices only.
+        let h = matching_entropy_bits(1, 2, 4);
+        assert!(close(h, 6f64.log2(), 1e-9));
+    }
+
+    #[test]
+    fn proposition_3_14_bounds_hold_numerically() {
+        // n >= m^2: entropy >= naive/2.
+        let (a, m) = (2u64, 100u64);
+        let n = m * m;
+        let entropy = matching_entropy_bits(a, m, n);
+        let naive = naive_encoding_bits(a, m, n);
+        assert!(entropy >= 0.5 * naive);
+        assert_eq!(entropy_to_naive_ratio_lower_bound(a, m, n), 0.5);
+        // n = m, arity >= 2: entropy >= naive/4.
+        let n = m;
+        let entropy = matching_entropy_bits(a, m, n);
+        let naive = naive_encoding_bits(a, m, n);
+        assert!(entropy >= 0.25 * naive);
+        assert_eq!(entropy_to_naive_ratio_lower_bound(a, m, n), 0.25);
+        // Unknown regime reports 0 (no guarantee).
+        assert_eq!(entropy_to_naive_ratio_lower_bound(1, 10, 20), 0.0);
+    }
+
+    #[test]
+    fn lemma_3_9_knowledge_bound() {
+        assert_eq!(expected_known_tuples(0.0, 1000, 1 << 20), 0.0);
+        assert!(close(expected_known_tuples(0.1, 1000, 1 << 20), 200.0, 1e-12));
+        // m = n: the sharper f·m bound applies.
+        assert!(close(expected_known_tuples(0.1, 1000, 1000), 100.0, 1e-12));
+        // Never more than all tuples.
+        assert_eq!(expected_known_tuples(3.0, 1000, 1 << 20), 1000.0);
+    }
+}

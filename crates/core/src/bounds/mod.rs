@@ -1,0 +1,26 @@
+//! Every bound stated in the paper, as executable formulas.
+//!
+//! * [`one_round`] — the one-round, skew-free story: `L(u, M, p)`, the lower
+//!   bound `L_lower = max_{u ∈ pk(q)} L(u, M, p)` (Theorem 3.5), the
+//!   matching upper bound from the share LP (Theorem 3.4/3.15), space and
+//!   speedup exponents (Section 3.4).
+//! * [`skew_bounds`] — the heavy-hitter lower bound over `x`-statistics
+//!   (Theorem 4.4), its specialisation to star queries (Eq. after Thm 4.4 /
+//!   Eq. 20) and the triangle upper-bound formula of Section 4.2.2.
+//! * [`replication`] — the replication-rate / load tradeoff
+//!   (Corollary 3.19, Example 3.20).
+//! * [`multiround`] — round lower bounds for chains, tree-like queries and
+//!   cycles (Corollaries 5.15/5.17, Lemma 5.18), the matching upper bound of
+//!   Lemma 5.4, and the (ε,r)-plan constructions of Lemmas 5.6/5.7.
+//! * [`balls`] — the weighted balls-in-bins tail bounds of Appendix A used
+//!   in the HyperCube load analysis.
+//! * [`entropy`] — the entropy accounting of Section 3.2.1 (Eq. 12,
+//!   Lemma 3.9, Proposition 3.14) relating the naive encoding size to the
+//!   information-theoretic size of random matchings.
+
+pub mod balls;
+pub mod entropy;
+pub mod multiround;
+pub mod one_round;
+pub mod replication;
+pub mod skew_bounds;

@@ -1,0 +1,316 @@
+//! Multi-round bounds (Section 5): how many rounds are needed to reach a
+//! target load `L = O(M/p^{1−ε})`.
+//!
+//! * Upper bound (Lemma 5.4): a connected query can be computed in
+//!   `⌈log_{kε}(rad q)⌉ + 1` rounds if tree-like, `⌊log_{kε}(rad q)⌋ + 2`
+//!   otherwise, where `kε = 2·⌊1/(1−ε)⌋`.
+//! * Lower bounds in the tuple-based MPC model: chains need
+//!   `⌈log_{kε} k⌉` rounds (Cor. 5.15), tree-like queries
+//!   `⌈log_{kε}(diam q)⌉` (Cor. 5.17), cycles
+//!   `⌊log_{kε}(k/(mε+1))⌋ + 2` with `mε = ⌊2/(1−ε)⌋` (Lemma 5.18).
+//! * The `(ε, r)`-plan constructions of Lemmas 5.6/5.7 are provided for
+//!   chains and cycles so the lower-bound machinery can be inspected.
+
+use pq_query::{characteristic, packing, ConjunctiveQuery, Hypergraph};
+
+/// `kε = 2·⌊1/(1−ε)⌋`: the longest chain computable in one round with space
+/// exponent ε (Section 5.1).
+pub fn k_epsilon(epsilon: f64) -> usize {
+    assert!(
+        (0.0..1.0).contains(&epsilon),
+        "space exponent must lie in [0, 1)"
+    );
+    // A small slack absorbs floating-point error for exact thresholds such
+    // as ε = 2/3 (where 1/(1−ε) evaluates to 2.999…).
+    2 * ((1.0 / (1.0 - epsilon) + 1e-9).floor() as usize)
+}
+
+/// `mε = ⌊2/(1−ε)⌋` from Lemma 5.7.
+pub fn m_epsilon(epsilon: f64) -> usize {
+    assert!(
+        (0.0..1.0).contains(&epsilon),
+        "space exponent must lie in [0, 1)"
+    );
+    (2.0 / (1.0 - epsilon) + 1e-9).floor() as usize
+}
+
+/// Is the query in `Γ¹_ε`, i.e. computable in one round with load
+/// `O(M/p^{1−ε})`? By Section 5.1 this is `τ*(q) ≤ 1/(1−ε)`.
+pub fn in_gamma_one(query: &ConjunctiveQuery, epsilon: f64) -> bool {
+    packing::vertex_cover_number(query) <= 1.0 / (1.0 - epsilon) + 1e-9
+}
+
+/// Integer `⌈log_b(x)⌉` for `b ≥ 2`, `x ≥ 1`, computed without floating
+/// point drift.
+fn ceil_log(base: usize, x: usize) -> usize {
+    assert!(base >= 2 && x >= 1);
+    let mut rounds = 0usize;
+    let mut reach = 1usize;
+    while reach < x {
+        reach = reach.saturating_mul(base);
+        rounds += 1;
+    }
+    rounds
+}
+
+/// Integer `⌊log_b(x)⌋` for `b ≥ 2`, `x ≥ 1`.
+fn floor_log(base: usize, x: usize) -> usize {
+    assert!(base >= 2 && x >= 1);
+    let mut rounds = 0usize;
+    let mut reach = base;
+    while reach <= x {
+        reach = reach.saturating_mul(base);
+        rounds += 1;
+    }
+    rounds
+}
+
+/// The round upper bound of Lemma 5.4 for a connected query at space
+/// exponent ε. Queries already in `Γ¹_ε` need exactly one round.
+///
+/// # Panics
+/// Panics when the query is disconnected.
+pub fn rounds_upper_bound(query: &ConjunctiveQuery, epsilon: f64) -> usize {
+    let h = Hypergraph::of(query);
+    let rad = h.radius().expect("rounds_upper_bound requires a connected query");
+    if in_gamma_one(query, epsilon) {
+        return 1;
+    }
+    let ke = k_epsilon(epsilon).max(2);
+    if characteristic::is_tree_like(query) {
+        ceil_log(ke, rad.max(1)) + 1
+    } else {
+        floor_log(ke, rad.max(1)) + 2
+    }
+}
+
+/// The chain lower bound of Corollary 5.15: computing `L_k` with load
+/// `O(M/p^{1−ε})` needs at least `⌈log_{kε} k⌉` rounds.
+pub fn chain_rounds_lower_bound(k: usize, epsilon: f64) -> usize {
+    assert!(k >= 1);
+    ceil_log(k_epsilon(epsilon).max(2), k)
+}
+
+/// The tree-like lower bound of Corollary 5.17: at least
+/// `⌈log_{kε}(diam q)⌉` rounds.
+///
+/// # Panics
+/// Panics when the query is disconnected.
+pub fn treelike_rounds_lower_bound(query: &ConjunctiveQuery, epsilon: f64) -> usize {
+    let diam = Hypergraph::of(query)
+        .diameter()
+        .expect("lower bound requires a connected query");
+    if diam == 0 {
+        return 1;
+    }
+    ceil_log(k_epsilon(epsilon).max(2), diam).max(1)
+}
+
+/// The cycle lower bound of Lemma 5.18: computing `C_k` with load
+/// `O(M/p^{1−ε})` needs at least `⌊log_{kε}(k/(mε+1))⌋ + 2` rounds
+/// (for `k > mε`).
+pub fn cycle_rounds_lower_bound(k: usize, epsilon: f64) -> usize {
+    let me = m_epsilon(epsilon);
+    if k <= me {
+        return 1;
+    }
+    let ke = k_epsilon(epsilon).max(2);
+    floor_log(ke, (k / (me + 1)).max(1)) + 2
+}
+
+/// One step of the `(ε, r)`-plan of Lemma 5.6 for the chain `L_k`: the
+/// ε-good set `M` containing every `kε`-th atom starting from `S_1`
+/// (atom indices, 0-based), such that `L_k / M ≅ L_{⌈k/kε⌉}`.
+pub fn chain_good_set(k: usize, epsilon: f64) -> Vec<usize> {
+    let ke = k_epsilon(epsilon).max(2);
+    (0..k).step_by(ke).collect()
+}
+
+/// The full `(ε, r)`-plan for `L_k` (Lemma 5.6): the sequence of contracted
+/// queries `q = q_0, q_1, …, q_r` where each step contracts the ε-good set,
+/// stopping when the remaining chain is no longer in `Γ¹_ε` but one more
+/// contraction would make it so. Returns the chain lengths after each step.
+pub fn chain_plan_lengths(k: usize, epsilon: f64) -> Vec<usize> {
+    let ke = k_epsilon(epsilon).max(2);
+    let mut lengths = vec![k];
+    let mut current = k;
+    // Stop while the contracted query is still outside Γ¹_ε
+    // (τ*(L_j) = ⌈j/2⌉ ≤ 1/(1−ε) iff j ≤ kε).
+    while current > ke {
+        current = current.div_ceil(ke);
+        lengths.push(current);
+    }
+    lengths
+}
+
+/// Verify that a candidate atom set `M` is ε-good for a query
+/// (Definition 5.5): `χ(M) = 0` and no connected subquery in `Γ¹_ε`
+/// contains two atoms of `M`. Exponential in the number of atoms; intended
+/// for the small queries of the experiments.
+pub fn is_epsilon_good(query: &ConjunctiveQuery, m: &[usize], epsilon: f64) -> bool {
+    if characteristic::characteristic_of_atoms(query, m) != 0 {
+        return false;
+    }
+    for sub in query.connected_subqueries() {
+        let subquery = query.subquery(&sub, "sub");
+        if in_gamma_one(&subquery, epsilon) {
+            let count = sub.iter().filter(|i| m.contains(i)).count();
+            if count > 1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_epsilon_values() {
+        assert_eq!(k_epsilon(0.0), 2);
+        assert_eq!(k_epsilon(0.5), 4);
+        assert_eq!(k_epsilon(2.0 / 3.0), 6);
+        assert_eq!(m_epsilon(0.0), 2);
+        assert_eq!(m_epsilon(0.5), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "space exponent")]
+    fn k_epsilon_rejects_one() {
+        k_epsilon(1.0);
+    }
+
+    #[test]
+    fn gamma_one_membership() {
+        // ε = 0: queries with τ* ≤ 1 (star queries) are one-round.
+        assert!(in_gamma_one(&ConjunctiveQuery::star(4), 0.0));
+        assert!(!in_gamma_one(&ConjunctiveQuery::chain(3), 0.0));
+        // ε = 1/2: chains up to length 4 (τ* = 2) are one-round.
+        assert!(in_gamma_one(&ConjunctiveQuery::chain(4), 0.5));
+        assert!(!in_gamma_one(&ConjunctiveQuery::chain(5), 0.5));
+        // The triangle (τ* = 3/2) is in Γ¹ for ε = 1/3.
+        assert!(in_gamma_one(&ConjunctiveQuery::triangle(), 1.0 / 3.0));
+        assert!(!in_gamma_one(&ConjunctiveQuery::triangle(), 0.0));
+    }
+
+    #[test]
+    fn table_3_round_counts() {
+        // Table 3: rounds to achieve load O(M/p) (ε = 0):
+        // C_k and L_k need ~ceil(log2 k); T_k needs 1; SP_k needs 2.
+        for k in [4usize, 8, 16] {
+            assert_eq!(
+                rounds_upper_bound(&ConjunctiveQuery::chain(k), 0.0),
+                ceil_log(2, k),
+                "L_{k}"
+            );
+        }
+        assert_eq!(rounds_upper_bound(&ConjunctiveQuery::star(5), 0.0), 1);
+        assert_eq!(rounds_upper_bound(&ConjunctiveQuery::star_of_paths(4), 0.0), 2);
+        // Cycle C_6 at ε = 0: floor(log2 rad=3) + 2 = 3.
+        assert_eq!(rounds_upper_bound(&ConjunctiveQuery::cycle(6), 0.0), 3);
+    }
+
+    #[test]
+    fn example_5_2_l16_plans() {
+        // L_16 at ε = 1/2: depth-2 plan (log_4 16 = 2).
+        assert_eq!(rounds_upper_bound(&ConjunctiveQuery::chain(16), 0.5), 2 + 1);
+        // The paper's plan of Example 5.2 uses exactly 2 rounds because the
+        // radius decomposition is pessimistic by one round; the lower bound
+        // is log_4 16 = 2.
+        assert_eq!(chain_rounds_lower_bound(16, 0.5), 2);
+        // At ε = 0 the bushy binary plan needs log2 16 = 4 rounds.
+        assert_eq!(chain_rounds_lower_bound(16, 0.0), 4);
+    }
+
+    #[test]
+    fn upper_and_lower_bounds_within_one_round_for_chains() {
+        for epsilon in [0.0, 0.5] {
+            for k in 2..=20 {
+                let lower = chain_rounds_lower_bound(k, epsilon);
+                let upper = rounds_upper_bound(&ConjunctiveQuery::chain(k), epsilon);
+                assert!(upper >= lower, "L_{k} eps={epsilon}");
+                assert!(upper <= lower + 1, "L_{k} eps={epsilon}: {upper} > {lower}+1");
+            }
+        }
+    }
+
+    #[test]
+    fn treelike_lower_bound_uses_diameter() {
+        // diam(L_k) = k, so the bound matches the chain bound.
+        for k in 2..=10 {
+            assert_eq!(
+                treelike_rounds_lower_bound(&ConjunctiveQuery::chain(k), 0.0),
+                chain_rounds_lower_bound(k, 0.0)
+            );
+        }
+        // SP_3 has diameter 4: lower bound 2 rounds at ε = 0, matching the
+        // 2-round plan of Example 5.3.
+        assert_eq!(
+            treelike_rounds_lower_bound(&ConjunctiveQuery::star_of_paths(3), 0.0),
+            2
+        );
+    }
+
+    #[test]
+    fn example_5_19_cycle_bounds() {
+        // ε = 0: C6 lower bound = floor(log2(6/3)) + 2 = 3 and the upper
+        // bound is also 3 (tight). C5 lower bound = 2, upper bound 3.
+        assert_eq!(cycle_rounds_lower_bound(6, 0.0), 3);
+        assert_eq!(rounds_upper_bound(&ConjunctiveQuery::cycle(6), 0.0), 3);
+        assert_eq!(cycle_rounds_lower_bound(5, 0.0), 2);
+        assert_eq!(rounds_upper_bound(&ConjunctiveQuery::cycle(5), 0.0), 3);
+    }
+
+    #[test]
+    fn chain_plan_lengths_shrink_geometrically() {
+        // ε = 0 (kε = 2): 16 -> 8 -> 4 -> 2.
+        assert_eq!(chain_plan_lengths(16, 0.0), vec![16, 8, 4, 2]);
+        // ε = 1/2 (kε = 4): 16 -> 4.
+        assert_eq!(chain_plan_lengths(16, 0.5), vec![16, 4]);
+        // Already in Γ¹: no contraction.
+        assert_eq!(chain_plan_lengths(3, 0.5), vec![3]);
+    }
+
+    #[test]
+    fn chain_good_set_is_epsilon_good() {
+        // Lemma 5.6's construction produces ε-good sets.
+        for (k, epsilon) in [(8usize, 0.0), (9, 0.0), (12, 0.5)] {
+            let q = ConjunctiveQuery::chain(k);
+            let m = chain_good_set(k, epsilon);
+            assert!(is_epsilon_good(&q, &m, epsilon), "L_{k} eps={epsilon}: {m:?}");
+        }
+    }
+
+    #[test]
+    fn non_good_sets_are_rejected() {
+        // Two adjacent atoms of L_4 lie in a common Γ¹_0 subquery (a path of
+        // length 2 has τ* = 1), so {0, 1} is not 0-good.
+        let q = ConjunctiveQuery::chain(4);
+        assert!(!is_epsilon_good(&q, &[0, 1], 0.0));
+        // A triangle atom set has χ(M) = 1 ≠ 0 inside K4.
+        let k4 = ConjunctiveQuery::k4();
+        assert!(!is_epsilon_good(&k4, &[0, 1, 2], 0.0));
+    }
+
+    #[test]
+    fn log_helpers() {
+        assert_eq!(ceil_log(2, 1), 0);
+        assert_eq!(ceil_log(2, 2), 1);
+        assert_eq!(ceil_log(2, 5), 3);
+        assert_eq!(ceil_log(4, 16), 2);
+        assert_eq!(ceil_log(4, 17), 3);
+        assert_eq!(floor_log(2, 1), 0);
+        assert_eq!(floor_log(2, 7), 2);
+        assert_eq!(floor_log(2, 8), 3);
+        assert_eq!(floor_log(3, 9), 2);
+    }
+
+    #[test]
+    fn cycle_lower_bound_small_k_is_one_round() {
+        // k <= mε: computable in one round.
+        assert_eq!(cycle_rounds_lower_bound(2, 0.0), 1);
+        assert_eq!(cycle_rounds_lower_bound(4, 0.5), 1);
+    }
+}

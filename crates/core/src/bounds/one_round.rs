@@ -1,0 +1,321 @@
+//! One-round bounds for skew-free data (Sections 3.2–3.4).
+//!
+//! For a fractional edge packing `u` and relation bit-sizes `M`, define
+//!
+//! ```text
+//!   L(u, M, p) = ( Π_j M_j^{u_j} / p )^{1 / Σ_j u_j}
+//! ```
+//!
+//! Theorem 3.5 shows any one-round algorithm needs load
+//! `Ω(L(u, M, p))` for every packing `u`; Theorem 3.15 shows the best such
+//! bound, `L_lower = max_{u ∈ pk(q)} L(u, M, p)`, equals the HyperCube upper
+//! bound `L_upper = p^{λ*}` from the share LP. With equal sizes this is
+//! `M / p^{1/τ*}`.
+
+use crate::shares::optimal_share_exponents;
+use pq_query::{packing, ConjunctiveQuery};
+use std::collections::BTreeMap;
+
+/// `L(u, M, p)` of Eq. 11. Sizes are given in bits, in atom order. Returns
+/// zero for the all-zero packing (consistent with the paper's convention in
+/// Example 3.17).
+pub fn load_for_packing(u: &[f64], sizes_bits: &[f64], p: usize) -> f64 {
+    assert_eq!(u.len(), sizes_bits.len(), "packing/size length mismatch");
+    let total_u: f64 = u.iter().sum();
+    if total_u <= 1e-12 {
+        return 0.0;
+    }
+    let log_product: f64 = u
+        .iter()
+        .zip(sizes_bits.iter())
+        .map(|(&uj, &mj)| uj * mj.max(1.0).ln())
+        .sum();
+    ((log_product - (p as f64).ln()) / total_u).exp()
+}
+
+/// Sizes in atom order from a name-keyed map.
+fn sizes_in_atom_order(query: &ConjunctiveQuery, sizes_bits: &BTreeMap<String, u64>) -> Vec<f64> {
+    query
+        .atoms()
+        .iter()
+        .map(|a| {
+            *sizes_bits
+                .get(a.relation())
+                .unwrap_or_else(|| panic!("no size for relation `{}`", a.relation()))
+                as f64
+        })
+        .collect()
+}
+
+/// The one-round lower bound `L_lower = max_{u ∈ pk(q)} L(u, M, p)`
+/// (Theorem 3.5 + Section 3.3), in bits.
+pub fn lower_bound_load(
+    query: &ConjunctiveQuery,
+    sizes_bits: &BTreeMap<String, u64>,
+    p: usize,
+) -> f64 {
+    let sizes = sizes_in_atom_order(query, sizes_bits);
+    packing::fractional_edge_packing_vertices(query)
+        .iter()
+        .map(|u| load_for_packing(u, &sizes, p))
+        .fold(0.0, f64::max)
+}
+
+/// The packing vertex achieving `L_lower`, together with its load.
+pub fn argmax_packing(
+    query: &ConjunctiveQuery,
+    sizes_bits: &BTreeMap<String, u64>,
+    p: usize,
+) -> (Vec<f64>, f64) {
+    let sizes = sizes_in_atom_order(query, sizes_bits);
+    let mut best: (Vec<f64>, f64) = (vec![0.0; query.num_atoms()], 0.0);
+    for u in packing::fractional_edge_packing_vertices(query) {
+        let load = load_for_packing(&u, &sizes, p);
+        if load > best.1 {
+            best = (u, load);
+        }
+    }
+    best
+}
+
+/// The HyperCube upper bound `L_upper = p^{λ*}` from the share LP (Eq. 10,
+/// Theorem 3.4), in bits. By Theorem 3.15, equals [`lower_bound_load`].
+pub fn upper_bound_load(
+    query: &ConjunctiveQuery,
+    sizes_bits: &BTreeMap<String, u64>,
+    p: usize,
+) -> f64 {
+    optimal_share_exponents(query, sizes_bits, p).upper_bound_load()
+}
+
+/// The lower bound on the space exponent for one round with equal relation
+/// sizes: `ε ≥ 1 − 1/τ*(q)` (Section 3.4 and Table 2's last column).
+pub fn space_exponent_lower_bound(query: &ConjunctiveQuery) -> f64 {
+    let tau = packing::vertex_cover_number(query);
+    if tau <= 0.0 {
+        0.0
+    } else {
+        1.0 - 1.0 / tau
+    }
+}
+
+/// The *speedup exponent* `1 / Σ_j u*_j` of Section 3.4: the load decreases
+/// like `1/p^{speedup}` as `p` grows. With equal sizes this is `1/τ*`; with
+/// unequal sizes it can be larger for small `p` (Lemma 3.18).
+pub fn speedup_exponent(
+    query: &ConjunctiveQuery,
+    sizes_bits: &BTreeMap<String, u64>,
+    p: usize,
+) -> f64 {
+    let (u, _) = argmax_packing(query, sizes_bits, p);
+    let total: f64 = u.iter().sum();
+    if total <= 1e-12 {
+        1.0
+    } else {
+        1.0 / total
+    }
+}
+
+/// Expected number of answers over the matching probability space
+/// (Lemma 3.6): `E[|q(I)|] = n^{k−a} Π_j m_j`, where cardinalities are in
+/// tuples and `n` is the domain size.
+pub fn expected_answers_matching(
+    query: &ConjunctiveQuery,
+    cardinalities: &BTreeMap<String, usize>,
+    domain_size: u64,
+) -> f64 {
+    let k = query.num_variables() as f64;
+    let a = query.total_arity() as f64;
+    let n = domain_size as f64;
+    let product: f64 = query
+        .atoms()
+        .iter()
+        .map(|atom| {
+            *cardinalities
+                .get(atom.relation())
+                .unwrap_or_else(|| panic!("no cardinality for `{}`", atom.relation()))
+                as f64
+        })
+        .product();
+    n.powf(k - a) * product
+}
+
+/// The fraction of expected answers a one-round algorithm with load `L` can
+/// report (Theorem 3.5, equal-size strengthened form): at most
+/// `(L / (τ* · L(u*, M, p)))^{τ*}` summed over servers; we report the
+/// per-server exponent form used in Section 3.4's discussion:
+/// `p · (L / L_lower)^{τ*}` clipped to `[0, 1]`-ish (values above 1 mean the
+/// bound is vacuous).
+pub fn reportable_fraction(
+    query: &ConjunctiveQuery,
+    sizes_bits: &BTreeMap<String, u64>,
+    p: usize,
+    load_bits: f64,
+) -> f64 {
+    let tau = packing::vertex_cover_number(query);
+    let lower = lower_bound_load(query, sizes_bits, p);
+    if lower <= 0.0 {
+        return 1.0;
+    }
+    p as f64 * (load_bits / (tau * lower)).powf(tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn equal_sizes(query: &ConjunctiveQuery, m: u64) -> BTreeMap<String, u64> {
+        query.relation_names().into_iter().map(|r| (r, m)).collect()
+    }
+
+    fn close(a: f64, b: f64, rel: f64) -> bool {
+        (a - b).abs() <= rel * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn triangle_lower_bound_is_m_over_p_two_thirds() {
+        let q = ConjunctiveQuery::triangle();
+        let m = 1u64 << 20;
+        let p = 64;
+        let lower = lower_bound_load(&q, &equal_sizes(&q, m), p);
+        let expected = m as f64 / (p as f64).powf(2.0 / 3.0);
+        assert!(close(lower, expected, 1e-6), "{lower} vs {expected}");
+    }
+
+    #[test]
+    fn upper_equals_lower_theorem_3_15() {
+        for q in [
+            ConjunctiveQuery::triangle(),
+            ConjunctiveQuery::chain(3),
+            ConjunctiveQuery::chain(4),
+            ConjunctiveQuery::star(3),
+            ConjunctiveQuery::cycle(4),
+            ConjunctiveQuery::k4(),
+        ] {
+            let sizes = equal_sizes(&q, 1 << 22);
+            for p in [4usize, 16, 64, 256] {
+                let lo = lower_bound_load(&q, &sizes, p);
+                let hi = upper_bound_load(&q, &sizes, p);
+                assert!(close(lo, hi, 1e-4), "{}: lower {lo} != upper {hi} at p={p}", q.name());
+            }
+        }
+    }
+
+    #[test]
+    fn unequal_triangle_example_3_17() {
+        // M1 < M2 = M3 = M. For p <= M/M1 the bound is M/p; beyond the
+        // crossover it is (M1 M2 M3)^{1/3} / p^{2/3}.
+        let q = ConjunctiveQuery::triangle();
+        let m1 = 1u64 << 10;
+        let m = 1u64 << 20;
+        let mut sizes = BTreeMap::new();
+        sizes.insert("S1".to_string(), m1);
+        sizes.insert("S2".to_string(), m);
+        sizes.insert("S3".to_string(), m);
+        // p well below M/M1 = 1024.
+        let p = 64;
+        let lower = lower_bound_load(&q, &sizes, p);
+        assert!(close(lower, m as f64 / p as f64, 1e-6));
+        let (u, _) = argmax_packing(&q, &sizes, p);
+        // Optimal packing is (0,1,0) or (0,0,1).
+        assert!(u[0].abs() < 1e-6);
+        // p above the crossover.
+        let p = 1 << 16;
+        let lower = lower_bound_load(&q, &sizes, p);
+        let expected = ((m1 as f64 * m as f64 * m as f64).powf(1.0 / 3.0)) / (p as f64).powf(2.0 / 3.0);
+        assert!(close(lower, expected, 1e-6));
+        let (u, _) = argmax_packing(&q, &sizes, p);
+        assert!(u.iter().all(|&x| (x - 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn speedup_exponent_increases_to_one_over_tau_star() {
+        // Lemma 3.18(3): the speedup exponent starts at 1 (linear) and drops
+        // to 1/τ* = 2/3 for the triangle once p passes the crossover.
+        let q = ConjunctiveQuery::triangle();
+        let mut sizes = BTreeMap::new();
+        sizes.insert("S1".to_string(), 1u64 << 10);
+        sizes.insert("S2".to_string(), 1u64 << 20);
+        sizes.insert("S3".to_string(), 1u64 << 20);
+        assert!(close(speedup_exponent(&q, &sizes, 16), 1.0, 1e-6));
+        assert!(close(speedup_exponent(&q, &sizes, 1 << 16), 2.0 / 3.0, 1e-6));
+    }
+
+    #[test]
+    fn space_exponent_lower_bounds_match_table_2() {
+        // Table 2: C_k -> 1 - 2/k, T_k -> 0, L_k -> 1 - 1/ceil(k/2),
+        // B_{k,m} -> 1 - m/k.
+        for k in 3..=6 {
+            assert!(close(
+                space_exponent_lower_bound(&ConjunctiveQuery::cycle(k)),
+                1.0 - 2.0 / k as f64,
+                1e-6
+            ));
+        }
+        for k in 1..=4 {
+            assert!(close(
+                space_exponent_lower_bound(&ConjunctiveQuery::star(k)),
+                0.0,
+                1e-6
+            ));
+        }
+        for k in 2..=6 {
+            assert!(close(
+                space_exponent_lower_bound(&ConjunctiveQuery::chain(k)),
+                1.0 - 1.0 / (k as f64 / 2.0).ceil(),
+                1e-6
+            ));
+        }
+        for (k, m) in [(4usize, 2usize), (6, 2), (5, 3)] {
+            assert!(close(
+                space_exponent_lower_bound(&ConjunctiveQuery::b_query(k, m)),
+                1.0 - m as f64 / k as f64,
+                1e-6
+            ));
+        }
+    }
+
+    #[test]
+    fn load_for_packing_edge_cases() {
+        assert_eq!(load_for_packing(&[0.0, 0.0], &[100.0, 100.0], 4), 0.0);
+        // Single relation with weight 1: load = M/p.
+        assert!(close(load_for_packing(&[1.0], &[1000.0], 10), 100.0, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn load_for_packing_length_mismatch_panics() {
+        load_for_packing(&[1.0], &[1.0, 2.0], 2);
+    }
+
+    #[test]
+    fn expected_answers_lemma_3_6() {
+        // Triangle with n = m: E = n^{3-6} * m^3 = 1 (c - chi = 1 - 1).
+        let q = ConjunctiveQuery::triangle();
+        let m = 1000usize;
+        let card: BTreeMap<String, usize> =
+            q.relation_names().into_iter().map(|r| (r, m)).collect();
+        let e = expected_answers_matching(&q, &card, m as u64);
+        assert!(close(e, 1.0, 1e-9));
+        // Chain L2 with n = m: E = n^{3-4} * m^2 = m (tree-like, c=1, chi=0).
+        let q = ConjunctiveQuery::chain(2);
+        let card: BTreeMap<String, usize> =
+            q.relation_names().into_iter().map(|r| (r, m)).collect();
+        let e = expected_answers_matching(&q, &card, m as u64);
+        assert!(close(e, m as f64, 1e-9));
+    }
+
+    #[test]
+    fn reportable_fraction_shrinks_below_the_bound() {
+        let q = ConjunctiveQuery::triangle();
+        let sizes = equal_sizes(&q, 1 << 20);
+        let p = 64;
+        let lower = lower_bound_load(&q, &sizes, p);
+        // With load far below the bound, the reportable fraction is < 1.
+        let f = reportable_fraction(&q, &sizes, p, lower / 100.0);
+        assert!(f < 1.0);
+        // With load at the bound (times tau*), it is >= 1 (vacuous).
+        let f = reportable_fraction(&q, &sizes, p, lower * 2.0);
+        assert!(f >= 1.0);
+    }
+}

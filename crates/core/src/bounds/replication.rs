@@ -1,0 +1,119 @@
+//! The replication-rate / load tradeoff (Corollary 3.19, Example 3.20).
+//!
+//! The replication rate of an algorithm is `r = Σ_s L_s / |I|`: how many
+//! times each input bit is communicated on average. Corollary 3.19 shows
+//! that any one-round algorithm with maximum load `L ≤ min_j M_j` must have
+//!
+//! ```text
+//!   r ≥ c · L / Σ_j M_j · max_u Π_j (M_j / L)^{u_j}
+//! ```
+//!
+//! where `u` ranges over fractional edge packings and
+//! `c = max_u (Σ_j u_j / 4)^{Σ_j u_j}`. With equal sizes this becomes
+//! `r = Ω((M/L)^{τ* − 1})` — for the triangle, `Ω(√(M/L))` (Example 3.20).
+
+use pq_query::{packing, ConjunctiveQuery};
+use std::collections::BTreeMap;
+
+/// The replication-rate lower bound of Corollary 3.19, in "copies of each
+/// input bit". Returns 0 when `L` exceeds every `M_j` (in which case whole
+/// relations can be shipped for free in the corollary's sense).
+pub fn replication_rate_lower_bound(
+    query: &ConjunctiveQuery,
+    sizes_bits: &BTreeMap<String, u64>,
+    load_bits: f64,
+) -> f64 {
+    let sizes: Vec<f64> = query
+        .atoms()
+        .iter()
+        .map(|a| {
+            *sizes_bits
+                .get(a.relation())
+                .unwrap_or_else(|| panic!("no size for relation `{}`", a.relation()))
+                as f64
+        })
+        .collect();
+    if sizes.iter().all(|&m| load_bits > m) {
+        return 0.0;
+    }
+    let total: f64 = sizes.iter().sum();
+    let vertices = packing::fractional_edge_packing_vertices(query);
+    let mut best = 0.0f64;
+    for u in &vertices {
+        let sum_u: f64 = u.iter().sum();
+        if sum_u <= 1e-12 {
+            continue;
+        }
+        let c = (sum_u / 4.0).powf(sum_u);
+        let product: f64 = u
+            .iter()
+            .zip(sizes.iter())
+            .map(|(&uj, &mj)| (mj / load_bits).powf(uj))
+            .product();
+        let bound = c * load_bits / total * product;
+        best = best.max(bound);
+    }
+    best
+}
+
+/// The asymptotic equal-size form `(M/L)^{τ* − 1}` (Example 3.20 without the
+/// constant), convenient for plotting the tradeoff shape.
+pub fn replication_rate_shape(query: &ConjunctiveQuery, size_bits: f64, load_bits: f64) -> f64 {
+    let tau = packing::vertex_cover_number(query);
+    (size_bits / load_bits).powf(tau - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn equal_sizes(query: &ConjunctiveQuery, m: u64) -> BTreeMap<String, u64> {
+        query.relation_names().into_iter().map(|r| (r, m)).collect()
+    }
+
+    #[test]
+    fn triangle_bound_scales_like_sqrt_m_over_l() {
+        // Example 3.20: r = Ω(sqrt(M/L)).
+        let q = ConjunctiveQuery::triangle();
+        let m = (1u64 << 24) as f64;
+        let sizes = equal_sizes(&q, 1 << 24);
+        let r1 = replication_rate_lower_bound(&q, &sizes, m / 64.0);
+        let r2 = replication_rate_lower_bound(&q, &sizes, m / 256.0);
+        // Quadrupling M/L should roughly double the bound.
+        let ratio = r2 / r1;
+        assert!((1.8..=2.2).contains(&ratio), "ratio {ratio}");
+        assert!(r1 > 0.0);
+    }
+
+    #[test]
+    fn bound_is_zero_when_load_exceeds_all_relations() {
+        let q = ConjunctiveQuery::triangle();
+        let sizes = equal_sizes(&q, 1000);
+        assert_eq!(replication_rate_lower_bound(&q, &sizes, 2000.0), 0.0);
+    }
+
+    #[test]
+    fn star_query_admits_constant_replication() {
+        // τ*(T_k) = 1, so the shape bound is (M/L)^0 = 1: replication O(1)
+        // is achievable — consistent with the "ideal case" remark after
+        // Corollary 3.19.
+        let q = ConjunctiveQuery::star(3);
+        assert!((replication_rate_shape(&q, 1e9, 1e6) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shape_for_triangle_is_sqrt() {
+        let q = ConjunctiveQuery::triangle();
+        let shape = replication_rate_shape(&q, 1e8, 1e4);
+        assert!((shape - 1e2).abs() / 1e2 < 1e-6);
+    }
+
+    #[test]
+    fn bound_increases_with_smaller_load() {
+        let q = ConjunctiveQuery::cycle(4);
+        let sizes = equal_sizes(&q, 1 << 20);
+        let big_l = replication_rate_lower_bound(&q, &sizes, (1u64 << 18) as f64);
+        let small_l = replication_rate_lower_bound(&q, &sizes, (1u64 << 12) as f64);
+        assert!(small_l > big_l);
+    }
+}

@@ -1,0 +1,233 @@
+//! Heavy-hitter detection (the statistics assumed by Section 4.2).
+//!
+//! A value `h` of variable `x` is a *heavy hitter* of relation `S_j` when
+//! its frequency `m_j(h)` exceeds `m_j / p`. At most `p` values per relation
+//! can be heavy, so the complete list (with frequencies) is `O(p)` numbers —
+//! small enough to assume every server knows it, as the paper does.
+
+use pq_query::{bind_atom, ConjunctiveQuery};
+use pq_relation::{Database, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The heavy hitters of one query variable: the set of heavy values and,
+/// per relation containing the variable, each heavy value's frequency.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VariableHeavyHitters {
+    /// The variable.
+    pub variable: String,
+    /// Heavy values (union over all relations containing the variable).
+    pub values: BTreeSet<Value>,
+    /// `frequencies[relation][value]` = number of tuples of `relation` whose
+    /// `variable` column equals `value` (recorded for heavy values only).
+    pub frequencies: BTreeMap<String, BTreeMap<Value, usize>>,
+}
+
+impl VariableHeavyHitters {
+    /// Frequency of a heavy value in a relation (0 when not recorded).
+    pub fn frequency(&self, relation: &str, value: Value) -> usize {
+        self.frequencies
+            .get(relation)
+            .and_then(|m| m.get(&value))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Is the value heavy (in any relation containing the variable)?
+    pub fn is_heavy(&self, value: Value) -> bool {
+        self.values.contains(&value)
+    }
+}
+
+/// Detect the heavy hitters of `variable` across all atoms of the query that
+/// contain it, with threshold `m_j / threshold_divisor` per relation.
+/// The paper's default divisor is `p`; the triangle algorithm also uses
+/// `p^{1/3}` (§4.2.2).
+pub fn heavy_hitters_of_variable(
+    query: &ConjunctiveQuery,
+    database: &Database,
+    variable: &str,
+    threshold_divisor: f64,
+) -> VariableHeavyHitters {
+    assert!(threshold_divisor > 0.0, "threshold divisor must be positive");
+    let mut out = VariableHeavyHitters {
+        variable: variable.to_string(),
+        ..Default::default()
+    };
+    for atom in query.atoms() {
+        if !atom.contains(variable) {
+            continue;
+        }
+        let bound = bind_atom(atom, database.expect_relation(atom.relation()));
+        let m = bound.len() as f64;
+        let threshold = m / threshold_divisor;
+        let degrees = bound.degree_map(std::slice::from_ref(&variable.to_string()));
+        let mut rel_freqs = BTreeMap::new();
+        for (key, count) in degrees {
+            if (count as f64) > threshold {
+                let value = key.get(0);
+                out.values.insert(value);
+                rel_freqs.insert(value, count);
+            }
+        }
+        if !rel_freqs.is_empty() {
+            out.frequencies.insert(atom.relation().to_string(), rel_freqs);
+        }
+    }
+    // Record exact frequencies of every heavy value in *every* relation that
+    // contains the variable (a value heavy in one relation may be light in
+    // another; its frequency there is still needed by the algorithms).
+    let values: Vec<Value> = out.values.iter().copied().collect();
+    for atom in query.atoms() {
+        if !atom.contains(variable) {
+            continue;
+        }
+        let bound = bind_atom(atom, database.expect_relation(atom.relation()));
+        let degrees = bound.degree_map(std::slice::from_ref(&variable.to_string()));
+        let entry = out
+            .frequencies
+            .entry(atom.relation().to_string())
+            .or_default();
+        for &v in &values {
+            let count = degrees
+                .get(&pq_relation::Tuple::from([v]))
+                .copied()
+                .unwrap_or(0);
+            entry.insert(v, count);
+        }
+    }
+    out
+}
+
+/// Heavy hitters for every variable of the query, with divisor `p`.
+pub fn all_heavy_hitters(
+    query: &ConjunctiveQuery,
+    database: &Database,
+    p: usize,
+) -> BTreeMap<String, VariableHeavyHitters> {
+    query
+        .variables()
+        .into_iter()
+        .map(|v| {
+            (
+                v.clone(),
+                heavy_hitters_of_variable(query, database, &v, p as f64),
+            )
+        })
+        .collect()
+}
+
+/// The number of bits a broadcast of all heavy-hitter statistics costs: one
+/// `(value, frequency)` pair per heavy hitter per relation, at
+/// `2 · bits_per_value` bits each. The paper argues this is `O(p)` values.
+pub fn statistics_broadcast_bits(
+    hitters: &BTreeMap<String, VariableHeavyHitters>,
+    bits_per_value: u64,
+) -> u64 {
+    hitters
+        .values()
+        .map(|vh| {
+            vh.frequencies
+                .values()
+                .map(|m| m.len() as u64 * 2 * bits_per_value)
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_relation::{Relation, Schema};
+
+    fn skewed_join_db(m: usize, heavy: usize) -> Database {
+        let mut db = Database::new(1 << 20);
+        for (j, name) in ["S1", "S2"].iter().enumerate() {
+            let mut rows = Vec::new();
+            for i in 0..heavy {
+                rows.push(vec![42, (j * 100_000 + i) as u64 + 1]);
+            }
+            for i in heavy..m {
+                rows.push(vec![1000 + i as u64, (j * 100_000 + i) as u64 + 1]);
+            }
+            db.insert(Relation::from_rows(Schema::from_strs(name, &["a", "b"]), rows));
+        }
+        db
+    }
+
+    #[test]
+    fn detects_the_planted_heavy_hitter() {
+        let q = ConjunctiveQuery::simple_join();
+        let db = skewed_join_db(1000, 200);
+        let hh = heavy_hitters_of_variable(&q, &db, "z", 16.0);
+        assert!(hh.is_heavy(42));
+        assert_eq!(hh.values.len(), 1);
+        assert_eq!(hh.frequency("S1", 42), 200);
+        assert_eq!(hh.frequency("S2", 42), 200);
+        assert_eq!(hh.frequency("S1", 1000), 0);
+    }
+
+    #[test]
+    fn no_heavy_hitters_in_matching_data() {
+        let q = ConjunctiveQuery::simple_join();
+        let db = skewed_join_db(1000, 1);
+        let hh = heavy_hitters_of_variable(&q, &db, "z", 16.0);
+        assert!(hh.values.is_empty());
+        // x1 / x2 columns are all distinct: never heavy.
+        let hh = heavy_hitters_of_variable(&q, &db, "x1", 16.0);
+        assert!(hh.values.is_empty());
+    }
+
+    #[test]
+    fn at_most_p_heavy_hitters_per_relation() {
+        // Construct maximal skew: every value appears exactly m/p times.
+        let p = 8usize;
+        let m = 800usize;
+        let mut rows = Vec::new();
+        for v in 0..(2 * p) as u64 {
+            for i in 0..(m / (2 * p)) {
+                rows.push(vec![v, (v * 1000 + i as u64) + 1]);
+            }
+        }
+        let mut db = Database::new(1 << 20);
+        db.insert(Relation::from_rows(Schema::from_strs("S1", &["a", "b"]), rows.clone()));
+        db.insert(Relation::from_rows(Schema::from_strs("S2", &["a", "b"]), rows));
+        let q = ConjunctiveQuery::simple_join();
+        let hh = heavy_hitters_of_variable(&q, &db, "z", p as f64);
+        // Frequencies are exactly m/(2p) = m/p / 2 < m/p: nothing is heavy.
+        assert!(hh.values.is_empty());
+        // With divisor 4p the same values become heavy, and there are 2p of
+        // them — still at most 4p.
+        let hh = heavy_hitters_of_variable(&q, &db, "z", 4.0 * p as f64);
+        assert!(hh.values.len() <= 4 * p);
+        assert_eq!(hh.values.len(), 2 * p);
+    }
+
+    #[test]
+    fn all_heavy_hitters_covers_every_variable() {
+        let q = ConjunctiveQuery::simple_join();
+        let db = skewed_join_db(1000, 300);
+        let all = all_heavy_hitters(&q, &db, 8);
+        assert_eq!(all.len(), 3); // z, x1, x2
+        assert!(all["z"].is_heavy(42));
+        assert!(all["x1"].values.is_empty());
+    }
+
+    #[test]
+    fn broadcast_cost_is_small() {
+        let q = ConjunctiveQuery::simple_join();
+        let db = skewed_join_db(1000, 300);
+        let all = all_heavy_hitters(&q, &db, 8);
+        let bits = statistics_broadcast_bits(&all, db.bits_per_value());
+        // One heavy value recorded in two relations: 2 pairs of 2 values.
+        assert_eq!(bits, 2 * 2 * db.bits_per_value());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_divisor_panics() {
+        let q = ConjunctiveQuery::simple_join();
+        let db = skewed_join_db(10, 1);
+        heavy_hitters_of_variable(&q, &db, "z", 0.0);
+    }
+}

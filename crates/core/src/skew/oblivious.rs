@@ -1,0 +1,206 @@
+//! The skew-oblivious HyperCube (Section 4.1).
+//!
+//! When nothing is known about the data beyond cardinalities, the HyperCube
+//! algorithm cannot treat heavy hitters specially; its worst-case load over
+//! all data distributions is `max_j M_j / min_{i ∈ S_j} p_i`
+//! (Corollary 4.3 — hashing cannot beat the single smallest dimension of an
+//! atom's subcube when all the skew piles onto the other attributes). The
+//! shares minimising this worst case solve the LP of Eq. 18:
+//!
+//! ```text
+//!   minimise λ
+//!   s.t.  Σ_i e_i ≤ 1
+//!         h_j + λ ≥ µ_j                 for every atom j
+//!         e_i − h_j ≥ 0                 for every atom j and i ∈ S_j
+//!         e, h, λ ≥ 0
+//! ```
+
+use crate::shares::ShareExponents;
+use pq_lp::{ConstraintOp, LinearProgram, Objective};
+use pq_query::ConjunctiveQuery;
+use std::collections::BTreeMap;
+
+/// Solve the skew-oblivious share LP (Eq. 18) and return the share
+/// exponents together with the worst-case load exponent λ.
+pub fn oblivious_share_exponents(
+    query: &ConjunctiveQuery,
+    sizes_bits: &BTreeMap<String, u64>,
+    p: usize,
+) -> ShareExponents {
+    assert!(p >= 2, "share optimisation needs at least 2 servers");
+    let ln_p = (p as f64).ln();
+    let variables = query.variables();
+
+    let mut lp = LinearProgram::new(Objective::Minimize);
+    let lambda = lp.add_variable("lambda");
+    lp.set_objective_coefficient(lambda, 1.0);
+    let e_vars: Vec<_> = variables
+        .iter()
+        .map(|v| lp.add_variable(format!("e_{v}")))
+        .collect();
+    let h_vars: Vec<_> = query
+        .atoms()
+        .iter()
+        .map(|a| lp.add_variable(format!("h_{}", a.relation())))
+        .collect();
+
+    lp.add_constraint(
+        e_vars.iter().map(|&v| (v, 1.0)).collect(),
+        ConstraintOp::Le,
+        1.0,
+    );
+    for (j, atom) in query.atoms().iter().enumerate() {
+        let m = *sizes_bits
+            .get(atom.relation())
+            .unwrap_or_else(|| panic!("no size for relation `{}`", atom.relation()));
+        let mu = ((m.max(p as u64)) as f64).ln() / ln_p;
+        lp.add_constraint(
+            vec![(h_vars[j], 1.0), (lambda, 1.0)],
+            ConstraintOp::Ge,
+            mu,
+        );
+        for (i, var) in variables.iter().enumerate() {
+            if atom.contains(var) {
+                lp.add_constraint(
+                    vec![(e_vars[i], 1.0), (h_vars[j], -1.0)],
+                    ConstraintOp::Ge,
+                    0.0,
+                );
+            }
+        }
+    }
+
+    let sol = lp.solve().expect("skew-oblivious share LP is feasible and bounded");
+    let exponents = variables
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.clone(), sol.value(e_vars[i]).max(0.0)))
+        .collect();
+    ShareExponents {
+        exponents,
+        lambda: sol.objective.max(0.0),
+        p,
+    }
+}
+
+/// The worst-case load of a given integer share assignment over *all* data
+/// distributions (Corollary 4.3): `max_j M_j / min_{i ∈ S_j} p_i`.
+pub fn oblivious_worst_case_load(
+    query: &ConjunctiveQuery,
+    sizes_bits: &BTreeMap<String, u64>,
+    shares: &BTreeMap<String, usize>,
+) -> f64 {
+    query
+        .atoms()
+        .iter()
+        .map(|atom| {
+            let m = *sizes_bits
+                .get(atom.relation())
+                .unwrap_or_else(|| panic!("no size for relation `{}`", atom.relation()))
+                as f64;
+            let min_share = atom
+                .distinct_variables()
+                .iter()
+                .map(|v| shares.get(v).copied().unwrap_or(1))
+                .min()
+                .unwrap_or(1)
+                .max(1);
+            m / min_share as f64
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shares::{integer_shares, optimal_share_exponents, ShareRounding};
+
+    fn equal_sizes(query: &ConjunctiveQuery, m: u64) -> BTreeMap<String, u64> {
+        query.relation_names().into_iter().map(|r| (r, m)).collect()
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() / b.abs().max(1.0) < 1e-6
+    }
+
+    #[test]
+    fn simple_join_oblivious_optimum_is_cube_root_p() {
+        // For the simple join S1(z,x1), S2(z,x2), the skew-free optimum puts
+        // everything on z (load M/p), but under worst-case skew that share
+        // assignment degrades to load M (Example 4.1). The oblivious LP
+        // hedges: the worst case is M / min_{i∈S_j} p_i per atom, and with
+        // Σe ≤ 1 the best achievable is e_z = e_x1 = e_x2 = 1/3, i.e. load
+        // M / p^{1/3}.
+        let q = ConjunctiveQuery::simple_join();
+        let m = 1u64 << 20;
+        let p = 512;
+        let e = oblivious_share_exponents(&q, &equal_sizes(&q, m), p);
+        let load = e.upper_bound_load();
+        let expected = m as f64 / (p as f64).powf(1.0 / 3.0);
+        assert!(close(load, expected), "load {load} vs {expected}");
+    }
+
+    #[test]
+    fn oblivious_load_is_never_better_than_skew_free_load() {
+        for q in [
+            ConjunctiveQuery::simple_join(),
+            ConjunctiveQuery::triangle(),
+            ConjunctiveQuery::chain(3),
+            ConjunctiveQuery::star(3),
+        ] {
+            let sizes = equal_sizes(&q, 1 << 22);
+            for p in [16usize, 64, 256] {
+                let oblivious = oblivious_share_exponents(&q, &sizes, p).upper_bound_load();
+                let skew_free = optimal_share_exponents(&q, &sizes, p).upper_bound_load();
+                assert!(
+                    oblivious >= skew_free * 0.999,
+                    "{} p={p}: oblivious {oblivious} < skew-free {skew_free}",
+                    q.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_oblivious_optimum_is_cube_root_p() {
+        // The symmetric shares p^{1/3} are also the oblivious optimum for
+        // the triangle, but the worst-case guarantee they give is only
+        // M / p^{1/3} (one dimension per atom), compared to the skew-free
+        // load M / p^{2/3}.
+        let q = ConjunctiveQuery::triangle();
+        let m = 1u64 << 21;
+        let sizes = equal_sizes(&q, m);
+        let p = 512;
+        let oblivious = oblivious_share_exponents(&q, &sizes, p).upper_bound_load();
+        let skew_free = optimal_share_exponents(&q, &sizes, p).upper_bound_load();
+        assert!(close(oblivious, m as f64 / (p as f64).powf(1.0 / 3.0)));
+        assert!(close(skew_free, m as f64 / (p as f64).powf(2.0 / 3.0)));
+        assert!(oblivious > skew_free);
+    }
+
+    #[test]
+    fn worst_case_load_formula() {
+        let q = ConjunctiveQuery::simple_join();
+        let sizes = equal_sizes(&q, 1 << 20);
+        // Standard join shares: all on z.
+        let mut shares = BTreeMap::new();
+        shares.insert("z".to_string(), 64usize);
+        shares.insert("x1".to_string(), 1usize);
+        shares.insert("x2".to_string(), 1usize);
+        // Worst case: M / min(p_z, p_x1) = M / 1 = M.
+        let worst = oblivious_worst_case_load(&q, &sizes, &shares);
+        assert!(close(worst, (1u64 << 20) as f64));
+        // Oblivious shares balance the dimensions and improve the worst case.
+        let e = oblivious_share_exponents(&q, &sizes, 64);
+        let ishares = integer_shares(&e, ShareRounding::GreedyFill);
+        let worst_oblivious = oblivious_worst_case_load(&q, &sizes, &ishares);
+        assert!(worst_oblivious < worst);
+    }
+
+    #[test]
+    #[should_panic(expected = "no size for relation")]
+    fn missing_size_panics() {
+        let q = ConjunctiveQuery::simple_join();
+        oblivious_share_exponents(&q, &BTreeMap::new(), 8);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for the LP solver.
+
+use std::fmt;
+
+/// Errors that can arise when building or solving a linear program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The problem has no feasible solution.
+    Infeasible,
+    /// The objective is unbounded in the optimisation direction.
+    Unbounded,
+    /// A variable id referenced in a constraint or objective does not exist.
+    UnknownVariable {
+        /// The offending variable index.
+        index: usize,
+        /// The number of variables actually declared.
+        declared: usize,
+    },
+    /// The simplex iteration limit was exceeded (indicates numerical cycling).
+    IterationLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// The problem contains a malformed constraint (e.g. NaN coefficients).
+    InvalidCoefficient {
+        /// Human-readable description of the offending location.
+        location: String,
+    },
+    /// A singular linear system was encountered where a unique solution was
+    /// required (vertex enumeration).
+    SingularSystem,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::UnknownVariable { index, declared } => write!(
+                f,
+                "variable index {index} out of range ({declared} variables declared)"
+            ),
+            LpError::IterationLimit { limit } => {
+                write!(f, "simplex iteration limit of {limit} exceeded")
+            }
+            LpError::InvalidCoefficient { location } => {
+                write!(f, "invalid (non-finite) coefficient in {location}")
+            }
+            LpError::SingularSystem => write!(f, "singular linear system"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(LpError::Infeasible.to_string().contains("infeasible"));
+        assert!(LpError::Unbounded.to_string().contains("unbounded"));
+        let e = LpError::UnknownVariable {
+            index: 7,
+            declared: 3,
+        };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+        let e = LpError::IterationLimit { limit: 100 };
+        assert!(e.to_string().contains("100"));
+        let e = LpError::InvalidCoefficient {
+            location: "objective".to_string(),
+        };
+        assert!(e.to_string().contains("objective"));
+        assert!(LpError::SingularSystem.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(LpError::Infeasible, LpError::Infeasible);
+        assert_ne!(LpError::Infeasible, LpError::Unbounded);
+    }
+}

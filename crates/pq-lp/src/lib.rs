@@ -1,0 +1,56 @@
+//! A small, dependency-free linear-programming toolkit.
+//!
+//! This crate provides the numeric substrate used throughout the
+//! parallel-query workspace:
+//!
+//! * a **builder API** for linear programs over named variables
+//!   ([`LinearProgram`]),
+//! * a **dense two-phase simplex solver** ([`solve`], [`simplex`]) robust
+//!   enough for the small share-exponent LPs (Eq. 10/18 of the paper) and the
+//!   fractional edge-packing / vertex-cover LPs,
+//! * a **polytope vertex enumerator** ([`polytope`]) used to enumerate the
+//!   extreme points `pk(q)` of the fractional edge-packing polytope, over
+//!   which the paper's lower bound `L_lower = max_u L(u, M, p)` is taken,
+//! * small dense **linear-algebra helpers** ([`linalg`]).
+//!
+//! The solver works in `f64` with explicit tolerances; the LPs arising from
+//! conjunctive queries are tiny (tens of variables), well-scaled, and have
+//! rational optima with small denominators, so double precision with a
+//! `1e-9` feasibility tolerance is ample.
+//!
+//! # Example
+//!
+//! Maximise `x + y` subject to `x + 2y <= 4`, `3x + y <= 6`:
+//!
+//! ```
+//! use pq_lp::{LinearProgram, Objective, ConstraintOp};
+//!
+//! let mut lp = LinearProgram::new(Objective::Maximize);
+//! let x = lp.add_variable("x");
+//! let y = lp.add_variable("y");
+//! lp.set_objective_coefficient(x, 1.0);
+//! lp.set_objective_coefficient(y, 1.0);
+//! lp.add_constraint(vec![(x, 1.0), (y, 2.0)], ConstraintOp::Le, 4.0);
+//! lp.add_constraint(vec![(x, 3.0), (y, 1.0)], ConstraintOp::Le, 6.0);
+//! let sol = lp.solve().unwrap();
+//! assert!((sol.objective - 2.8).abs() < 1e-7);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod error;
+pub mod linalg;
+pub mod polytope;
+pub mod problem;
+pub mod simplex;
+pub mod solution;
+
+pub use error::LpError;
+pub use polytope::{enumerate_vertices, Polytope};
+pub use problem::{ConstraintOp, LinearProgram, Objective, VariableId};
+pub use simplex::{solve, SimplexOptions};
+pub use solution::{Solution, SolveStatus};
+
+/// Default feasibility / optimality tolerance used throughout the crate.
+pub const DEFAULT_TOLERANCE: f64 = 1e-9;

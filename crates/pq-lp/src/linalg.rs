@@ -1,0 +1,195 @@
+//! Small dense linear-algebra helpers used by the simplex solver and the
+//! polytope vertex enumerator.
+//!
+//! All matrices are row-major `Vec<Vec<f64>>`; the systems arising from
+//! query hypergraphs are tiny (at most a few dozen rows), so simplicity and
+//! predictability win over cache tricks.
+
+use crate::LpError;
+
+/// Solve the square linear system `A x = b` by Gaussian elimination with
+/// partial pivoting.
+///
+/// Returns `Err(LpError::SingularSystem)` when the matrix is (numerically)
+/// singular with respect to `tol`.
+pub fn solve_square(a: &[Vec<f64>], b: &[f64], tol: f64) -> Result<Vec<f64>, LpError> {
+    let n = a.len();
+    assert_eq!(b.len(), n, "dimension mismatch between matrix and rhs");
+    for row in a {
+        assert_eq!(row.len(), n, "matrix must be square");
+    }
+    // Augmented matrix.
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b.iter())
+        .map(|(row, &rhs)| {
+            let mut r = row.clone();
+            r.push(rhs);
+            r
+        })
+        .collect();
+
+    for col in 0..n {
+        // Partial pivoting: pick the row with the largest absolute value.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                m[i][col]
+                    .abs()
+                    .partial_cmp(&m[j][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty range");
+        if m[pivot_row][col].abs() <= tol {
+            return Err(LpError::SingularSystem);
+        }
+        m.swap(col, pivot_row);
+        let pivot = m[col][col];
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let factor = m[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..=n {
+                m[row][k] -= factor * m[col][k];
+            }
+        }
+    }
+    Ok((0..n).map(|i| m[i][n] / m[i][i]).collect())
+}
+
+/// Compute the rank of a (not necessarily square) matrix via Gaussian
+/// elimination with partial pivoting.
+pub fn rank(a: &[Vec<f64>], tol: f64) -> usize {
+    if a.is_empty() {
+        return 0;
+    }
+    let rows = a.len();
+    let cols = a[0].len();
+    let mut m: Vec<Vec<f64>> = a.to_vec();
+    let mut r = 0usize;
+    for col in 0..cols {
+        if r >= rows {
+            break;
+        }
+        let pivot_row = (r..rows)
+            .max_by(|&i, &j| {
+                m[i][col]
+                    .abs()
+                    .partial_cmp(&m[j][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty range");
+        if m[pivot_row][col].abs() <= tol {
+            continue;
+        }
+        m.swap(r, pivot_row);
+        let pivot = m[r][col];
+        for row in 0..rows {
+            if row == r {
+                continue;
+            }
+            let factor = m[row][col] / pivot;
+            if factor != 0.0 {
+                for k in col..cols {
+                    m[row][k] -= factor * m[r][k];
+                }
+            }
+        }
+        r += 1;
+    }
+    r
+}
+
+/// Compute the dot product of two equally-sized slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Return `true` when two vectors are component-wise equal within `tol`.
+pub fn approx_eq(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity_system() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let b = vec![3.0, -2.0];
+        let x = solve_square(&a, &b, 1e-12).unwrap();
+        assert!(approx_eq(&x, &[3.0, -2.0], 1e-12));
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // 2x + y = 5, x - y = 1  =>  x = 2, y = 1
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let b = vec![5.0, 1.0];
+        let x = solve_square(&a, &b, 1e-12).unwrap();
+        assert!(approx_eq(&x, &[2.0, 1.0], 1e-9));
+    }
+
+    #[test]
+    fn solves_system_requiring_pivoting() {
+        // First pivot would be zero without row swaps.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let b = vec![7.0, 4.0];
+        let x = solve_square(&a, &b, 1e-12).unwrap();
+        assert!(approx_eq(&x, &[4.0, 7.0], 1e-9));
+    }
+
+    #[test]
+    fn detects_singular_system() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let b = vec![1.0, 2.0];
+        assert_eq!(solve_square(&a, &b, 1e-12), Err(LpError::SingularSystem));
+    }
+
+    #[test]
+    fn rank_of_full_rank_matrix() {
+        let a = vec![vec![1.0, 0.0, 2.0], vec![0.0, 1.0, 1.0]];
+        assert_eq!(rank(&a, 1e-9), 2);
+    }
+
+    #[test]
+    fn rank_of_deficient_matrix() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]];
+        assert_eq!(rank(&a, 1e-9), 1);
+    }
+
+    #[test]
+    fn rank_of_empty_matrix() {
+        let a: Vec<Vec<f64>> = vec![];
+        assert_eq!(rank(&a, 1e-9), 0);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn approx_eq_respects_tolerance() {
+        assert!(approx_eq(&[1.0], &[1.0 + 1e-12], 1e-9));
+        assert!(!approx_eq(&[1.0], &[1.1], 1e-9));
+        assert!(!approx_eq(&[1.0], &[1.0, 2.0], 1e-9));
+    }
+
+    #[test]
+    fn solves_three_by_three() {
+        let a = vec![
+            vec![1.0, 1.0, 1.0],
+            vec![0.0, 2.0, 5.0],
+            vec![2.0, 5.0, -1.0],
+        ];
+        let b = vec![6.0, -4.0, 27.0];
+        let x = solve_square(&a, &b, 1e-12).unwrap();
+        assert!(approx_eq(&x, &[5.0, 3.0, -2.0], 1e-8));
+    }
+}

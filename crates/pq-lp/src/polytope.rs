@@ -1,0 +1,202 @@
+//! Enumeration of the vertices (extreme points) of a polytope
+//! `{ x >= 0 : A x <= b }`.
+//!
+//! The paper's one-round lower bound `L_lower` is the maximum of
+//! `L(u, M, p)` over the vertices `pk(q)` of the fractional edge-packing
+//! polytope (Section 3.3, Theorem 3.15). Since `L(u, M, p)` is not linear in
+//! `u`, the maximum must be taken over all polytope vertices rather than by
+//! solving a single LP. Query hypergraphs are tiny (a handful of atoms), so
+//! exhaustive enumeration of basic feasible solutions is entirely adequate:
+//! for `d` variables and `m` inequality rows we consider every choice of `d`
+//! tight constraints among the `m + d` available (rows plus non-negativity),
+//! solve the resulting square system, and keep the feasible, de-duplicated
+//! solutions.
+
+use crate::linalg;
+
+/// A polytope `{ x >= 0 : A x <= b }` in dense representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polytope {
+    /// Constraint matrix rows.
+    pub a: Vec<Vec<f64>>,
+    /// Right-hand sides, one per row.
+    pub b: Vec<f64>,
+    /// Dimension (number of variables).
+    pub dim: usize,
+}
+
+impl Polytope {
+    /// Create a polytope from rows `a` and right-hand sides `b`.
+    ///
+    /// # Panics
+    /// Panics when row lengths are inconsistent or `a.len() != b.len()`.
+    pub fn new(a: Vec<Vec<f64>>, b: Vec<f64>, dim: usize) -> Self {
+        assert_eq!(a.len(), b.len(), "one rhs per row required");
+        for row in &a {
+            assert_eq!(row.len(), dim, "row length must equal dimension");
+        }
+        Polytope { a, b, dim }
+    }
+
+    /// Check whether `x` satisfies all constraints within `tol`.
+    pub fn contains(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.dim {
+            return false;
+        }
+        if x.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        self.a
+            .iter()
+            .zip(self.b.iter())
+            .all(|(row, &rhs)| linalg::dot(row, x) <= rhs + tol)
+    }
+
+    /// Enumerate the vertices of the polytope. See [`enumerate_vertices`].
+    pub fn vertices(&self, tol: f64) -> Vec<Vec<f64>> {
+        enumerate_vertices(self, tol)
+    }
+}
+
+/// Enumerate all vertices of `poly` (within tolerance `tol`).
+///
+/// The origin is always a vertex of the edge-packing polytope (all-zero
+/// packing); it is included when feasible like any other basic solution.
+pub fn enumerate_vertices(poly: &Polytope, tol: f64) -> Vec<Vec<f64>> {
+    let d = poly.dim;
+    if d == 0 {
+        return vec![vec![]];
+    }
+    // Build the full constraint list: rows of A (as <= b) plus the
+    // non-negativity constraints -x_i <= 0.
+    let mut rows: Vec<(Vec<f64>, f64)> = Vec::with_capacity(poly.a.len() + d);
+    for (row, &rhs) in poly.a.iter().zip(poly.b.iter()) {
+        rows.push((row.clone(), rhs));
+    }
+    for i in 0..d {
+        let mut row = vec![0.0; d];
+        row[i] = -1.0;
+        rows.push((row, 0.0));
+    }
+
+    let mut vertices: Vec<Vec<f64>> = Vec::new();
+    let total = rows.len();
+    let mut combo: Vec<usize> = (0..d).collect();
+
+    // Iterate over all d-subsets of the constraint indices in lexicographic
+    // order.
+    loop {
+        let a: Vec<Vec<f64>> = combo.iter().map(|&i| rows[i].0.clone()).collect();
+        let b: Vec<f64> = combo.iter().map(|&i| rows[i].1).collect();
+        if let Ok(x) = linalg::solve_square(&a, &b, tol) {
+            if poly.contains(&x, 1e-6) {
+                let snapped: Vec<f64> = x.iter().map(|&v| if v.abs() < 1e-9 { 0.0 } else { v }).collect();
+                if !vertices.iter().any(|v| linalg::approx_eq(v, &snapped, 1e-6)) {
+                    vertices.push(snapped);
+                }
+            }
+        }
+        // Advance to the next combination.
+        let mut i = d;
+        loop {
+            if i == 0 {
+                return vertices;
+            }
+            i -= 1;
+            if combo[i] != i + total - d {
+                combo[i] += 1;
+                for j in i + 1..d {
+                    combo[j] = combo[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sort_vertices(mut vs: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        vs.sort_by(|a, b| {
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| x.partial_cmp(y).unwrap())
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        vs
+    }
+
+    #[test]
+    fn unit_square_has_four_vertices() {
+        // x <= 1, y <= 1, x,y >= 0
+        let poly = Polytope::new(vec![vec![1.0, 0.0], vec![0.0, 1.0]], vec![1.0, 1.0], 2);
+        let vs = sort_vertices(poly.vertices(1e-9));
+        assert_eq!(vs.len(), 4);
+        assert_eq!(
+            vs,
+            vec![
+                vec![0.0, 0.0],
+                vec![0.0, 1.0],
+                vec![1.0, 0.0],
+                vec![1.0, 1.0]
+            ]
+        );
+    }
+
+    #[test]
+    fn simplex_triangle_has_three_vertices() {
+        // x + y <= 1, x,y >= 0
+        let poly = Polytope::new(vec![vec![1.0, 1.0]], vec![1.0], 2);
+        let vs = sort_vertices(poly.vertices(1e-9));
+        assert_eq!(vs.len(), 3);
+        assert_eq!(vs, vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0]]);
+    }
+
+    #[test]
+    fn triangle_query_packing_polytope_has_five_vertices() {
+        // Edge-packing polytope of C3 = S1(x1,x2), S2(x2,x3), S3(x3,x1):
+        // u1+u2 <= 1 (at x2), u2+u3 <= 1 (at x3), u3+u1 <= 1 (at x1).
+        // Example 3.17 of the paper: five vertices,
+        // (1/2,1/2,1/2), (1,0,0), (0,1,0), (0,0,1), (0,0,0).
+        let poly = Polytope::new(
+            vec![
+                vec![1.0, 1.0, 0.0],
+                vec![0.0, 1.0, 1.0],
+                vec![1.0, 0.0, 1.0],
+            ],
+            vec![1.0, 1.0, 1.0],
+            3,
+        );
+        let vs = poly.vertices(1e-9);
+        assert_eq!(vs.len(), 5);
+        assert!(vs.iter().any(|v| linalg::approx_eq(v, &[0.5, 0.5, 0.5], 1e-6)));
+        assert!(vs.iter().any(|v| linalg::approx_eq(v, &[1.0, 0.0, 0.0], 1e-6)));
+        assert!(vs.iter().any(|v| linalg::approx_eq(v, &[0.0, 1.0, 0.0], 1e-6)));
+        assert!(vs.iter().any(|v| linalg::approx_eq(v, &[0.0, 0.0, 1.0], 1e-6)));
+        assert!(vs.iter().any(|v| linalg::approx_eq(v, &[0.0, 0.0, 0.0], 1e-6)));
+    }
+
+    #[test]
+    fn contains_rejects_negative_coordinates() {
+        let poly = Polytope::new(vec![vec![1.0]], vec![1.0], 1);
+        assert!(poly.contains(&[0.5], 1e-9));
+        assert!(!poly.contains(&[-0.5], 1e-9));
+        assert!(!poly.contains(&[1.5], 1e-9));
+        assert!(!poly.contains(&[0.5, 0.5], 1e-9));
+    }
+
+    #[test]
+    fn zero_dimensional_polytope() {
+        let poly = Polytope::new(vec![], vec![], 0);
+        assert_eq!(poly.vertices(1e-9), vec![Vec::<f64>::new()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn new_panics_on_inconsistent_rows() {
+        Polytope::new(vec![vec![1.0, 2.0]], vec![1.0], 1);
+    }
+}

@@ -1,0 +1,253 @@
+//! Builder API for linear programs over named, non-negative variables.
+//!
+//! The LPs in this workspace (share exponents, fractional edge packings,
+//! fractional vertex covers) all have non-negative variables, so the builder
+//! fixes the lower bound of every variable at zero; upper bounds can be
+//! expressed as ordinary `<=` constraints.
+
+use crate::{simplex, LpError, Solution};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a variable inside a [`LinearProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VariableId(pub(crate) usize);
+
+impl VariableId {
+    /// The index of the variable in the order of declaration.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Optimisation direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimise the objective function.
+    Minimize,
+    /// Maximise the objective function.
+    Maximize,
+}
+
+/// Relational operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstraintOp {
+    /// `lhs <= rhs`
+    Le,
+    /// `lhs >= rhs`
+    Ge,
+    /// `lhs == rhs`
+    Eq,
+}
+
+/// A single linear constraint `sum coeff_i * x_i  op  rhs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Sparse list of `(variable, coefficient)` pairs.
+    pub terms: Vec<(VariableId, f64)>,
+    /// Relational operator.
+    pub op: ConstraintOp,
+    /// Right-hand side constant.
+    pub rhs: f64,
+}
+
+/// A linear program over non-negative variables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearProgram {
+    direction: Objective,
+    variable_names: Vec<String>,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Create an empty program with the given optimisation direction.
+    pub fn new(direction: Objective) -> Self {
+        LinearProgram {
+            direction,
+            variable_names: Vec::new(),
+            objective: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Declare a new non-negative variable and return its id.
+    pub fn add_variable(&mut self, name: impl Into<String>) -> VariableId {
+        self.variable_names.push(name.into());
+        self.objective.push(0.0);
+        VariableId(self.variable_names.len() - 1)
+    }
+
+    /// Number of declared variables.
+    pub fn num_variables(&self) -> usize {
+        self.variable_names.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of a variable.
+    pub fn variable_name(&self, id: VariableId) -> &str {
+        &self.variable_names[id.0]
+    }
+
+    /// Optimisation direction.
+    pub fn direction(&self) -> Objective {
+        self.direction
+    }
+
+    /// Set the coefficient of `var` in the objective function.
+    pub fn set_objective_coefficient(&mut self, var: VariableId, coeff: f64) {
+        self.objective[var.0] = coeff;
+    }
+
+    /// The dense objective-coefficient vector.
+    pub fn objective_coefficients(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Add a constraint from sparse `(variable, coefficient)` terms.
+    pub fn add_constraint(
+        &mut self,
+        terms: Vec<(VariableId, f64)>,
+        op: ConstraintOp,
+        rhs: f64,
+    ) -> usize {
+        self.constraints.push(Constraint { terms, op, rhs });
+        self.constraints.len() - 1
+    }
+
+    /// The list of constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Validate that every referenced variable exists and every coefficient
+    /// is finite.
+    pub fn validate(&self) -> Result<(), LpError> {
+        for (i, c) in self.objective.iter().enumerate() {
+            if !c.is_finite() {
+                return Err(LpError::InvalidCoefficient {
+                    location: format!("objective coefficient of variable {i}"),
+                });
+            }
+        }
+        for (ci, constraint) in self.constraints.iter().enumerate() {
+            if !constraint.rhs.is_finite() {
+                return Err(LpError::InvalidCoefficient {
+                    location: format!("rhs of constraint {ci}"),
+                });
+            }
+            for &(var, coeff) in &constraint.terms {
+                if var.0 >= self.num_variables() {
+                    return Err(LpError::UnknownVariable {
+                        index: var.0,
+                        declared: self.num_variables(),
+                    });
+                }
+                if !coeff.is_finite() {
+                    return Err(LpError::InvalidCoefficient {
+                        location: format!("constraint {ci}, variable {}", var.0),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Build the dense constraint matrix row for a constraint.
+    pub(crate) fn dense_row(&self, constraint: &Constraint) -> Vec<f64> {
+        let mut row = vec![0.0; self.num_variables()];
+        for &(var, coeff) in &constraint.terms {
+            row[var.0] += coeff;
+        }
+        row
+    }
+
+    /// Solve the program with default options.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        simplex::solve(self, &simplex::SimplexOptions::default())
+    }
+
+    /// Solve the program with explicit options.
+    pub fn solve_with(&self, options: &simplex::SimplexOptions) -> Result<Solution, LpError> {
+        simplex::solve(self, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_variables_and_constraints() {
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        assert_eq!(lp.num_variables(), 2);
+        assert_eq!(lp.variable_name(x), "x");
+        assert_eq!(lp.variable_name(y), "y");
+        assert_eq!(x.index(), 0);
+        assert_eq!(y.index(), 1);
+
+        lp.set_objective_coefficient(x, 2.0);
+        assert_eq!(lp.objective_coefficients(), &[2.0, 0.0]);
+
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Le, 10.0);
+        assert_eq!(lp.num_constraints(), 1);
+        assert_eq!(lp.constraints()[0].rhs, 10.0);
+    }
+
+    #[test]
+    fn dense_row_accumulates_duplicate_terms() {
+        let mut lp = LinearProgram::new(Objective::Maximize);
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        let idx = lp.add_constraint(vec![(x, 1.0), (x, 2.0), (y, -1.0)], ConstraintOp::Eq, 0.0);
+        let row = lp.dense_row(&lp.constraints()[idx]);
+        assert_eq!(row, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn validate_rejects_unknown_variable() {
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let _x = lp.add_variable("x");
+        lp.add_constraint(vec![(VariableId(5), 1.0)], ConstraintOp::Le, 1.0);
+        assert!(matches!(
+            lp.validate(),
+            Err(LpError::UnknownVariable { index: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_nan() {
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_variable("x");
+        lp.set_objective_coefficient(x, f64::NAN);
+        assert!(matches!(
+            lp.validate(),
+            Err(LpError::InvalidCoefficient { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_infinite_rhs() {
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_variable("x");
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, f64::INFINITY);
+        assert!(matches!(
+            lp.validate(),
+            Err(LpError::InvalidCoefficient { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_program() {
+        let mut lp = LinearProgram::new(Objective::Maximize);
+        let x = lp.add_variable("x");
+        lp.set_objective_coefficient(x, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 5.0);
+        assert!(lp.validate().is_ok());
+    }
+}

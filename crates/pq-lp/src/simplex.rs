@@ -1,0 +1,507 @@
+//! Dense two-phase primal simplex.
+//!
+//! The solver converts the program to standard form
+//! `min c'x  s.t.  Ax = b, x >= 0, b >= 0` by adding slack/surplus variables,
+//! runs phase one (minimising the sum of artificial variables) to find a
+//! basic feasible solution, and then runs phase two on the original
+//! objective. Bland's rule is used once the iteration count grows, which
+//! guarantees termination even on degenerate problems.
+
+use crate::{problem::ConstraintOp, LinearProgram, LpError, Objective, Solution, SolveStatus};
+
+/// Options controlling the simplex solve.
+#[derive(Debug, Clone)]
+pub struct SimplexOptions {
+    /// Feasibility / pivot tolerance.
+    pub tolerance: f64,
+    /// Hard cap on pivot iterations per phase.
+    pub max_iterations: usize,
+    /// After this many iterations the pivot rule switches from Dantzig
+    /// (most-negative reduced cost) to Bland's rule to guarantee termination.
+    pub bland_after: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            tolerance: crate::DEFAULT_TOLERANCE,
+            max_iterations: 10_000,
+            bland_after: 1_000,
+        }
+    }
+}
+
+/// Internal tableau representation.
+struct Tableau {
+    /// `rows x (cols + 1)` matrix; last column is the RHS.
+    data: Vec<Vec<f64>>,
+    /// Objective row (reduced costs), length `cols + 1`; last entry is the
+    /// negated objective value.
+    objective: Vec<f64>,
+    /// Basis: for each row, the index of its basic column.
+    basis: Vec<usize>,
+    cols: usize,
+    /// Columns `>= entering_limit` are never chosen as entering columns
+    /// (used to keep artificial variables out of the phase-two basis).
+    entering_limit: usize,
+}
+
+impl Tableau {
+    fn rows(&self) -> usize {
+        self.data.len()
+    }
+
+    /// One pivot step. Returns Ok(true) if the tableau is optimal, Ok(false)
+    /// if a pivot was performed.
+    fn pivot_step(&mut self, tol: f64, bland: bool) -> Result<bool, LpError> {
+        // Choose entering column.
+        let limit = self.entering_limit.min(self.cols);
+        let entering = if bland {
+            (0..limit).find(|&j| self.objective[j] < -tol)
+        } else {
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..limit {
+                let c = self.objective[j];
+                if c < -tol && best.map_or(true, |(_, bc)| c < bc) {
+                    best = Some((j, c));
+                }
+            }
+            best.map(|(j, _)| j)
+        };
+        let Some(col) = entering else {
+            return Ok(true);
+        };
+
+        // Ratio test for the leaving row.
+        let mut leaving: Option<(usize, f64)> = None;
+        for i in 0..self.rows() {
+            let a = self.data[i][col];
+            if a > tol {
+                let ratio = self.data[i][self.cols] / a;
+                let better = match leaving {
+                    None => true,
+                    Some((li, lr)) => {
+                        ratio < lr - tol
+                            || ((ratio - lr).abs() <= tol && self.basis[i] < self.basis[li])
+                    }
+                };
+                if better {
+                    leaving = Some((i, ratio));
+                }
+            }
+        }
+        let Some((row, _)) = leaving else {
+            return Err(LpError::Unbounded);
+        };
+
+        self.pivot(row, col);
+        Ok(false)
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot = self.data[row][col];
+        debug_assert!(pivot.abs() > 0.0);
+        for v in self.data[row].iter_mut() {
+            *v /= pivot;
+        }
+        for i in 0..self.rows() {
+            if i == row {
+                continue;
+            }
+            let factor = self.data[i][col];
+            if factor != 0.0 {
+                for j in 0..=self.cols {
+                    self.data[i][j] -= factor * self.data[row][j];
+                }
+            }
+        }
+        let factor = self.objective[col];
+        if factor != 0.0 {
+            for j in 0..=self.cols {
+                self.objective[j] -= factor * self.data[row][j];
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    fn run(&mut self, options: &SimplexOptions) -> Result<(), LpError> {
+        for iter in 0..options.max_iterations {
+            let bland = iter >= options.bland_after;
+            if self.pivot_step(options.tolerance, bland)? {
+                return Ok(());
+            }
+        }
+        Err(LpError::IterationLimit {
+            limit: options.max_iterations,
+        })
+    }
+}
+
+/// Solve a [`LinearProgram`] with the two-phase simplex method.
+pub fn solve(lp: &LinearProgram, options: &SimplexOptions) -> Result<Solution, LpError> {
+    lp.validate()?;
+    let tol = options.tolerance;
+    let n = lp.num_variables();
+    let m = lp.num_constraints();
+
+    // Standard-form columns: original variables, then one slack/surplus per
+    // inequality, then one artificial per row that needs one.
+    let mut num_slack = 0usize;
+    for c in lp.constraints() {
+        if matches!(c.op, ConstraintOp::Le | ConstraintOp::Ge) {
+            num_slack += 1;
+        }
+    }
+
+    let total_structural = n + num_slack;
+    // Build rows with b >= 0.
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut rhs: Vec<f64> = Vec::with_capacity(m);
+    let mut slack_signs: Vec<Option<(usize, f64)>> = Vec::with_capacity(m); // (slack index, sign)
+    let mut slack_counter = 0usize;
+    for c in lp.constraints() {
+        let mut row = lp.dense_row(c);
+        row.resize(total_structural, 0.0);
+        let mut b = c.rhs;
+        let mut sign = 1.0;
+        if b < 0.0 {
+            for v in row.iter_mut() {
+                *v = -*v;
+            }
+            b = -b;
+            sign = -1.0;
+        }
+        let slack = match c.op {
+            ConstraintOp::Le => {
+                let idx = n + slack_counter;
+                slack_counter += 1;
+                Some((idx, sign))
+            }
+            ConstraintOp::Ge => {
+                let idx = n + slack_counter;
+                slack_counter += 1;
+                Some((idx, -sign))
+            }
+            ConstraintOp::Eq => None,
+        };
+        if let Some((idx, s)) = slack {
+            row[idx] = s;
+        }
+        rows.push(row);
+        rhs.push(b);
+        slack_signs.push(slack);
+    }
+
+    // Decide which rows need artificial variables: rows whose slack cannot
+    // serve as an initial basic variable (i.e. equality rows or rows whose
+    // slack has coefficient -1).
+    let mut artificial_of_row: Vec<Option<usize>> = vec![None; m];
+    let mut num_artificial = 0usize;
+    for (i, slack) in slack_signs.iter().enumerate() {
+        let needs_artificial = match slack {
+            Some((_, s)) if *s > 0.0 => false,
+            _ => true,
+        };
+        if needs_artificial {
+            artificial_of_row[i] = Some(total_structural + num_artificial);
+            num_artificial += 1;
+        }
+    }
+    let total_cols = total_structural + num_artificial;
+
+    let mut data: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut basis: Vec<usize> = Vec::with_capacity(m);
+    for i in 0..m {
+        let mut row = rows[i].clone();
+        row.resize(total_cols, 0.0);
+        row.push(rhs[i]);
+        if let Some(a) = artificial_of_row[i] {
+            row[a] = 1.0;
+            basis.push(a);
+        } else {
+            let (idx, _) = slack_signs[i].expect("row without artificial has a +1 slack");
+            basis.push(idx);
+        }
+        data.push(row);
+    }
+
+    // ----- Phase one -----
+    if num_artificial > 0 {
+        // Objective: minimise sum of artificials. Reduced costs start as
+        // c_j - sum over basic rows.
+        let mut objective = vec![0.0; total_cols + 1];
+        for a in total_structural..total_cols {
+            objective[a] = 1.0;
+        }
+        // Price out the artificial basics.
+        for (i, &b) in basis.iter().enumerate() {
+            if b >= total_structural {
+                for j in 0..=total_cols {
+                    objective[j] -= data[i][j];
+                }
+            }
+        }
+        let mut tableau = Tableau {
+            data,
+            objective,
+            basis,
+            cols: total_cols,
+            entering_limit: total_cols,
+        };
+        tableau.run(options)?;
+        let phase1_value = -tableau.objective[total_cols];
+        if phase1_value > tol.max(1e-7) {
+            return Err(LpError::Infeasible);
+        }
+        // Drive any artificial variables still in the basis out of it.
+        for i in 0..tableau.rows() {
+            if tableau.basis[i] >= total_structural {
+                let col = (0..total_structural)
+                    .find(|&j| tableau.data[i][j].abs() > tol)
+                    .unwrap_or(tableau.basis[i]);
+                if col < total_structural {
+                    tableau.pivot(i, col);
+                }
+            }
+        }
+        data = tableau.data;
+        basis = tableau.basis;
+    }
+
+    // ----- Phase two -----
+    // Objective in minimisation form.
+    let mut cost = vec![0.0; total_cols];
+    let sense = match lp.direction() {
+        Objective::Minimize => 1.0,
+        Objective::Maximize => -1.0,
+    };
+    for (j, &c) in lp.objective_coefficients().iter().enumerate() {
+        cost[j] = sense * c;
+    }
+    let mut objective = vec![0.0; total_cols + 1];
+    objective[..total_cols].copy_from_slice(&cost);
+    // Price out the current basis.
+    for (i, &b) in basis.iter().enumerate() {
+        let cb = cost[b];
+        if cb != 0.0 {
+            for j in 0..=total_cols {
+                objective[j] -= cb * data[i][j];
+            }
+        }
+    }
+    let mut tableau = Tableau {
+        data,
+        objective,
+        basis,
+        cols: total_cols,
+        entering_limit: total_structural,
+    };
+    tableau.run(options)?;
+
+    // Extract the solution.
+    let mut values = vec![0.0; n];
+    for (i, &b) in tableau.basis.iter().enumerate() {
+        if b < n {
+            values[b] = tableau.data[i][total_cols].max(0.0);
+        }
+    }
+    let min_objective = -tableau.objective[total_cols];
+    let objective_value = sense * min_objective;
+    Ok(Solution {
+        status: SolveStatus::Optimal,
+        objective: objective_value,
+        values,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConstraintOp, LinearProgram, Objective};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn maximization_with_le_constraints() {
+        // max 3x + 2y; x + y <= 4; x + 3y <= 6  => x=4, y=0, obj=12
+        let mut lp = LinearProgram::new(Objective::Maximize);
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.set_objective_coefficient(x, 3.0);
+        lp.set_objective_coefficient(y, 2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 3.0)], ConstraintOp::Le, 6.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 12.0);
+        assert_close(sol.value(x), 4.0);
+        assert_close(sol.value(y), 0.0);
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints_needs_phase_one() {
+        // min 2x + 3y; x + y >= 4; x >= 1  =>  x=4, y=0, obj=8
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.set_objective_coefficient(x, 2.0);
+        lp.set_objective_coefficient(y, 3.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 4.0);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 1.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 8.0);
+        assert_close(sol.value(x), 4.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y; x + 2y = 4; 3x + 2y = 8  =>  x=2, y=1, obj=3
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.set_objective_coefficient(x, 1.0);
+        lp.set_objective_coefficient(y, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 2.0)], ConstraintOp::Eq, 4.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], ConstraintOp::Eq, 8.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 3.0);
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 1.0);
+    }
+
+    #[test]
+    fn detects_infeasible_program() {
+        // x <= 1 and x >= 3 cannot both hold.
+        let mut lp = LinearProgram::new(Objective::Maximize);
+        let x = lp.add_variable("x");
+        lp.set_objective_coefficient(x, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 3.0);
+        assert_eq!(lp.solve(), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded_program() {
+        // max x with only x >= 0.
+        let mut lp = LinearProgram::new(Objective::Maximize);
+        let x = lp.add_variable("x");
+        lp.set_objective_coefficient(x, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 1.0);
+        assert_eq!(lp.solve(), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_is_normalised() {
+        // min x  s.t. -x <= -2   (i.e. x >= 2)
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_variable("x");
+        lp.set_objective_coefficient(x, 1.0);
+        lp.add_constraint(vec![(x, -1.0)], ConstraintOp::Le, -2.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.objective, 2.0);
+    }
+
+    #[test]
+    fn fractional_vertex_cover_of_triangle() {
+        // The fractional vertex cover LP for the triangle query C3:
+        // min v1+v2+v3 s.t. each edge covered: v1+v2>=1, v2+v3>=1, v3+v1>=1.
+        // Optimum is 3/2 at v = (1/2, 1/2, 1/2).
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let v: Vec<_> = (0..3).map(|i| lp.add_variable(format!("v{i}"))).collect();
+        for &vi in &v {
+            lp.set_objective_coefficient(vi, 1.0);
+        }
+        lp.add_constraint(vec![(v[0], 1.0), (v[1], 1.0)], ConstraintOp::Ge, 1.0);
+        lp.add_constraint(vec![(v[1], 1.0), (v[2], 1.0)], ConstraintOp::Ge, 1.0);
+        lp.add_constraint(vec![(v[2], 1.0), (v[0], 1.0)], ConstraintOp::Ge, 1.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 1.5);
+    }
+
+    #[test]
+    fn fractional_edge_packing_of_triangle() {
+        // max u1+u2+u3 s.t. at each vertex the incident edges sum to <= 1.
+        // Optimum is 3/2.
+        let mut lp = LinearProgram::new(Objective::Maximize);
+        let u: Vec<_> = (0..3).map(|i| lp.add_variable(format!("u{i}"))).collect();
+        for &ui in &u {
+            lp.set_objective_coefficient(ui, 1.0);
+        }
+        lp.add_constraint(vec![(u[0], 1.0), (u[1], 1.0)], ConstraintOp::Le, 1.0);
+        lp.add_constraint(vec![(u[1], 1.0), (u[2], 1.0)], ConstraintOp::Le, 1.0);
+        lp.add_constraint(vec![(u[2], 1.0), (u[0], 1.0)], ConstraintOp::Le, 1.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 1.5);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A classic degenerate LP; Bland's rule must kick in if needed.
+        let mut lp = LinearProgram::new(Objective::Maximize);
+        let x1 = lp.add_variable("x1");
+        let x2 = lp.add_variable("x2");
+        let x3 = lp.add_variable("x3");
+        lp.set_objective_coefficient(x1, 10.0);
+        lp.set_objective_coefficient(x2, -57.0);
+        lp.set_objective_coefficient(x3, -9.0);
+        lp.add_constraint(
+            vec![(x1, 0.5), (x2, -5.5), (x3, -2.5)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            vec![(x1, 0.5), (x2, -1.5), (x3, -0.5)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        lp.add_constraint(vec![(x1, 1.0)], ConstraintOp::Le, 1.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 1.0);
+    }
+
+    #[test]
+    fn zero_constraint_program_with_zero_objective() {
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let _x = lp.add_variable("x");
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn share_exponent_lp_for_triangle() {
+        // The LP of Eq. (10) for the triangle query with equal relation
+        // sizes (mu_j = mu for all j). Using mu = 1 (sizes measured in units
+        // of p): minimise lambda s.t. e1+e2+e3 <= 1, and for each atom the
+        // incident exponents + lambda >= 1. Optimal lambda = 1 - 1/tau* = 1/3
+        // with e_i = 1/3.
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let lambda = lp.add_variable("lambda");
+        let e: Vec<_> = (0..3).map(|i| lp.add_variable(format!("e{i}"))).collect();
+        lp.set_objective_coefficient(lambda, 1.0);
+        lp.add_constraint(
+            vec![(e[0], -1.0), (e[1], -1.0), (e[2], -1.0)],
+            ConstraintOp::Ge,
+            -1.0,
+        );
+        // Atoms: S1(x1,x2), S2(x2,x3), S3(x3,x1)
+        lp.add_constraint(
+            vec![(e[0], 1.0), (e[1], 1.0), (lambda, 1.0)],
+            ConstraintOp::Ge,
+            1.0,
+        );
+        lp.add_constraint(
+            vec![(e[1], 1.0), (e[2], 1.0), (lambda, 1.0)],
+            ConstraintOp::Ge,
+            1.0,
+        );
+        lp.add_constraint(
+            vec![(e[2], 1.0), (e[0], 1.0), (lambda, 1.0)],
+            ConstraintOp::Ge,
+            1.0,
+        );
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 1.0 / 3.0);
+    }
+}

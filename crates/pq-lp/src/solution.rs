@@ -1,0 +1,66 @@
+//! Solution types returned by the simplex solver.
+
+use crate::problem::VariableId;
+use serde::{Deserialize, Serialize};
+
+/// Status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveStatus {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+}
+
+/// An optimal solution of a [`crate::LinearProgram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Solve status (always [`SolveStatus::Optimal`]; infeasible/unbounded
+    /// problems are reported as errors instead).
+    pub status: SolveStatus,
+    /// The optimal objective value, in the direction the program requested.
+    pub objective: f64,
+    /// Optimal values of the variables, in declaration order.
+    pub values: Vec<f64>,
+}
+
+impl Solution {
+    /// The optimal value of a specific variable.
+    pub fn value(&self, var: VariableId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Returns the values rounded to the nearest multiple of `1/denominator`,
+    /// which is convenient for comparing against the small-denominator
+    /// rational optima of edge-packing LPs (e.g. `1/2` for the triangle
+    /// query).
+    pub fn values_rounded(&self, denominator: u64) -> Vec<f64> {
+        let d = denominator as f64;
+        self.values.iter().map(|v| (v * d).round() / d).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessor_uses_declaration_order() {
+        let sol = Solution {
+            status: SolveStatus::Optimal,
+            objective: 1.5,
+            values: vec![0.5, 1.0],
+        };
+        assert_eq!(sol.value(VariableId(0)), 0.5);
+        assert_eq!(sol.value(VariableId(1)), 1.0);
+    }
+
+    #[test]
+    fn rounding_snaps_to_rational_grid() {
+        let sol = Solution {
+            status: SolveStatus::Optimal,
+            objective: 1.5,
+            values: vec![0.4999999999, 0.3333333334],
+        };
+        assert_eq!(sol.values_rounded(2), vec![0.5, 0.5]);
+        assert_eq!(sol.values_rounded(3), vec![1.0 / 3.0 * 2.0 / 2.0, 1.0 / 3.0]);
+    }
+}

@@ -1,0 +1,213 @@
+//! The simulated cluster: `p` servers plus load accounting.
+
+use crate::message::Message;
+use crate::metrics::{RoundStats, RunMetrics};
+use crate::server::{Server, ServerId};
+
+/// A simulated shared-nothing cluster of `p` servers.
+///
+/// Algorithms drive the cluster imperatively, mirroring the model's
+/// round structure:
+///
+/// 1. build the round's messages (routing decisions are the algorithm's),
+/// 2. call [`Cluster::communicate`] — the synchronisation barrier, which
+///    delivers all messages and records each server's received bits,
+/// 3. inspect each [`Server`]'s fragments and perform local computation
+///    (free in the cost model), possibly producing messages for the next
+///    round.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    servers: Vec<Server>,
+    bits_per_value: u64,
+    metrics: RunMetrics,
+}
+
+impl Cluster {
+    /// Create a cluster of `p` servers whose tuples cost `bits_per_value`
+    /// bits per value.
+    ///
+    /// # Panics
+    /// Panics when `p == 0`.
+    pub fn new(p: usize, bits_per_value: u64) -> Self {
+        assert!(p > 0, "a cluster needs at least one server");
+        Cluster {
+            servers: (0..p).map(Server::new).collect(),
+            bits_per_value,
+            metrics: RunMetrics::default(),
+        }
+    }
+
+    /// Number of servers `p`.
+    pub fn p(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Bits charged per value.
+    pub fn bits_per_value(&self) -> u64 {
+        self.bits_per_value
+    }
+
+    /// Record the total input size `|I|` in bits (used for the replication
+    /// rate of the final metrics).
+    pub fn set_input_bits(&mut self, bits: u64) {
+        self.metrics.input_bits = bits;
+    }
+
+    /// Execute one communication round: deliver every message, record the
+    /// bits received per server, and return the round's statistics.
+    ///
+    /// # Panics
+    /// Panics when a message is addressed to a non-existent server.
+    pub fn communicate(&mut self, messages: Vec<Message>) -> &RoundStats {
+        let p = self.p();
+        let mut received = vec![0u64; p];
+        let count = messages.len();
+        for msg in messages {
+            assert!(
+                msg.to < p,
+                "message addressed to server {} but the cluster has only {p} servers",
+                msg.to
+            );
+            received[msg.to] += msg.payload.size_bits(self.bits_per_value);
+            self.servers[msg.to].receive(msg.payload);
+        }
+        let round = self.metrics.rounds.len() + 1;
+        self.metrics.rounds.push(RoundStats {
+            round,
+            received_bits: received,
+            messages: count,
+        });
+        self.metrics.rounds.last().expect("just pushed")
+    }
+
+    /// The servers, in id order.
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// A specific server.
+    pub fn server(&self, id: ServerId) -> &Server {
+        &self.servers[id]
+    }
+
+    /// Mutable access to a server (e.g. to pre-load the partitioned input,
+    /// which is *not* charged as communication).
+    pub fn server_mut(&mut self, id: ServerId) -> &mut Server {
+        &mut self.servers[id]
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Consume the cluster, returning its metrics.
+    pub fn into_metrics(self) -> RunMetrics {
+        self.metrics
+    }
+
+    /// Reset all servers and metrics, keeping `p` and the value width.
+    pub fn reset(&mut self) {
+        for s in &mut self.servers {
+            s.clear();
+        }
+        self.metrics = RunMetrics::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{broadcast_relation, Message};
+    use pq_relation::{Relation, Schema};
+
+    fn rel(name: &str, rows: Vec<Vec<u64>>) -> Relation {
+        Relation::from_rows(Schema::from_strs(name, &["x", "y"]), rows)
+    }
+
+    #[test]
+    fn single_round_accounting() {
+        let mut cluster = Cluster::new(4, 10);
+        cluster.set_input_bits(1000);
+        let msgs = vec![
+            Message::tuples(0, rel("R", vec![vec![1, 2], vec![3, 4]])), // 40 bits
+            Message::tuples(1, rel("R", vec![vec![5, 6]])),             // 20 bits
+            Message::raw(0, "stats", 5),
+        ];
+        let stats = cluster.communicate(msgs);
+        assert_eq!(stats.round, 1);
+        assert_eq!(stats.received_bits, vec![45, 20, 0, 0]);
+        assert_eq!(stats.messages, 3);
+        assert_eq!(cluster.metrics().max_load(), 45);
+        assert_eq!(cluster.metrics().num_rounds(), 1);
+        assert_eq!(cluster.server(0).stored_tuples(), 2);
+        assert_eq!(cluster.server(1).stored_tuples(), 1);
+        assert_eq!(cluster.server(2).stored_tuples(), 0);
+    }
+
+    #[test]
+    fn multiple_rounds_accumulate() {
+        let mut cluster = Cluster::new(2, 8);
+        cluster.communicate(vec![Message::tuples(0, rel("R", vec![vec![1, 2]]))]);
+        cluster.communicate(vec![Message::tuples(1, rel("S", vec![vec![1, 2], vec![3, 4]]))]);
+        assert_eq!(cluster.metrics().num_rounds(), 2);
+        assert_eq!(cluster.metrics().per_round_max_loads(), vec![16, 32]);
+        assert_eq!(cluster.metrics().max_load(), 32);
+        // Fragments persist across rounds.
+        assert_eq!(cluster.server(0).stored_tuples(), 1);
+        assert_eq!(cluster.server(1).stored_tuples(), 2);
+    }
+
+    #[test]
+    fn broadcast_charges_every_server() {
+        let mut cluster = Cluster::new(3, 4);
+        let r = rel("R", vec![vec![1, 2]]);
+        cluster.communicate(broadcast_relation(&r, 3));
+        let stats = &cluster.metrics().rounds[0];
+        assert_eq!(stats.received_bits, vec![8, 8, 8]);
+    }
+
+    #[test]
+    fn replication_rate_uses_input_bits() {
+        let mut cluster = Cluster::new(2, 10);
+        cluster.set_input_bits(100);
+        cluster.communicate(vec![
+            Message::tuples(0, rel("R", vec![vec![1, 2]])),
+            Message::tuples(1, rel("R", vec![vec![1, 2]])),
+        ]);
+        assert!((cluster.metrics().replication_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 2 servers")]
+    fn addressing_a_missing_server_panics() {
+        let mut cluster = Cluster::new(2, 8);
+        cluster.communicate(vec![Message::raw(5, "x", 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_server_cluster_is_rejected() {
+        Cluster::new(0, 8);
+    }
+
+    #[test]
+    fn reset_clears_servers_and_metrics() {
+        let mut cluster = Cluster::new(2, 8);
+        cluster.communicate(vec![Message::tuples(0, rel("R", vec![vec![1, 2]]))]);
+        cluster.reset();
+        assert_eq!(cluster.metrics().num_rounds(), 0);
+        assert_eq!(cluster.server(0).stored_tuples(), 0);
+    }
+
+    #[test]
+    fn preloading_via_server_mut_is_not_charged() {
+        let mut cluster = Cluster::new(2, 8);
+        cluster
+            .server_mut(0)
+            .receive(crate::message::Payload::Tuples(rel("R", vec![vec![1, 2]])));
+        assert_eq!(cluster.metrics().num_rounds(), 0);
+        assert_eq!(cluster.metrics().max_load(), 0);
+        assert_eq!(cluster.server(0).stored_tuples(), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Run metrics: the quantities the paper's theorems bound.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics of a single communication round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Round number (1-based, matching the paper's "round 1 is the first
+    /// communication").
+    pub round: usize,
+    /// Bits received by each server during this round.
+    pub received_bits: Vec<u64>,
+    /// Number of messages delivered.
+    pub messages: usize,
+}
+
+impl RoundStats {
+    /// The maximum load of this round: `max_s` bits received by server `s`.
+    pub fn max_load(&self) -> u64 {
+        self.received_bits.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total bits received across all servers this round.
+    pub fn total_bits(&self) -> u64 {
+        self.received_bits.iter().sum()
+    }
+
+    /// Mean load per server this round.
+    pub fn mean_load(&self) -> f64 {
+        if self.received_bits.is_empty() {
+            0.0
+        } else {
+            self.total_bits() as f64 / self.received_bits.len() as f64
+        }
+    }
+}
+
+/// Metrics of a full algorithm run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Per-round statistics, in execution order.
+    pub rounds: Vec<RoundStats>,
+    /// Total input size `|I|` in bits (used for the replication rate).
+    pub input_bits: u64,
+}
+
+impl RunMetrics {
+    /// Number of communication rounds `r`.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// The maximum load `L`: the largest number of bits any server received
+    /// in any single round.
+    pub fn max_load(&self) -> u64 {
+        self.rounds.iter().map(RoundStats::max_load).max().unwrap_or(0)
+    }
+
+    /// Maximum load of each round, in order.
+    pub fn per_round_max_loads(&self) -> Vec<u64> {
+        self.rounds.iter().map(RoundStats::max_load).collect()
+    }
+
+    /// Total bits communicated over the whole run.
+    pub fn total_bits(&self) -> u64 {
+        self.rounds.iter().map(RoundStats::total_bits).sum()
+    }
+
+    /// The replication rate `r = Σ_s L_s / |I|` of Section 3.4: how many
+    /// times, on average, each input bit was communicated. Returns 0 when
+    /// the input size is unknown (zero).
+    pub fn replication_rate(&self) -> f64 {
+        if self.input_bits == 0 {
+            0.0
+        } else {
+            self.total_bits() as f64 / self.input_bits as f64
+        }
+    }
+
+    /// The *space exponent* ε implied by a measured load, number of servers
+    /// and input size: the value such that `L = |I| / p^(1−ε)` (Section 3.4).
+    /// Returns `None` when the inputs make the exponent undefined
+    /// (`p <= 1`, zero load or zero input).
+    pub fn space_exponent(&self, p: usize) -> Option<f64> {
+        let load = self.max_load();
+        if p <= 1 || load == 0 || self.input_bits == 0 {
+            return None;
+        }
+        // L = I / p^(1-eps)  =>  1 - eps = ln(I/L)/ln(p)
+        let ratio = self.input_bits as f64 / load as f64;
+        Some(1.0 - ratio.ln() / (p as f64).ln())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> RunMetrics {
+        RunMetrics {
+            rounds: vec![
+                RoundStats {
+                    round: 1,
+                    received_bits: vec![100, 200, 150, 50],
+                    messages: 10,
+                },
+                RoundStats {
+                    round: 2,
+                    received_bits: vec![80, 90, 100, 95],
+                    messages: 8,
+                },
+            ],
+            input_bits: 400,
+        }
+    }
+
+    #[test]
+    fn round_stats_aggregates() {
+        let m = metrics();
+        assert_eq!(m.rounds[0].max_load(), 200);
+        assert_eq!(m.rounds[0].total_bits(), 500);
+        assert_eq!(m.rounds[0].mean_load(), 125.0);
+        assert_eq!(m.rounds[1].max_load(), 100);
+    }
+
+    #[test]
+    fn run_metrics_aggregates() {
+        let m = metrics();
+        assert_eq!(m.num_rounds(), 2);
+        assert_eq!(m.max_load(), 200);
+        assert_eq!(m.per_round_max_loads(), vec![200, 100]);
+        assert_eq!(m.total_bits(), 500 + 365);
+        assert!((m.replication_rate() - 865.0 / 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_are_well_defined() {
+        let m = RunMetrics::default();
+        assert_eq!(m.num_rounds(), 0);
+        assert_eq!(m.max_load(), 0);
+        assert_eq!(m.replication_rate(), 0.0);
+        assert_eq!(m.space_exponent(4), None);
+    }
+
+    #[test]
+    fn space_exponent_matches_definition() {
+        // p = 16, input = 1 << 20 bits, load = input / p  =>  eps = 0.
+        let m = RunMetrics {
+            rounds: vec![RoundStats {
+                round: 1,
+                received_bits: vec![1 << 16; 16],
+                messages: 16,
+            }],
+            input_bits: 1 << 20,
+        };
+        let eps = m.space_exponent(16).unwrap();
+        assert!(eps.abs() < 1e-9);
+        // Load = input / sqrt(p)  =>  eps = 1/2.
+        let m = RunMetrics {
+            rounds: vec![RoundStats {
+                round: 1,
+                received_bits: vec![1 << 18; 16],
+                messages: 16,
+            }],
+            input_bits: 1 << 20,
+        };
+        let eps = m.space_exponent(16).unwrap();
+        assert!((eps - 0.5).abs() < 1e-9);
+        assert_eq!(m.space_exponent(1), None);
+    }
+
+    #[test]
+    fn mean_load_of_empty_round() {
+        let r = RoundStats { round: 1, received_bits: vec![], messages: 0 };
+        assert_eq!(r.mean_load(), 0.0);
+        assert_eq!(r.max_load(), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Thread-parallel execution of the (cost-free) computation phases.
+//!
+//! The MPC cost model does not charge local computation, but the simulator
+//! still has to *perform* it. For large experiments the per-server local
+//! joins dominate wall-clock time, so this module fans the per-server work
+//! out over real threads with `crossbeam`'s scoped threads. Results are
+//! collected in server order, so callers see a deterministic outcome
+//! regardless of scheduling.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+use std::num::NonZeroUsize;
+
+/// Apply `f` to every server-indexed item of `inputs` in parallel and return
+/// the outputs in input order. Falls back to a sequential loop for small
+/// inputs or single-CPU machines.
+pub fn map_servers_parallel<T, R, F>(inputs: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 || n <= 2 {
+        return inputs.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i, &inputs[i]);
+                results.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_input_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let outputs = map_servers_parallel(&inputs, |i, &x| x * 2 + i as u64);
+        for (i, out) in outputs.iter().enumerate() {
+            assert_eq!(*out, inputs[i] * 2 + i as u64);
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let outputs: Vec<u32> = map_servers_parallel(&Vec::<u32>::new(), |_, &x| x);
+        assert!(outputs.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_sequentially() {
+        let outputs = map_servers_parallel(&[41u32], |_, &x| x + 1);
+        assert_eq!(outputs, vec![42]);
+    }
+
+    #[test]
+    fn heavier_work_is_correct() {
+        let inputs: Vec<u64> = (0..64).collect();
+        let outputs = map_servers_parallel(&inputs, |_, &x| (0..=x).sum::<u64>());
+        for (i, out) in outputs.iter().enumerate() {
+            let x = i as u64;
+            assert_eq!(*out, x * (x + 1) / 2);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Query atoms.
+
+use pq_relation::Schema;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single atom `S_j(x̄_j)` of a conjunctive query: a relation name plus an
+/// ordered list of variables.
+///
+/// Variables may repeat inside an atom (e.g. `S(x, x)`); the evaluation
+/// layer handles the implied equality selection. The paper restricts
+/// attention to queries *without self-joins*, i.e. no two atoms share a
+/// relation name — that restriction is enforced at the
+/// [`crate::ConjunctiveQuery`] level.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Atom {
+    relation: String,
+    variables: Vec<String>,
+}
+
+impl Atom {
+    /// Create an atom.
+    pub fn new(relation: impl Into<String>, variables: Vec<String>) -> Self {
+        Atom {
+            relation: relation.into(),
+            variables,
+        }
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn from_strs(relation: &str, variables: &[&str]) -> Self {
+        Atom::new(relation, variables.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// The relation name `S_j`.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// The ordered variables `x̄_j`.
+    pub fn variables(&self) -> &[String] {
+        &self.variables
+    }
+
+    /// Arity `a_j` of the atom (number of variable positions, counting
+    /// repeats).
+    pub fn arity(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Distinct variables, in order of first occurrence.
+    pub fn distinct_variables(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for v in &self.variables {
+            if !seen.contains(v) {
+                seen.push(v.clone());
+            }
+        }
+        seen
+    }
+
+    /// Whether the atom mentions `variable`.
+    pub fn contains(&self, variable: &str) -> bool {
+        self.variables.iter().any(|v| v == variable)
+    }
+
+    /// A schema whose attribute names are this atom's *distinct* variables
+    /// (used when binding a relation instance to the atom).
+    pub fn schema(&self) -> Schema {
+        Schema::new(self.relation.clone(), self.distinct_variables())
+    }
+
+    /// Return a copy with every variable renamed through `rename`.
+    pub fn map_variables(&self, rename: impl Fn(&str) -> String) -> Atom {
+        Atom {
+            relation: self.relation.clone(),
+            variables: self.variables.iter().map(|v| rename(v)).collect(),
+        }
+    }
+
+    /// Return a copy with the variables in `drop` removed (used to build
+    /// residual queries, which decrease the arity).
+    pub fn without_variables(&self, drop: &[String]) -> Atom {
+        Atom {
+            relation: self.relation.clone(),
+            variables: self
+                .variables
+                .iter()
+                .filter(|v| !drop.contains(v))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.relation, self.variables.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let a = Atom::from_strs("S1", &["x", "y"]);
+        assert_eq!(a.relation(), "S1");
+        assert_eq!(a.arity(), 2);
+        assert!(a.contains("x"));
+        assert!(!a.contains("z"));
+        assert_eq!(a.to_string(), "S1(x, y)");
+    }
+
+    #[test]
+    fn repeated_variables_counted_in_arity_but_not_schema() {
+        let a = Atom::from_strs("S", &["x", "x", "y"]);
+        assert_eq!(a.arity(), 3);
+        assert_eq!(a.distinct_variables(), vec!["x", "y"]);
+        assert_eq!(a.schema().arity(), 2);
+    }
+
+    #[test]
+    fn variable_renaming() {
+        let a = Atom::from_strs("S", &["x", "y"]);
+        let b = a.map_variables(|v| format!("{v}_1"));
+        assert_eq!(b.variables(), &["x_1".to_string(), "y_1".to_string()]);
+        assert_eq!(b.relation(), "S");
+    }
+
+    #[test]
+    fn dropping_variables_decreases_arity() {
+        let a = Atom::from_strs("S", &["z", "x"]);
+        let b = a.without_variables(&["z".to_string()]);
+        assert_eq!(b.variables(), &["x".to_string()]);
+        assert_eq!(b.arity(), 1);
+    }
+}

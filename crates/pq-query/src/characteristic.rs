@@ -1,0 +1,230 @@
+//! The characteristic `χ(q) = a − k − ℓ + c` (Section 2.2, Lemma 2.1),
+//! tree-likeness, and the edge contraction `q/M`.
+
+use crate::atom::Atom;
+use crate::hypergraph::Hypergraph;
+use crate::query::ConjunctiveQuery;
+use std::collections::BTreeMap;
+
+/// The characteristic of a query: `χ(q) = a − k − ℓ + c` where `a` is the
+/// total arity, `k` the number of variables, `ℓ` the number of atoms and `c`
+/// the number of connected components. By Lemma 2.1(c), `χ(q) ≥ 0` for every
+/// query.
+pub fn characteristic(query: &ConjunctiveQuery) -> i64 {
+    let a = query.total_arity() as i64;
+    let k = query.num_variables() as i64;
+    let l = query.num_atoms() as i64;
+    let c = Hypergraph::of(query).num_components() as i64;
+    a - k - l + c
+}
+
+/// A query is *tree-like* when it is connected and `χ(q) = 0`
+/// (Definition 2.2). Over binary vocabularies this coincides with the
+/// hypergraph being a tree.
+pub fn is_tree_like(query: &ConjunctiveQuery) -> bool {
+    Hypergraph::of(query).is_connected() && characteristic(query) == 0
+}
+
+/// Contract the atoms in `contracted` (indices into `query.atoms()`): the
+/// variables of each contracted atom are merged into a single node, and the
+/// query `q/M` consists of the *remaining* atoms with variables replaced by
+/// their merged representatives.
+///
+/// The representative of a merged class is its lexicographically smallest
+/// variable, so e.g. `L_5 / {S_2, S_4} = S1(x0,x1), S3(x1,x3), S5(x3,x5)`
+/// exactly as in the paper's example.
+///
+/// # Panics
+/// Panics when an index is out of range.
+pub fn contract(query: &ConjunctiveQuery, contracted: &[usize]) -> ConjunctiveQuery {
+    for &i in contracted {
+        assert!(i < query.num_atoms(), "atom index {i} out of range");
+    }
+    // Union-find over variables.
+    let variables = query.variables();
+    let mut parent: BTreeMap<String, String> = variables
+        .iter()
+        .map(|v| (v.clone(), v.clone()))
+        .collect();
+
+    fn find(parent: &mut BTreeMap<String, String>, v: &str) -> String {
+        let p = parent[v].clone();
+        if p == v {
+            return p;
+        }
+        let root = find(parent, &p);
+        parent.insert(v.to_string(), root.clone());
+        root
+    }
+
+    fn union(parent: &mut BTreeMap<String, String>, a: &str, b: &str) {
+        let ra = find(parent, a);
+        let rb = find(parent, b);
+        if ra == rb {
+            return;
+        }
+        // Smaller name becomes the representative.
+        if ra < rb {
+            parent.insert(rb, ra);
+        } else {
+            parent.insert(ra, rb);
+        }
+    }
+
+    for &i in contracted {
+        let vars = query.atoms()[i].distinct_variables();
+        for pair in vars.windows(2) {
+            union(&mut parent, &pair[0], &pair[1]);
+        }
+    }
+
+    let remaining: Vec<Atom> = query
+        .atoms()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !contracted.contains(i))
+        .map(|(_, atom)| atom.map_variables(|v| find(&mut parent.clone(), v)))
+        .collect();
+    // NOTE: map_variables above clones `parent` per atom because the closure
+    // cannot capture it mutably twice; path compression is therefore not
+    // shared across atoms, which is fine at these sizes.
+
+    ConjunctiveQuery::new(format!("{}/M", query.name()), remaining)
+}
+
+/// The characteristic of a sub-multiset of atoms, viewed as a query of its
+/// own (the paper's `χ(M)`). Needed to check the ε-goodness condition of
+/// Definition 5.5 (`χ(M) = 0`).
+pub fn characteristic_of_atoms(query: &ConjunctiveQuery, atom_indices: &[usize]) -> i64 {
+    characteristic(&query.subquery(atom_indices, "M"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::ConjunctiveQuery;
+
+    #[test]
+    fn chain_queries_are_tree_like_with_zero_characteristic() {
+        for k in 1..=6 {
+            let q = ConjunctiveQuery::chain(k);
+            assert_eq!(characteristic(&q), 0, "chi(L_{k})");
+            assert!(is_tree_like(&q), "L_{k} tree-like");
+        }
+    }
+
+    #[test]
+    fn star_queries_are_tree_like() {
+        for k in 1..=5 {
+            let q = ConjunctiveQuery::star(k);
+            assert_eq!(characteristic(&q), 0);
+            assert!(is_tree_like(&q));
+        }
+    }
+
+    #[test]
+    fn paper_worked_examples_for_characteristic() {
+        // χ(L5) = 10 − 6 − 5 + 1 = 0, χ(L3) = 0.
+        assert_eq!(characteristic(&ConjunctiveQuery::chain(5)), 0);
+        assert_eq!(characteristic(&ConjunctiveQuery::chain(3)), 0);
+        // χ(K4) = 12 − 4 − 6 + 1 = 3.
+        assert_eq!(characteristic(&ConjunctiveQuery::k4()), 3);
+        // χ(C3) = 6 − 3 − 3 + 1 = 1.
+        assert_eq!(characteristic(&ConjunctiveQuery::triangle()), 1);
+        // Triangle is connected but not tree-like.
+        assert!(!is_tree_like(&ConjunctiveQuery::triangle()));
+    }
+
+    #[test]
+    fn characteristic_is_additive_over_components() {
+        // Lemma 2.1(a): components are R(x),S(y) with χ = 0 each.
+        let q = ConjunctiveQuery::cartesian_pair();
+        assert_eq!(characteristic(&q), 0);
+        assert!(!is_tree_like(&q)); // disconnected, so not tree-like
+    }
+
+    #[test]
+    fn contraction_of_l5_matches_paper_example() {
+        // L5/{S2, S4} = S1(x0,x1), S3(x1,x3), S5(x3,x5).
+        let l5 = ConjunctiveQuery::chain(5);
+        let contracted = contract(&l5, &[1, 3]); // S2 and S4 (0-based)
+        assert_eq!(contracted.num_atoms(), 3);
+        let atoms: Vec<String> = contracted.atoms().iter().map(|a| a.to_string()).collect();
+        assert_eq!(atoms, vec!["S1(x0, x1)", "S3(x1, x3)", "S5(x3, x5)"]);
+        // χ is preserved: χ(L5/M) = χ(L5) − χ(M) = 0 (Lemma 2.1(b)).
+        assert_eq!(characteristic(&contracted), 0);
+    }
+
+    #[test]
+    fn contraction_of_k4_matches_paper_example() {
+        // M = {S1, S2, S3} (the triangle on x1,x2,x3):
+        // K4/M = S4(x1,x4), S5(x1,x4), S6(x1,x4) — all variables of the
+        // triangle merge into x1.
+        let k4 = ConjunctiveQuery::k4();
+        let contracted = contract(&k4, &[0, 1, 2]);
+        assert_eq!(contracted.num_atoms(), 3);
+        for atom in contracted.atoms() {
+            assert_eq!(atom.variables(), &["x1".to_string(), "x4".to_string()]);
+        }
+        // Characteristics from the paper: χ(K4)=3, χ(M)=1, χ(K4/M)=2.
+        assert_eq!(characteristic(&k4), 3);
+        assert_eq!(characteristic_of_atoms(&k4, &[0, 1, 2]), 1);
+        assert_eq!(characteristic(&contracted), 2);
+    }
+
+    #[test]
+    fn lemma_2_1_b_contraction_identity_on_examples() {
+        // χ(q/M) = χ(q) − χ(M) for a few hand-picked M.
+        let cases = vec![
+            (ConjunctiveQuery::chain(5), vec![1usize, 3]),
+            (ConjunctiveQuery::k4(), vec![0, 1, 2]),
+            (ConjunctiveQuery::cycle(5), vec![0, 2]),
+            (ConjunctiveQuery::star(4), vec![0]),
+        ];
+        for (q, m) in cases {
+            let lhs = characteristic(&contract(&q, &m));
+            let rhs = characteristic(&q) - characteristic_of_atoms(&q, &m);
+            assert_eq!(lhs, rhs, "Lemma 2.1(b) failed for {} / {m:?}", q.name());
+        }
+    }
+
+    #[test]
+    fn lemma_2_1_c_nonnegativity_on_families() {
+        let queries = vec![
+            ConjunctiveQuery::chain(4),
+            ConjunctiveQuery::cycle(6),
+            ConjunctiveQuery::star(5),
+            ConjunctiveQuery::k4(),
+            ConjunctiveQuery::b_query(4, 2),
+            ConjunctiveQuery::star_of_paths(3),
+        ];
+        for q in queries {
+            assert!(characteristic(&q) >= 0, "chi({}) < 0", q.name());
+        }
+    }
+
+    #[test]
+    fn contracting_a_cycle_shortens_it() {
+        // C6 / {S1} is isomorphic to C5 (merging x1 and x2).
+        let c6 = ConjunctiveQuery::cycle(6);
+        let contracted = contract(&c6, &[0]);
+        assert_eq!(contracted.num_atoms(), 5);
+        assert_eq!(contracted.num_variables(), 5);
+        assert_eq!(characteristic(&contracted), 1);
+    }
+
+    #[test]
+    fn acyclic_but_not_tree_like_example() {
+        // q = S1(x0,x1,x2), S2(x1,x2,x3) is acyclic but not tree-like
+        // (Section 2.2): χ = 6 − 4 − 2 + 1 = 1.
+        let q = ConjunctiveQuery::new(
+            "acyclic",
+            vec![
+                crate::Atom::from_strs("S1", &["x0", "x1", "x2"]),
+                crate::Atom::from_strs("S2", &["x1", "x2", "x3"]),
+            ],
+        );
+        assert_eq!(characteristic(&q), 1);
+        assert!(!is_tree_like(&q));
+    }
+}

@@ -1,0 +1,271 @@
+//! The query hypergraph: one node per variable, one hyperedge per atom.
+//!
+//! Provides connectivity, connected components, shortest distances between
+//! variables (two variables are adjacent when they co-occur in an atom),
+//! and the radius/diameter used by the multi-round plan construction of
+//! Lemma 5.4 (`rad(q)`) and the round lower bound of Corollary 5.17
+//! (`diam(q)`).
+
+use crate::query::ConjunctiveQuery;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The hypergraph of a conjunctive query.
+#[derive(Debug, Clone)]
+pub struct Hypergraph {
+    /// Variables (nodes), sorted.
+    variables: Vec<String>,
+    /// Hyperedges: distinct variables of each atom, by atom index.
+    edges: Vec<BTreeSet<String>>,
+}
+
+impl Hypergraph {
+    /// Build the hypergraph of a query.
+    pub fn of(query: &ConjunctiveQuery) -> Self {
+        let variables: BTreeSet<String> = query
+            .atoms()
+            .iter()
+            .flat_map(|a| a.variables().iter().cloned())
+            .collect();
+        let edges = query
+            .atoms()
+            .iter()
+            .map(|a| a.distinct_variables().into_iter().collect())
+            .collect();
+        Hypergraph {
+            variables: variables.into_iter().collect(),
+            edges,
+        }
+    }
+
+    /// Nodes (variables) of the hypergraph, sorted.
+    pub fn variables(&self) -> &[String] {
+        &self.variables
+    }
+
+    /// Hyperedges (one per atom, in atom order).
+    pub fn edges(&self) -> &[BTreeSet<String>] {
+        &self.edges
+    }
+
+    /// Variable adjacency: neighbours of every variable (variables sharing
+    /// an atom with it).
+    fn adjacency(&self) -> BTreeMap<&str, BTreeSet<&str>> {
+        let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for v in &self.variables {
+            adj.insert(v.as_str(), BTreeSet::new());
+        }
+        for edge in &self.edges {
+            for a in edge {
+                for b in edge {
+                    if a != b {
+                        adj.get_mut(a.as_str()).expect("node exists").insert(b.as_str());
+                    }
+                }
+            }
+        }
+        adj
+    }
+
+    /// Connected components over the *atoms*: each component is a set of
+    /// atom indices. Atoms with no variables (nullary) each form their own
+    /// component. The number of components is the paper's `c`.
+    pub fn atom_components(&self) -> Vec<Vec<usize>> {
+        let l = self.edges.len();
+        let mut visited = vec![false; l];
+        let mut components = Vec::new();
+        for start in 0..l {
+            if visited[start] {
+                continue;
+            }
+            let mut queue = VecDeque::from([start]);
+            visited[start] = true;
+            let mut component = vec![start];
+            while let Some(i) = queue.pop_front() {
+                for j in 0..l {
+                    if !visited[j] && !self.edges[i].is_disjoint(&self.edges[j]) && !self.edges[i].is_empty()
+                    {
+                        visited[j] = true;
+                        component.push(j);
+                        queue.push_back(j);
+                    }
+                }
+            }
+            component.sort_unstable();
+            components.push(component);
+        }
+        components
+    }
+
+    /// Number of connected components `c` (over atoms; isolated variables
+    /// cannot exist in a query hypergraph since every variable comes from an
+    /// atom).
+    pub fn num_components(&self) -> usize {
+        self.atom_components().len()
+    }
+
+    /// True when the query hypergraph is connected (and non-empty).
+    pub fn is_connected(&self) -> bool {
+        self.num_components() == 1
+    }
+
+    /// Shortest-path distance between two variables (number of edges in the
+    /// variable adjacency graph); `None` when they are in different
+    /// components or either is unknown.
+    pub fn distance(&self, from: &str, to: &str) -> Option<usize> {
+        if !self.variables.iter().any(|v| v == from) || !self.variables.iter().any(|v| v == to) {
+            return None;
+        }
+        if from == to {
+            return Some(0);
+        }
+        let adj = self.adjacency();
+        let mut dist: BTreeMap<&str, usize> = BTreeMap::new();
+        dist.insert(from, 0);
+        let mut queue = VecDeque::from([from]);
+        while let Some(v) = queue.pop_front() {
+            let d = dist[v];
+            for &w in &adj[v] {
+                if !dist.contains_key(w) {
+                    dist.insert(w, d + 1);
+                    if w == to {
+                        return Some(d + 1);
+                    }
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist.get(to).copied()
+    }
+
+    /// Eccentricity of a variable: its maximum distance to any other
+    /// variable. `None` when the hypergraph is disconnected.
+    pub fn eccentricity(&self, variable: &str) -> Option<usize> {
+        let mut max = 0;
+        for v in &self.variables {
+            match self.distance(variable, v) {
+                Some(d) => max = max.max(d),
+                None => return None,
+            }
+        }
+        Some(max)
+    }
+
+    /// The radius `rad(q) = min_u max_v d(u, v)`; `None` when disconnected.
+    pub fn radius(&self) -> Option<usize> {
+        self.variables
+            .iter()
+            .map(|v| self.eccentricity(v))
+            .collect::<Option<Vec<_>>>()
+            .map(|e| e.into_iter().min().unwrap_or(0))
+    }
+
+    /// A variable achieving the radius (a "centre"); `None` when
+    /// disconnected or empty.
+    pub fn center(&self) -> Option<String> {
+        let mut best: Option<(usize, &String)> = None;
+        for v in &self.variables {
+            let ecc = self.eccentricity(v)?;
+            if best.map_or(true, |(e, _)| ecc < e) {
+                best = Some((ecc, v));
+            }
+        }
+        best.map(|(_, v)| v.clone())
+    }
+
+    /// The diameter `diam(q) = max_{u,v} d(u, v)`; `None` when disconnected.
+    pub fn diameter(&self) -> Option<usize> {
+        self.variables
+            .iter()
+            .map(|v| self.eccentricity(v))
+            .collect::<Option<Vec<_>>>()
+            .map(|e| e.into_iter().max().unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::ConjunctiveQuery;
+
+    #[test]
+    fn triangle_is_connected_with_radius_and_diameter_one() {
+        let h = Hypergraph::of(&ConjunctiveQuery::triangle());
+        assert!(h.is_connected());
+        assert_eq!(h.num_components(), 1);
+        assert_eq!(h.radius(), Some(1));
+        assert_eq!(h.diameter(), Some(1));
+    }
+
+    #[test]
+    fn chain_radius_and_diameter_match_paper() {
+        // rad(L_k) = ceil(k/2), diam(L_k) = k (Section 5.1 / 5.3).
+        for k in 1..=6 {
+            let h = Hypergraph::of(&ConjunctiveQuery::chain(k));
+            assert_eq!(h.diameter(), Some(k), "diam(L_{k})");
+            assert_eq!(h.radius(), Some(k.div_ceil(2)), "rad(L_{k})");
+        }
+    }
+
+    #[test]
+    fn cycle_radius_and_diameter_match_paper() {
+        // rad(C_k) = diam(C_k) = floor(k/2).
+        for k in 3..=7 {
+            let h = Hypergraph::of(&ConjunctiveQuery::cycle(k));
+            assert_eq!(h.radius(), Some(k / 2), "rad(C_{k})");
+            assert_eq!(h.diameter(), Some(k / 2), "diam(C_{k})");
+        }
+    }
+
+    #[test]
+    fn star_is_connected_with_radius_one() {
+        let h = Hypergraph::of(&ConjunctiveQuery::star(5));
+        assert!(h.is_connected());
+        assert_eq!(h.radius(), Some(1));
+        assert_eq!(h.diameter(), Some(2));
+        assert_eq!(h.center(), Some("z".to_string()));
+    }
+
+    #[test]
+    fn cartesian_pair_is_disconnected() {
+        let h = Hypergraph::of(&ConjunctiveQuery::cartesian_pair());
+        assert!(!h.is_connected());
+        assert_eq!(h.num_components(), 2);
+        assert_eq!(h.radius(), None);
+        assert_eq!(h.diameter(), None);
+        assert_eq!(h.distance("x", "y"), None);
+    }
+
+    #[test]
+    fn distances_in_a_chain() {
+        let h = Hypergraph::of(&ConjunctiveQuery::chain(4));
+        assert_eq!(h.distance("x0", "x4"), Some(4));
+        assert_eq!(h.distance("x1", "x3"), Some(2));
+        assert_eq!(h.distance("x2", "x2"), Some(0));
+        assert_eq!(h.distance("x0", "zzz"), None);
+    }
+
+    #[test]
+    fn star_of_paths_radius() {
+        // SP_k: centre z, each path has length 2 from z, so rad = 2, diam = 4.
+        let h = Hypergraph::of(&ConjunctiveQuery::star_of_paths(3));
+        assert_eq!(h.radius(), Some(2));
+        assert_eq!(h.diameter(), Some(4));
+    }
+
+    #[test]
+    fn components_of_disconnected_query() {
+        let q = ConjunctiveQuery::new(
+            "two_chains",
+            vec![
+                crate::Atom::from_strs("A", &["x", "y"]),
+                crate::Atom::from_strs("B", &["y", "z"]),
+                crate::Atom::from_strs("C", &["u", "v"]),
+            ],
+        );
+        let h = Hypergraph::of(&q);
+        let comps = h.atom_components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1]);
+        assert_eq!(comps[1], vec![2]);
+    }
+}

@@ -1,0 +1,344 @@
+//! Fractional edge packings and covers of a query hypergraph
+//! (Section 2.2), and the vertices `pk(q)` of the packing polytope over
+//! which the one-round lower bound is maximised (Section 3.3).
+
+use crate::hypergraph::Hypergraph;
+use crate::query::ConjunctiveQuery;
+use pq_lp::{ConstraintOp, LinearProgram, Objective, Polytope};
+
+/// Tolerance used for feasibility checks on packings/covers.
+pub const PACKING_TOLERANCE: f64 = 1e-7;
+
+/// Build the fractional edge-packing polytope of a query: one coordinate
+/// `u_j` per atom, one constraint `Σ_{j : x_i ∈ S_j} u_j ≤ 1` per variable,
+/// plus non-negativity (Eq. 2).
+pub fn edge_packing_polytope(query: &ConjunctiveQuery) -> Polytope {
+    let l = query.num_atoms();
+    let variables = query.variables();
+    let mut rows = Vec::with_capacity(variables.len());
+    let mut rhs = Vec::with_capacity(variables.len());
+    for var in &variables {
+        let mut row = vec![0.0; l];
+        for (j, atom) in query.atoms().iter().enumerate() {
+            if atom.contains(var) {
+                row[j] = 1.0;
+            }
+        }
+        rows.push(row);
+        rhs.push(1.0);
+    }
+    Polytope::new(rows, rhs, l)
+}
+
+/// Enumerate the extreme points `pk(q)` of the fractional edge-packing
+/// polytope. For the triangle query this returns the five vertices of
+/// Example 3.17.
+pub fn fractional_edge_packing_vertices(query: &ConjunctiveQuery) -> Vec<Vec<f64>> {
+    edge_packing_polytope(query).vertices(PACKING_TOLERANCE)
+}
+
+/// Check whether `u` is a feasible fractional edge packing of `query`.
+pub fn is_edge_packing(query: &ConjunctiveQuery, u: &[f64], tolerance: f64) -> bool {
+    if u.len() != query.num_atoms() {
+        return false;
+    }
+    edge_packing_polytope(query).contains(u, tolerance)
+}
+
+/// Check whether `u` is a *tight* fractional edge packing (every variable
+/// constraint holds with equality).
+pub fn is_tight_edge_packing(query: &ConjunctiveQuery, u: &[f64], tolerance: f64) -> bool {
+    if !is_edge_packing(query, u, tolerance) {
+        return false;
+    }
+    for var in query.variables() {
+        let total: f64 = query
+            .atoms()
+            .iter()
+            .zip(u.iter())
+            .filter(|(atom, _)| atom.contains(&var))
+            .map(|(_, &uj)| uj)
+            .sum();
+        if (total - 1.0).abs() > tolerance {
+            return false;
+        }
+    }
+    true
+}
+
+/// The maximum-value fractional edge packing and its value
+/// `τ* = max_u Σ_j u_j` (the fractional vertex-covering number, by LP
+/// duality).
+pub fn optimal_edge_packing(query: &ConjunctiveQuery) -> (Vec<f64>, f64) {
+    let mut lp = LinearProgram::new(Objective::Maximize);
+    let vars: Vec<_> = query
+        .atoms()
+        .iter()
+        .map(|a| lp.add_variable(format!("u_{}", a.relation())))
+        .collect();
+    for &v in &vars {
+        lp.set_objective_coefficient(v, 1.0);
+    }
+    for variable in query.variables() {
+        let terms: Vec<_> = query
+            .atoms()
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.contains(&variable))
+            .map(|(j, _)| (vars[j], 1.0))
+            .collect();
+        if !terms.is_empty() {
+            lp.add_constraint(terms, ConstraintOp::Le, 1.0);
+        }
+    }
+    let sol = lp.solve().expect("edge-packing LP is always feasible and bounded");
+    (sol.values, sol.objective)
+}
+
+/// The fractional vertex-covering number `τ*(q)`: the optimum of the
+/// fractional vertex-cover LP `min Σ_i v_i` s.t. every atom is covered. By
+/// LP duality this equals the optimal edge-packing value; we solve the cover
+/// LP directly so the two can be cross-checked in tests.
+pub fn vertex_cover_number(query: &ConjunctiveQuery) -> f64 {
+    let mut lp = LinearProgram::new(Objective::Minimize);
+    let variables = query.variables();
+    let vars: Vec<_> = variables
+        .iter()
+        .map(|v| lp.add_variable(format!("v_{v}")))
+        .collect();
+    for &v in &vars {
+        lp.set_objective_coefficient(v, 1.0);
+    }
+    for atom in query.atoms() {
+        let terms: Vec<_> = variables
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| atom.contains(v))
+            .map(|(i, _)| (vars[i], 1.0))
+            .collect();
+        lp.add_constraint(terms, ConstraintOp::Ge, 1.0);
+    }
+    lp.solve()
+        .expect("vertex-cover LP is always feasible and bounded")
+        .objective
+}
+
+/// The optimal fractional vertex cover itself (values per variable, in
+/// [`ConjunctiveQuery::variables`] order) together with `τ*`.
+pub fn optimal_vertex_cover(query: &ConjunctiveQuery) -> (Vec<f64>, f64) {
+    let mut lp = LinearProgram::new(Objective::Minimize);
+    let variables = query.variables();
+    let vars: Vec<_> = variables
+        .iter()
+        .map(|v| lp.add_variable(format!("v_{v}")))
+        .collect();
+    for &v in &vars {
+        lp.set_objective_coefficient(v, 1.0);
+    }
+    for atom in query.atoms() {
+        let terms: Vec<_> = variables
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| atom.contains(v))
+            .map(|(i, _)| (vars[i], 1.0))
+            .collect();
+        lp.add_constraint(terms, ConstraintOp::Ge, 1.0);
+    }
+    let sol = lp.solve().expect("vertex-cover LP is always feasible and bounded");
+    (sol.values, sol.objective)
+}
+
+/// The fractional edge-cover number `ρ*(q)`: `min Σ_j u_j` such that every
+/// variable is covered with weight at least one. Unbounded relations of a
+/// variable-free query give `ρ* = 0`.
+pub fn edge_cover_number(query: &ConjunctiveQuery) -> f64 {
+    let mut lp = LinearProgram::new(Objective::Minimize);
+    let vars: Vec<_> = query
+        .atoms()
+        .iter()
+        .map(|a| lp.add_variable(format!("u_{}", a.relation())))
+        .collect();
+    for &v in &vars {
+        lp.set_objective_coefficient(v, 1.0);
+    }
+    for variable in query.variables() {
+        let terms: Vec<_> = query
+            .atoms()
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.contains(&variable))
+            .map(|(j, _)| (vars[j], 1.0))
+            .collect();
+        lp.add_constraint(terms, ConstraintOp::Ge, 1.0);
+    }
+    lp.solve()
+        .expect("edge-cover LP of a full CQ is feasible (all-ones is a cover)")
+        .objective
+}
+
+/// The fractional vertex-covering number of the *residual* connectivity:
+/// convenience that returns `τ*` restricted to a connected subquery given
+/// by atom indices.
+pub fn subquery_tau_star(query: &ConjunctiveQuery, atom_indices: &[usize]) -> f64 {
+    vertex_cover_number(&query.subquery(atom_indices, "sub"))
+}
+
+/// True when the query is connected (needed by several theorem
+/// preconditions); thin wrapper re-exported here for convenience.
+pub fn is_connected(query: &ConjunctiveQuery) -> bool {
+    Hypergraph::of(query).is_connected()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::ConjunctiveQuery;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn tau_star_matches_table_2() {
+        // Table 2: τ*(C_k) = k/2, τ*(T_k) = 1, τ*(L_k) = ceil(k/2),
+        // τ*(B_{k,m}) = k/m.
+        for k in 3..=6 {
+            assert!(close(vertex_cover_number(&ConjunctiveQuery::cycle(k)), k as f64 / 2.0));
+        }
+        for k in 1..=5 {
+            assert!(close(vertex_cover_number(&ConjunctiveQuery::star(k)), 1.0));
+        }
+        for k in 1..=6 {
+            assert!(close(
+                vertex_cover_number(&ConjunctiveQuery::chain(k)),
+                (k as f64 / 2.0).ceil()
+            ));
+        }
+        for (k, m) in [(4usize, 2usize), (5, 3), (6, 2), (3, 3)] {
+            assert!(close(
+                vertex_cover_number(&ConjunctiveQuery::b_query(k, m)),
+                k as f64 / m as f64
+            ));
+        }
+    }
+
+    #[test]
+    fn packing_optimum_equals_cover_optimum_by_duality() {
+        let queries = vec![
+            ConjunctiveQuery::triangle(),
+            ConjunctiveQuery::chain(4),
+            ConjunctiveQuery::star(3),
+            ConjunctiveQuery::k4(),
+            ConjunctiveQuery::b_query(4, 2),
+            ConjunctiveQuery::star_of_paths(2),
+        ];
+        for q in queries {
+            let (_, packing) = optimal_edge_packing(&q);
+            let cover = vertex_cover_number(&q);
+            assert!(close(packing, cover), "duality gap for {}", q.name());
+        }
+    }
+
+    #[test]
+    fn tau_star_of_star_of_paths_is_k() {
+        // Example 5.3: τ*(SP_k) = k.
+        for k in 1..=4 {
+            assert!(close(
+                vertex_cover_number(&ConjunctiveQuery::star_of_paths(k)),
+                k as f64
+            ));
+        }
+    }
+
+    #[test]
+    fn triangle_polytope_vertices_match_example_3_17() {
+        let vertices = fractional_edge_packing_vertices(&ConjunctiveQuery::triangle());
+        assert_eq!(vertices.len(), 5);
+        let expect = vec![
+            vec![0.5, 0.5, 0.5],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![0.0, 0.0, 0.0],
+        ];
+        for e in expect {
+            assert!(
+                vertices.iter().any(|v| v.iter().zip(e.iter()).all(|(a, b)| close(*a, *b))),
+                "vertex {e:?} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_packing_example_2_3() {
+        // L3: (1,0,1) is a tight, optimal packing with value τ* = 2.
+        let l3 = ConjunctiveQuery::chain(3);
+        assert!(is_edge_packing(&l3, &[1.0, 0.0, 1.0], 1e-9));
+        assert!(is_tight_edge_packing(&l3, &[1.0, 0.0, 1.0], 1e-9));
+        assert!(close(vertex_cover_number(&l3), 2.0));
+        // (1, 0.5, 1) violates the constraint at x1 (S1+S2) and x2 (S2+S3).
+        assert!(!is_edge_packing(&l3, &[1.0, 0.5, 1.0], 1e-9));
+    }
+
+    #[test]
+    fn edge_cover_examples_from_section_2_2() {
+        // q = S1(x,y), S2(y,z): τ* = 1, ρ* = 2.
+        let q = ConjunctiveQuery::chain(2);
+        assert!(close(vertex_cover_number(&q), 1.0));
+        assert!(close(edge_cover_number(&q), 2.0));
+        // q = S1(x), S2(x,y), S3(y): τ* = 2 and ρ* = 1.
+        let q = ConjunctiveQuery::new(
+            "mixed",
+            vec![
+                crate::Atom::from_strs("S1", &["x"]),
+                crate::Atom::from_strs("S2", &["x", "y"]),
+                crate::Atom::from_strs("S3", &["y"]),
+            ],
+        );
+        assert!(close(vertex_cover_number(&q), 2.0));
+        assert!(close(edge_cover_number(&q), 1.0));
+    }
+
+    #[test]
+    fn all_polytope_vertices_are_feasible_packings() {
+        for q in [
+            ConjunctiveQuery::triangle(),
+            ConjunctiveQuery::chain(4),
+            ConjunctiveQuery::star(3),
+            ConjunctiveQuery::cycle(5),
+        ] {
+            for v in fractional_edge_packing_vertices(&q) {
+                assert!(is_edge_packing(&q, &v, 1e-6), "infeasible vertex for {}", q.name());
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_vertex_cover_of_triangle_is_half_everywhere() {
+        let (cover, value) = optimal_vertex_cover(&ConjunctiveQuery::triangle());
+        assert!(close(value, 1.5));
+        for v in cover {
+            assert!(close(v, 0.5));
+        }
+    }
+
+    #[test]
+    fn subquery_tau_star_restricts_correctly() {
+        let l4 = ConjunctiveQuery::chain(4);
+        // Sub-chain of two adjacent edges has τ* = 1.
+        assert!(close(subquery_tau_star(&l4, &[0, 1]), 1.0));
+        assert!(close(subquery_tau_star(&l4, &[0, 1, 2]), 2.0));
+    }
+
+    #[test]
+    fn is_edge_packing_rejects_wrong_length() {
+        let q = ConjunctiveQuery::triangle();
+        assert!(!is_edge_packing(&q, &[0.5, 0.5], 1e-9));
+    }
+
+    #[test]
+    fn connectivity_wrapper() {
+        assert!(is_connected(&ConjunctiveQuery::triangle()));
+        assert!(!is_connected(&ConjunctiveQuery::cartesian_pair()));
+    }
+}

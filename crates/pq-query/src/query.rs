@@ -1,0 +1,366 @@
+//! Full conjunctive queries and the paper's named query families.
+
+use crate::atom::Atom;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A full conjunctive query without self-joins (Eq. 1 of the paper):
+/// `q(x_1, …, x_k) = S_1(x̄_1), …, S_ℓ(x̄_ℓ)` where every variable of the
+/// body appears in the head.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConjunctiveQuery {
+    name: String,
+    atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Create a query from its atoms.
+    ///
+    /// # Panics
+    /// Panics when two atoms share a relation name (the paper's queries are
+    /// self-join free; see footnote 2 for why this is w.l.o.g.).
+    pub fn new(name: impl Into<String>, atoms: Vec<Atom>) -> Self {
+        let name = name.into();
+        for (i, a) in atoms.iter().enumerate() {
+            for b in &atoms[..i] {
+                assert!(
+                    a.relation() != b.relation(),
+                    "query `{name}` has a self-join on relation `{}`",
+                    a.relation()
+                );
+            }
+        }
+        ConjunctiveQuery { name, atoms }
+    }
+
+    /// The query's name (used in reports and generated relation names).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The atoms of the body.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Number of atoms `ℓ`.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// All variables of the query, in order of first occurrence (these are
+    /// also the head variables, since the query is full).
+    pub fn variables(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for atom in &self.atoms {
+            for v in atom.variables() {
+                if !seen.contains(v) {
+                    seen.push(v.clone());
+                }
+            }
+        }
+        seen
+    }
+
+    /// Number of variables `k`.
+    pub fn num_variables(&self) -> usize {
+        self.variables().len()
+    }
+
+    /// Total arity `a = Σ_j a_j`.
+    pub fn total_arity(&self) -> usize {
+        self.atoms.iter().map(Atom::arity).sum()
+    }
+
+    /// The atoms that mention `variable` (the paper's `atoms(x_i)`),
+    /// returned as indices into [`ConjunctiveQuery::atoms`].
+    pub fn atoms_of(&self, variable: &str) -> Vec<usize> {
+        self.atoms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.contains(variable))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The atom with the given relation name, if any.
+    pub fn atom_by_relation(&self, relation: &str) -> Option<&Atom> {
+        self.atoms.iter().find(|a| a.relation() == relation)
+    }
+
+    /// Relation names, in atom order.
+    pub fn relation_names(&self) -> Vec<String> {
+        self.atoms.iter().map(|a| a.relation().to_string()).collect()
+    }
+
+    /// The subquery induced by a set of atom indices (keeping this query's
+    /// name with a suffix). Variables are those of the kept atoms.
+    pub fn subquery(&self, atom_indices: &[usize], name: &str) -> ConjunctiveQuery {
+        let atoms = atom_indices.iter().map(|&i| self.atoms[i].clone()).collect();
+        ConjunctiveQuery::new(name, atoms)
+    }
+
+    /// Enumerate all non-empty connected subqueries, as sets of atom
+    /// indices. Exponential in the number of atoms — intended for the small
+    /// queries of the paper (≲ 16 atoms).
+    pub fn connected_subqueries(&self) -> Vec<Vec<usize>> {
+        let l = self.num_atoms();
+        let mut out = Vec::new();
+        for mask in 1u64..(1u64 << l) {
+            let indices: Vec<usize> = (0..l).filter(|i| mask & (1 << i) != 0).collect();
+            let sub = self.subquery(&indices, "sub");
+            if crate::hypergraph::Hypergraph::of(&sub).is_connected() {
+                out.push(indices);
+            }
+        }
+        out
+    }
+
+    // ---------------------------------------------------------------
+    // Named query families from the paper.
+    // ---------------------------------------------------------------
+
+    /// The cycle query `C_k(x_1,…,x_k) = ⋀_j S_j(x_j, x_{(j mod k)+1})`
+    /// (Table 2). `C_3` is the triangle query.
+    pub fn cycle(k: usize) -> ConjunctiveQuery {
+        assert!(k >= 2, "cycle query needs k >= 2");
+        let atoms = (1..=k)
+            .map(|j| {
+                Atom::from_strs(
+                    &format!("S{j}"),
+                    &[&format!("x{j}"), &format!("x{}", (j % k) + 1)],
+                )
+            })
+            .collect();
+        ConjunctiveQuery::new(format!("C{k}"), atoms)
+    }
+
+    /// The triangle query `C_3 = S_1(x_1,x_2), S_2(x_2,x_3), S_3(x_3,x_1)`.
+    pub fn triangle() -> ConjunctiveQuery {
+        Self::cycle(3)
+    }
+
+    /// The chain (line) query `L_k(x_0,…,x_k) = ⋀_j S_j(x_{j−1}, x_j)`
+    /// (Table 2).
+    pub fn chain(k: usize) -> ConjunctiveQuery {
+        assert!(k >= 1, "chain query needs k >= 1");
+        let atoms = (1..=k)
+            .map(|j| {
+                Atom::from_strs(
+                    &format!("S{j}"),
+                    &[&format!("x{}", j - 1), &format!("x{j}")],
+                )
+            })
+            .collect();
+        ConjunctiveQuery::new(format!("L{k}"), atoms)
+    }
+
+    /// The star query `T_k(z, x_1,…,x_k) = ⋀_j S_j(z, x_j)` (Table 2 and
+    /// Section 4.2). `T_2` is the simple join `S_1(z,x_1), S_2(z,x_2)`.
+    pub fn star(k: usize) -> ConjunctiveQuery {
+        assert!(k >= 1, "star query needs k >= 1");
+        let atoms = (1..=k)
+            .map(|j| Atom::from_strs(&format!("S{j}"), &["z", &format!("x{j}")]))
+            .collect();
+        ConjunctiveQuery::new(format!("T{k}"), atoms)
+    }
+
+    /// The simple (two-way) join `q(x,y,z) = S_1(z,x), S_2(z,y)` of
+    /// Example 4.1 — an alias for [`ConjunctiveQuery::star`] with `k = 2`.
+    pub fn simple_join() -> ConjunctiveQuery {
+        Self::star(2)
+    }
+
+    /// The query `B_{k,m}` of Table 2: one relation `S_I(x̄_I)` for every
+    /// `m`-element subset `I ⊆ [k]`, over `k` variables.
+    pub fn b_query(k: usize, m: usize) -> ConjunctiveQuery {
+        assert!(m >= 1 && m <= k, "B_{{k,m}} requires 1 <= m <= k");
+        let mut atoms = Vec::new();
+        // Enumerate m-subsets of {1..k} in lexicographic order.
+        let mut combo: Vec<usize> = (1..=m).collect();
+        loop {
+            let vars: Vec<String> = combo.iter().map(|i| format!("x{i}")).collect();
+            let label: Vec<String> = combo.iter().map(|i| i.to_string()).collect();
+            atoms.push(Atom::new(
+                format!("S_{}", label.join("_")),
+                vars,
+            ));
+            // Next combination.
+            let mut i = m;
+            loop {
+                if i == 0 {
+                    return ConjunctiveQuery::new(format!("B{k}_{m}"), atoms);
+                }
+                i -= 1;
+                if combo[i] != i + 1 + k - m {
+                    combo[i] += 1;
+                    for j in i + 1..m {
+                        combo[j] = combo[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The star-of-paths query `SP_k = ⋀_i R_i(z, x_i), S_i(x_i, y_i)` of
+    /// Example 5.3.
+    pub fn star_of_paths(k: usize) -> ConjunctiveQuery {
+        assert!(k >= 1, "SP_k requires k >= 1");
+        let mut atoms = Vec::new();
+        for i in 1..=k {
+            atoms.push(Atom::from_strs(&format!("R{i}"), &["z", &format!("x{i}")]));
+            atoms.push(Atom::from_strs(
+                &format!("S{i}"),
+                &[&format!("x{i}"), &format!("y{i}")],
+            ));
+        }
+        ConjunctiveQuery::new(format!("SP{k}"), atoms)
+    }
+
+    /// The complete-graph query `K_4` on four variables (Section 2.2's
+    /// worked example for the characteristic).
+    pub fn k4() -> ConjunctiveQuery {
+        let atoms = vec![
+            Atom::from_strs("S1", &["x1", "x2"]),
+            Atom::from_strs("S2", &["x1", "x3"]),
+            Atom::from_strs("S3", &["x2", "x3"]),
+            Atom::from_strs("S4", &["x1", "x4"]),
+            Atom::from_strs("S5", &["x2", "x4"]),
+            Atom::from_strs("S6", &["x3", "x4"]),
+        ];
+        ConjunctiveQuery::new("K4", atoms)
+    }
+
+    /// A Cartesian-product query `R(x), S(y)` (used in tests of
+    /// disconnected-query handling).
+    pub fn cartesian_pair() -> ConjunctiveQuery {
+        ConjunctiveQuery::new(
+            "CP",
+            vec![Atom::from_strs("R", &["x"]), Atom::from_strs("S", &["y"])],
+        )
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let vars: Vec<String> = self.variables();
+        write!(f, "{}({}) = ", self.name, vars.join(", "))?;
+        let body: Vec<String> = self.atoms.iter().map(|a| a.to_string()).collect();
+        write!(f, "{}", body.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_for_named_families() {
+        let c3 = ConjunctiveQuery::triangle();
+        assert_eq!(c3.num_atoms(), 3);
+        assert_eq!(c3.num_variables(), 3);
+        assert_eq!(c3.total_arity(), 6);
+
+        let l5 = ConjunctiveQuery::chain(5);
+        assert_eq!(l5.num_atoms(), 5);
+        assert_eq!(l5.num_variables(), 6);
+        assert_eq!(l5.total_arity(), 10);
+
+        let t4 = ConjunctiveQuery::star(4);
+        assert_eq!(t4.num_atoms(), 4);
+        assert_eq!(t4.num_variables(), 5);
+
+        let k4 = ConjunctiveQuery::k4();
+        assert_eq!(k4.num_atoms(), 6);
+        assert_eq!(k4.num_variables(), 4);
+        assert_eq!(k4.total_arity(), 12);
+
+        let sp3 = ConjunctiveQuery::star_of_paths(3);
+        assert_eq!(sp3.num_atoms(), 6);
+        assert_eq!(sp3.num_variables(), 7); // z, x1..x3, y1..y3
+    }
+
+    #[test]
+    fn b_query_has_choose_k_m_atoms() {
+        let b = ConjunctiveQuery::b_query(4, 2);
+        assert_eq!(b.num_atoms(), 6); // C(4,2)
+        assert_eq!(b.num_variables(), 4);
+        let b = ConjunctiveQuery::b_query(5, 3);
+        assert_eq!(b.num_atoms(), 10); // C(5,3)
+        assert_eq!(b.num_variables(), 5);
+        // B_{k,k} is a single atom over all variables.
+        let b = ConjunctiveQuery::b_query(3, 3);
+        assert_eq!(b.num_atoms(), 1);
+        assert_eq!(b.atoms()[0].arity(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-join")]
+    fn self_joins_are_rejected() {
+        ConjunctiveQuery::new(
+            "bad",
+            vec![
+                Atom::from_strs("S", &["x", "y"]),
+                Atom::from_strs("S", &["y", "z"]),
+            ],
+        );
+    }
+
+    #[test]
+    fn atoms_of_variable() {
+        let c3 = ConjunctiveQuery::triangle();
+        // x2 occurs in S1(x1,x2) and S2(x2,x3): indices 0 and 1.
+        assert_eq!(c3.atoms_of("x2"), vec![0, 1]);
+        assert_eq!(c3.atoms_of("nonexistent"), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn variables_in_first_occurrence_order() {
+        let l3 = ConjunctiveQuery::chain(3);
+        assert_eq!(l3.variables(), vec!["x0", "x1", "x2", "x3"]);
+    }
+
+    #[test]
+    fn display_renders_head_and_body() {
+        let q = ConjunctiveQuery::simple_join();
+        let s = q.to_string();
+        assert!(s.contains("T2(z, x1, x2)"));
+        assert!(s.contains("S1(z, x1)"));
+        assert!(s.contains("S2(z, x2)"));
+    }
+
+    #[test]
+    fn connected_subqueries_of_triangle() {
+        let c3 = ConjunctiveQuery::triangle();
+        let subs = c3.connected_subqueries();
+        // Every non-empty subset of the triangle's edges is connected except
+        // none — actually all 7 are connected (each pair shares a vertex).
+        assert_eq!(subs.len(), 7);
+    }
+
+    #[test]
+    fn connected_subqueries_of_chain() {
+        let l3 = ConjunctiveQuery::chain(3);
+        // Connected subsets of a path of 3 edges: 3 singletons + 2 pairs of
+        // adjacent edges + 1 full = 6 (the pair {S1,S3} is disconnected).
+        assert_eq!(l3.connected_subqueries().len(), 6);
+    }
+
+    #[test]
+    fn subquery_extraction() {
+        let l3 = ConjunctiveQuery::chain(3);
+        let sub = l3.subquery(&[0, 1], "prefix");
+        assert_eq!(sub.num_atoms(), 2);
+        assert_eq!(sub.variables(), vec!["x0", "x1", "x2"]);
+        assert_eq!(sub.name(), "prefix");
+    }
+
+    #[test]
+    fn atom_lookup_by_relation() {
+        let c3 = ConjunctiveQuery::triangle();
+        assert!(c3.atom_by_relation("S2").is_some());
+        assert!(c3.atom_by_relation("S9").is_none());
+        assert_eq!(c3.relation_names(), vec!["S1", "S2", "S3"]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Residual queries (Section 4.2).
+//!
+//! Fixing a set of variables `x` (the heavy-hitter variables) yields the
+//! residual query `q_x`, obtained by removing every variable of `x` from
+//! every atom and decreasing arities accordingly. The skew-aware algorithms
+//! compute `q[h/x]` — the residual query on the tuples that match a specific
+//! heavy-hitter assignment `h` — and the skewed lower bound of Theorem 4.4
+//! maximises over packings of `q` that *saturate* `x`.
+
+use crate::atom::Atom;
+use crate::query::ConjunctiveQuery;
+
+/// The residual query `q_x`: every variable in `fixed` is removed from every
+/// atom (arities shrink by `d_j = |x ∩ vars(S_j)|`). Atoms whose variables
+/// are all fixed become nullary and are kept (they act as boolean guards).
+pub fn residual_query(query: &ConjunctiveQuery, fixed: &[String]) -> ConjunctiveQuery {
+    let atoms: Vec<Atom> = query
+        .atoms()
+        .iter()
+        .map(|a| a.without_variables(fixed))
+        .collect();
+    ConjunctiveQuery::new(format!("{}_res", query.name()), atoms)
+}
+
+/// Does the packing `u` (indexed like `query.atoms()`) *saturate* every
+/// variable in `fixed`, i.e. `Σ_{j : x_i ∈ S_j} u_j ≥ 1` for every
+/// `x_i ∈ fixed`? (Definition before Theorem 4.4.)
+pub fn saturates(query: &ConjunctiveQuery, u: &[f64], fixed: &[String], tolerance: f64) -> bool {
+    assert_eq!(u.len(), query.num_atoms(), "packing length must equal atom count");
+    fixed.iter().all(|x| {
+        let total: f64 = query
+            .atoms()
+            .iter()
+            .zip(u.iter())
+            .filter(|(a, _)| a.contains(x))
+            .map(|(_, &uj)| uj)
+            .sum();
+        total >= 1.0 - tolerance
+    })
+}
+
+/// The per-atom arity reductions `d_j = |x ∩ vars(S_j)|` for a fixed
+/// variable set `x`, in atom order (used by the lower bound of Theorem 4.4,
+/// which requires `a_j > d_j`).
+pub fn fixed_arities(query: &ConjunctiveQuery, fixed: &[String]) -> Vec<usize> {
+    query
+        .atoms()
+        .iter()
+        .map(|a| {
+            a.distinct_variables()
+                .iter()
+                .filter(|v| fixed.contains(v))
+                .count()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::ConjunctiveQuery;
+
+    #[test]
+    fn residual_of_star_query_is_cartesian_product() {
+        // T_k with z fixed: S'_1(x_1), …, S'_k(x_k) — the Cartesian product
+        // of Section 4.2.1.
+        let t3 = ConjunctiveQuery::star(3);
+        let res = residual_query(&t3, &["z".to_string()]);
+        assert_eq!(res.num_atoms(), 3);
+        for atom in res.atoms() {
+            assert_eq!(atom.arity(), 1);
+        }
+        assert_eq!(res.num_variables(), 3);
+    }
+
+    #[test]
+    fn residual_of_triangle_with_x_fixed() {
+        // C3 with x1 fixed: R'(x2), S(x2,x3), T'(x3) — Section 4.2.2 Case 2.
+        let c3 = ConjunctiveQuery::triangle();
+        let res = residual_query(&c3, &["x1".to_string()]);
+        let arities: Vec<usize> = res.atoms().iter().map(|a| a.arity()).collect();
+        assert_eq!(arities, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn residual_with_all_variables_fixed_is_nullary() {
+        let q = ConjunctiveQuery::simple_join();
+        let res = residual_query(
+            &q,
+            &["z".to_string(), "x1".to_string(), "x2".to_string()],
+        );
+        assert!(res.atoms().iter().all(|a| a.arity() == 0));
+        assert_eq!(res.num_variables(), 0);
+    }
+
+    #[test]
+    fn saturation_checks() {
+        let t2 = ConjunctiveQuery::star(2);
+        let z = vec!["z".to_string()];
+        // u = (1, 0): S1 contains z with weight 1 — saturates z.
+        assert!(saturates(&t2, &[1.0, 0.0], &z, 1e-9));
+        // u = (0.4, 0.4): total weight at z is 0.8 < 1 — not saturating.
+        assert!(!saturates(&t2, &[0.4, 0.4], &z, 1e-9));
+        // u = (0.5, 0.5): exactly 1 — saturating.
+        assert!(saturates(&t2, &[0.5, 0.5], &z, 1e-9));
+        // Empty fixed set is trivially saturated.
+        assert!(saturates(&t2, &[0.0, 0.0], &[], 1e-9));
+    }
+
+    #[test]
+    fn fixed_arities_per_atom() {
+        let c3 = ConjunctiveQuery::triangle();
+        assert_eq!(fixed_arities(&c3, &["x1".to_string()]), vec![1, 0, 1]);
+        assert_eq!(
+            fixed_arities(&c3, &["x1".to_string(), "x2".to_string()]),
+            vec![2, 1, 1]
+        );
+        assert_eq!(fixed_arities(&c3, &[]), vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "packing length")]
+    fn saturates_panics_on_length_mismatch() {
+        let t2 = ConjunctiveQuery::star(2);
+        saturates(&t2, &[1.0], &[], 1e-9);
+    }
+}

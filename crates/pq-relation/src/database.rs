@@ -1,0 +1,221 @@
+//! Database instances: a collection of named relations over a common domain
+//! `[n]`, with the bit-size accounting used by the MPC cost model.
+
+use crate::relation::Relation;
+use crate::tuple::Value;
+use crate::{bits_per_value, Schema};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A database instance over a fixed domain `[0, domain_size)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Database {
+    domain_size: u64,
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Create an empty database over a domain of the given size.
+    pub fn new(domain_size: u64) -> Self {
+        Database {
+            domain_size: domain_size.max(1),
+            relations: BTreeMap::new(),
+        }
+    }
+
+    /// The domain size `n`.
+    pub fn domain_size(&self) -> u64 {
+        self.domain_size
+    }
+
+    /// Bits required per value (`log n`).
+    pub fn bits_per_value(&self) -> u64 {
+        bits_per_value(self.domain_size)
+    }
+
+    /// Insert (or replace) a relation, keyed by its schema name.
+    pub fn insert(&mut self, relation: Relation) {
+        self.relations
+            .insert(relation.name().to_string(), relation);
+    }
+
+    /// Look up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Look up a relation by name, panicking with a clear message when it is
+    /// missing. Use when the query guarantees the relation must exist.
+    pub fn expect_relation(&self, name: &str) -> &Relation {
+        self.relations
+            .get(name)
+            .unwrap_or_else(|| panic!("relation `{name}` not present in database"))
+    }
+
+    /// Mutable access to a relation.
+    pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        self.relations.get_mut(name)
+    }
+
+    /// Iterate over relations in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// Names of all relations, in sorted order.
+    pub fn relation_names(&self) -> Vec<String> {
+        self.relations.keys().cloned().collect()
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Total input size in bits: `|I| = Σ_j M_j`.
+    pub fn total_size_bits(&self) -> u64 {
+        let bpv = self.bits_per_value();
+        self.relations.values().map(|r| r.size_bits(bpv)).sum()
+    }
+
+    /// Size in bits of a single relation (`M_j`).
+    pub fn relation_size_bits(&self, name: &str) -> u64 {
+        self.expect_relation(name).size_bits(self.bits_per_value())
+    }
+
+    /// Cardinalities `m_j` keyed by relation name.
+    pub fn cardinalities(&self) -> BTreeMap<String, usize> {
+        self.relations
+            .iter()
+            .map(|(k, v)| (k.clone(), v.len()))
+            .collect()
+    }
+
+    /// Bit sizes `M_j` keyed by relation name.
+    pub fn sizes_bits(&self) -> BTreeMap<String, u64> {
+        let bpv = self.bits_per_value();
+        self.relations
+            .iter()
+            .map(|(k, v)| (k.clone(), v.size_bits(bpv)))
+            .collect()
+    }
+
+    /// Build a database from a list of relations, inferring the domain size
+    /// as one more than the largest value appearing anywhere (minimum 2).
+    pub fn from_relations(relations: Vec<Relation>) -> Self {
+        let max_value: Value = relations
+            .iter()
+            .flat_map(|r| r.iter())
+            .flat_map(|t| t.values().iter().copied())
+            .max()
+            .unwrap_or(1);
+        let mut db = Database::new((max_value + 1).max(2));
+        for r in relations {
+            db.insert(r);
+        }
+        db
+    }
+
+    /// True when every relation is a matching (degree ≤ 1 everywhere):
+    /// the skew-free databases of Section 3.
+    pub fn is_matching_database(&self) -> bool {
+        self.relations.values().all(Relation::is_matching)
+    }
+
+    /// Create an empty relation with the given schema and register it.
+    pub fn create_relation(&mut self, schema: Schema) -> &mut Relation {
+        let name = schema.name().to_string();
+        self.relations.insert(name.clone(), Relation::empty(schema));
+        self.relations.get_mut(&name).expect("just inserted")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    fn db() -> Database {
+        let mut db = Database::new(1 << 10);
+        db.insert(Relation::from_rows(
+            Schema::from_strs("R", &["x", "y"]),
+            vec![vec![1, 2], vec![3, 4]],
+        ));
+        db.insert(Relation::from_rows(
+            Schema::from_strs("S", &["y", "z"]),
+            vec![vec![2, 5]],
+        ));
+        db
+    }
+
+    #[test]
+    fn lookup_and_counts() {
+        let db = db();
+        assert_eq!(db.num_relations(), 2);
+        assert_eq!(db.total_tuples(), 3);
+        assert!(db.relation("R").is_some());
+        assert!(db.relation("T").is_none());
+        assert_eq!(db.relation_names(), vec!["R".to_string(), "S".to_string()]);
+        assert_eq!(db.expect_relation("S").len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn expect_relation_panics_when_missing() {
+        db().expect_relation("missing");
+    }
+
+    #[test]
+    fn size_accounting() {
+        let db = db();
+        assert_eq!(db.bits_per_value(), 10);
+        assert_eq!(db.relation_size_bits("R"), 2 * 2 * 10);
+        assert_eq!(db.relation_size_bits("S"), 1 * 2 * 10);
+        assert_eq!(db.total_size_bits(), 40 + 20);
+        assert_eq!(db.cardinalities()["R"], 2);
+        assert_eq!(db.sizes_bits()["S"], 20);
+    }
+
+    #[test]
+    fn from_relations_infers_domain() {
+        let r = Relation::from_rows(Schema::from_strs("R", &["x"]), vec![vec![41]]);
+        let db = Database::from_relations(vec![r]);
+        assert_eq!(db.domain_size(), 42);
+    }
+
+    #[test]
+    fn matching_database_detection() {
+        let mut db = Database::new(100);
+        db.insert(Relation::from_rows(
+            Schema::from_strs("R", &["x", "y"]),
+            vec![vec![1, 2], vec![3, 4]],
+        ));
+        assert!(db.is_matching_database());
+        db.insert(Relation::from_rows(
+            Schema::from_strs("S", &["y", "z"]),
+            vec![vec![1, 2], vec![1, 3]],
+        ));
+        assert!(!db.is_matching_database());
+    }
+
+    #[test]
+    fn create_relation_registers_empty_relation() {
+        let mut db = Database::new(10);
+        db.create_relation(Schema::from_strs("T", &["a"]));
+        assert!(db.relation("T").unwrap().is_empty());
+    }
+
+    #[test]
+    fn mutable_access() {
+        let mut db = db();
+        db.relation_mut("R").unwrap().push(Tuple::from([7, 8]));
+        assert_eq!(db.relation("R").unwrap().len(), 3);
+    }
+
+    use crate::Tuple;
+}

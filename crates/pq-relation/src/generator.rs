@@ -1,0 +1,337 @@
+//! Synthetic data generators.
+//!
+//! The paper's upper bounds are analysed over databases "with a small amount
+//! of skew" and its lower bounds over **matching databases** — relations in
+//! which every value has degree exactly one (random `a`-dimensional
+//! matchings over `[n]`). The skew sections plant **heavy hitters**: values
+//! with frequency far above `m/p`. This module produces all of these
+//! distributions deterministically from a seed, plus Zipf-skewed relations
+//! and the path-of-matchings graphs used by the connected-components
+//! experiment (Theorem 5.20).
+
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::{Tuple, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Specification of planted skew for one attribute of a generated relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SkewSpec {
+    /// Index of the attribute (column) that receives the heavy value.
+    pub attribute_index: usize,
+    /// The heavy value itself.
+    pub value: Value,
+    /// How many tuples carry the heavy value in that column.
+    pub count: usize,
+}
+
+/// Deterministic, seeded generator of synthetic relations and databases.
+#[derive(Debug)]
+pub struct DataGenerator {
+    rng: StdRng,
+    domain_size: u64,
+}
+
+impl DataGenerator {
+    /// Create a generator over the domain `[0, domain_size)` with a fixed
+    /// seed.
+    pub fn new(seed: u64, domain_size: u64) -> Self {
+        DataGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            domain_size: domain_size.max(2),
+        }
+    }
+
+    /// The domain size `n`.
+    pub fn domain_size(&self) -> u64 {
+        self.domain_size
+    }
+
+    /// A random `arity`-dimensional matching with `m` tuples: every column
+    /// is an injective map from tuple index to domain values, so every value
+    /// has degree at most one in every attribute (the lower-bound input
+    /// distribution of Section 3).
+    ///
+    /// # Panics
+    /// Panics when `m` exceeds the domain size.
+    pub fn matching_relation(&mut self, schema: Schema, m: usize) -> Relation {
+        assert!(
+            m as u64 <= self.domain_size,
+            "matching of size {m} impossible over domain of size {}",
+            self.domain_size
+        );
+        let arity = schema.arity();
+        let columns: Vec<Vec<Value>> = (0..arity)
+            .map(|_| self.distinct_values(m))
+            .collect();
+        let tuples = (0..m)
+            .map(|i| Tuple::new(columns.iter().map(|c| c[i]).collect()))
+            .collect();
+        Relation::new(schema, tuples)
+    }
+
+    /// A uniformly random relation: every value of every tuple drawn
+    /// independently and uniformly from the domain (duplicates removed).
+    pub fn uniform_relation(&mut self, schema: Schema, m: usize) -> Relation {
+        let arity = schema.arity();
+        let mut rel = Relation::empty(schema);
+        for _ in 0..m {
+            let values = (0..arity).map(|_| self.rng.gen_range(0..self.domain_size)).collect();
+            rel.push(Tuple::new(values));
+        }
+        rel.dedup();
+        rel
+    }
+
+    /// A relation whose first attribute follows (approximately) a Zipf
+    /// distribution with parameter `theta` over `distinct` values, and whose
+    /// remaining attributes are uniform. Produces naturally skewed join
+    /// keys.
+    pub fn zipf_relation(
+        &mut self,
+        schema: Schema,
+        m: usize,
+        distinct: usize,
+        theta: f64,
+    ) -> Relation {
+        assert!(distinct >= 1, "need at least one distinct value");
+        // Precompute the Zipf CDF.
+        let weights: Vec<f64> = (1..=distinct).map(|r| 1.0 / (r as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(distinct);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        let arity = schema.arity();
+        let mut rel = Relation::empty(schema);
+        for _ in 0..m {
+            let u: f64 = self.rng.gen();
+            let rank = cdf.partition_point(|&c| c < u).min(distinct - 1);
+            let mut values = Vec::with_capacity(arity);
+            values.push(rank as Value);
+            for _ in 1..arity {
+                values.push(self.rng.gen_range(0..self.domain_size));
+            }
+            rel.push(Tuple::new(values));
+        }
+        rel
+    }
+
+    /// A matching relation with planted heavy hitters: `skews` describes, for
+    /// chosen columns, values that should appear with a given frequency; the
+    /// remaining columns of those tuples and all other tuples are matching
+    /// (degree one). Total cardinality is `m`.
+    ///
+    /// # Panics
+    /// Panics when the skew counts exceed `m` or the light part does not fit
+    /// in the domain.
+    pub fn skewed_relation(&mut self, schema: Schema, m: usize, skews: &[SkewSpec]) -> Relation {
+        let arity = schema.arity();
+        let heavy_total: usize = skews.iter().map(|s| s.count).sum();
+        assert!(
+            heavy_total <= m,
+            "heavy-hitter tuples ({heavy_total}) exceed requested cardinality ({m})"
+        );
+        for s in skews {
+            assert!(
+                s.attribute_index < arity,
+                "skew attribute index {} out of range for arity {arity}",
+                s.attribute_index
+            );
+        }
+        let light = m - heavy_total;
+        let mut relation = self.matching_relation(schema.clone(), light);
+        // Fresh values for the non-heavy columns of the heavy tuples, taken
+        // from the top of the domain to avoid accidental collisions with the
+        // light part.
+        let mut next_fresh = self.domain_size;
+        for spec in skews {
+            for _ in 0..spec.count {
+                let mut values = Vec::with_capacity(arity);
+                for col in 0..arity {
+                    if col == spec.attribute_index {
+                        values.push(spec.value);
+                    } else {
+                        next_fresh -= 1;
+                        values.push(next_fresh);
+                    }
+                }
+                relation.push(Tuple::new(values));
+            }
+        }
+        relation
+    }
+
+    /// A full database of matching relations with the given schemas and
+    /// cardinalities, all over the shared domain.
+    pub fn matching_database(&mut self, specs: &[(Schema, usize)]) -> crate::Database {
+        let mut db = crate::Database::new(self.domain_size);
+        for (schema, m) in specs {
+            let r = self.matching_relation(schema.clone(), *m);
+            db.insert(r);
+        }
+        db
+    }
+
+    /// An undirected-graph edge relation `E(src, dst)` consisting of `layers`
+    /// consecutive perfect matchings between `layers + 1` vertex groups of
+    /// size `group`: the "path of matchings" family used to lower-bound the
+    /// number of rounds of connected components (Theorem 5.20). Each
+    /// connected component is a path crossing all layers.
+    pub fn layered_matching_graph(&mut self, group: usize, layers: usize) -> Relation {
+        let schema = Schema::from_strs("E", &["src", "dst"]);
+        let mut rel = Relation::empty(schema);
+        // Vertex id of member j of group g.
+        let vid = |g: usize, j: usize| (g * group + j) as Value;
+        for layer in 0..layers {
+            let mut perm: Vec<usize> = (0..group).collect();
+            perm.shuffle(&mut self.rng);
+            for (j, &pj) in perm.iter().enumerate() {
+                rel.push(Tuple::from([vid(layer, j), vid(layer + 1, pj)]));
+            }
+        }
+        rel
+    }
+
+    /// `m` distinct values drawn without replacement from the domain.
+    fn distinct_values(&mut self, m: usize) -> Vec<Value> {
+        // For small m relative to the domain, rejection sampling is fast and
+        // avoids materialising the domain.
+        if (m as u64) * 4 <= self.domain_size {
+            let mut seen = std::collections::HashSet::with_capacity(m);
+            let mut out = Vec::with_capacity(m);
+            while out.len() < m {
+                let v = self.rng.gen_range(0..self.domain_size);
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+            out
+        } else {
+            let mut all: Vec<Value> = (0..self.domain_size).collect();
+            all.shuffle(&mut self.rng);
+            all.truncate(m);
+            all
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statistics::DegreeStatistics;
+
+    #[test]
+    fn matching_relation_has_degree_one_everywhere() {
+        let mut g = DataGenerator::new(1, 10_000);
+        let r = g.matching_relation(Schema::from_strs("R", &["x", "y", "z"]), 500);
+        assert_eq!(r.len(), 500);
+        assert!(r.is_matching());
+    }
+
+    #[test]
+    #[should_panic(expected = "impossible over domain")]
+    fn matching_larger_than_domain_panics() {
+        let mut g = DataGenerator::new(1, 10);
+        g.matching_relation(Schema::from_strs("R", &["x"]), 11);
+    }
+
+    #[test]
+    fn matching_is_deterministic_per_seed() {
+        let schema = Schema::from_strs("R", &["x", "y"]);
+        let r1 = DataGenerator::new(7, 1000).matching_relation(schema.clone(), 100);
+        let r2 = DataGenerator::new(7, 1000).matching_relation(schema.clone(), 100);
+        let r3 = DataGenerator::new(8, 1000).matching_relation(schema, 100);
+        assert_eq!(r1, r2);
+        assert_ne!(r1, r3);
+    }
+
+    #[test]
+    fn skewed_relation_plants_requested_frequency() {
+        let mut g = DataGenerator::new(3, 100_000);
+        let spec = SkewSpec {
+            attribute_index: 0,
+            value: 42,
+            count: 50,
+        };
+        let r = g.skewed_relation(Schema::from_strs("R", &["x", "y"]), 200, &[spec]);
+        assert_eq!(r.len(), 200);
+        let d = DegreeStatistics::compute(&r, "x");
+        assert!(d.frequency(42) >= 50);
+        // The y column of heavy tuples must not create a second heavy value.
+        let dy = DegreeStatistics::compute(&r, "y");
+        assert!(dy.max_frequency() <= 2);
+    }
+
+    #[test]
+    fn skewed_relation_with_multiple_specs() {
+        let mut g = DataGenerator::new(3, 100_000);
+        let specs = vec![
+            SkewSpec { attribute_index: 0, value: 1, count: 30 },
+            SkewSpec { attribute_index: 1, value: 2, count: 20 },
+        ];
+        let r = g.skewed_relation(Schema::from_strs("R", &["x", "y"]), 100, &specs);
+        assert_eq!(r.len(), 100);
+        assert!(DegreeStatistics::compute(&r, "x").frequency(1) >= 30);
+        assert!(DegreeStatistics::compute(&r, "y").frequency(2) >= 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed requested cardinality")]
+    fn skew_exceeding_cardinality_panics() {
+        let mut g = DataGenerator::new(3, 1000);
+        let spec = SkewSpec { attribute_index: 0, value: 1, count: 11 };
+        g.skewed_relation(Schema::from_strs("R", &["x", "y"]), 10, &[spec]);
+    }
+
+    #[test]
+    fn zipf_relation_is_skewed() {
+        let mut g = DataGenerator::new(5, 1_000_000);
+        let r = g.zipf_relation(Schema::from_strs("R", &["k", "v"]), 5000, 1000, 1.2);
+        assert_eq!(r.len(), 5000);
+        let d = DegreeStatistics::compute(&r, "k");
+        // Rank-1 value should be much more frequent than average.
+        assert!(d.frequency(0) > 5 * (5000 / 1000));
+    }
+
+    #[test]
+    fn uniform_relation_respects_domain() {
+        let mut g = DataGenerator::new(5, 50);
+        let r = g.uniform_relation(Schema::from_strs("R", &["a", "b"]), 100);
+        assert!(r.len() <= 100);
+        for t in r.iter() {
+            assert!(t.get(0) < 50 && t.get(1) < 50);
+        }
+    }
+
+    #[test]
+    fn matching_database_over_shared_domain() {
+        let mut g = DataGenerator::new(11, 10_000);
+        let db = g.matching_database(&[
+            (Schema::from_strs("S1", &["x", "y"]), 100),
+            (Schema::from_strs("S2", &["y", "z"]), 200),
+        ]);
+        assert_eq!(db.num_relations(), 2);
+        assert_eq!(db.expect_relation("S1").len(), 100);
+        assert_eq!(db.expect_relation("S2").len(), 200);
+        assert!(db.is_matching_database());
+        assert_eq!(db.domain_size(), 10_000);
+    }
+
+    #[test]
+    fn layered_graph_has_expected_edge_count_and_degrees() {
+        let mut g = DataGenerator::new(13, 1 << 20);
+        let e = g.layered_matching_graph(50, 4);
+        assert_eq!(e.len(), 200);
+        // Every vertex in an interior layer has degree exactly 2 (one edge
+        // to the previous and one to the next layer), so per-column degree
+        // is exactly 1 in src and 1 in dst.
+        assert_eq!(e.max_degree(&["src".to_string()]), 1);
+        assert_eq!(e.max_degree(&["dst".to_string()]), 1);
+    }
+}

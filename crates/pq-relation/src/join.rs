@@ -1,0 +1,238 @@
+//! Sequential join evaluation.
+//!
+//! Two uses:
+//!
+//! 1. **Local computation** — after the communication phase each simulated
+//!    server evaluates its residual query over the tuples it received; the
+//!    MPC model does not charge for this, so any in-memory algorithm is
+//!    admissible. We use hash-based natural joins with a greedy
+//!    most-connected-first ordering.
+//! 2. **Correctness oracle** — tests compare every distributed algorithm's
+//!    output against [`natural_join_all`] run on the full database.
+//!
+//! Attribute names double as query-variable names, so the natural join over
+//! shared attribute names is exactly conjunctive-query evaluation for the
+//! instantiated atoms.
+
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use std::collections::HashMap;
+
+/// Natural join of two relations over their shared attribute names.
+///
+/// The output schema is the left schema followed by the right attributes
+/// that are not shared; the output name is `"{left}⋈{right}"`.
+/// With no shared attributes this is the Cartesian product.
+pub fn natural_join(left: &Relation, right: &Relation) -> Relation {
+    let common = left.schema().common_attributes(right.schema());
+    let left_positions: Vec<usize> = common
+        .iter()
+        .map(|a| left.schema().position(a).expect("common attr in left"))
+        .collect();
+    let right_positions: Vec<usize> = common
+        .iter()
+        .map(|a| right.schema().position(a).expect("common attr in right"))
+        .collect();
+    // Right attributes not in common, with their positions.
+    let right_extra: Vec<(String, usize)> = right
+        .schema()
+        .attributes()
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| !common.contains(a))
+        .map(|(i, a)| (a.clone(), i))
+        .collect();
+
+    let mut out_attrs: Vec<String> = left.schema().attributes().to_vec();
+    out_attrs.extend(right_extra.iter().map(|(a, _)| a.clone()));
+    let out_schema = Schema::new(
+        format!("{}⋈{}", left.name(), right.name()),
+        out_attrs,
+    );
+    let mut out = Relation::empty(out_schema);
+
+    // Build a hash index on the smaller side keyed by the join attributes.
+    let mut index: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
+    for t in right.iter() {
+        index.entry(t.project(&right_positions)).or_default().push(t);
+    }
+    for lt in left.iter() {
+        let key = lt.project(&left_positions);
+        if let Some(matches) = index.get(&key) {
+            for rt in matches {
+                let extra: Vec<u64> = right_extra.iter().map(|&(_, pos)| rt.get(pos)).collect();
+                out.push(lt.concat(&Tuple::new(extra)));
+            }
+        }
+    }
+    out
+}
+
+/// Natural join of a list of relations, using a greedy ordering that always
+/// joins in a relation sharing at least one attribute with the accumulated
+/// result when possible (avoiding needless Cartesian products).
+///
+/// Returns an empty nullary relation when the input list is empty.
+pub fn natural_join_all(relations: &[Relation]) -> Relation {
+    if relations.is_empty() {
+        return Relation::empty(Schema::new("⊤", vec![]));
+    }
+    let mut remaining: Vec<&Relation> = relations.iter().collect();
+    // Start from the smallest relation: cheap and a decent heuristic.
+    let start = remaining
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, r)| r.len())
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    let mut acc = remaining.remove(start).clone();
+    while !remaining.is_empty() {
+        // Prefer a relation sharing attributes with the accumulator.
+        let next = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !acc.schema().common_attributes(r.schema()).is_empty())
+            .min_by_key(|(_, r)| r.len())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let r = remaining.remove(next);
+        acc = natural_join(&acc, r);
+    }
+    acc
+}
+
+/// Project a relation onto the given attributes with set semantics and a
+/// fresh name (convenience wrapper used for query heads).
+pub fn project(relation: &Relation, attributes: &[String], name: &str) -> Relation {
+    let mut out = relation.project(attributes, name);
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    fn r(name: &str, attrs: &[&str], rows: Vec<Vec<u64>>) -> Relation {
+        Relation::from_rows(Schema::from_strs(name, attrs), rows)
+    }
+
+    #[test]
+    fn binary_join_on_one_attribute() {
+        let left = r("R", &["x", "y"], vec![vec![1, 10], vec![2, 20], vec![3, 10]]);
+        let right = r("S", &["y", "z"], vec![vec![10, 100], vec![20, 200], vec![30, 300]]);
+        let j = natural_join(&left, &right).canonicalized();
+        assert_eq!(
+            j.schema().attributes(),
+            &["x".to_string(), "y".to_string(), "z".to_string()]
+        );
+        assert_eq!(
+            j.tuples(),
+            &[
+                Tuple::from([1, 10, 100]),
+                Tuple::from([2, 20, 200]),
+                Tuple::from([3, 10, 100]),
+            ]
+        );
+    }
+
+    #[test]
+    fn join_without_common_attributes_is_cartesian_product() {
+        let left = r("R", &["x"], vec![vec![1], vec![2]]);
+        let right = r("S", &["y"], vec![vec![10], vec![20], vec![30]]);
+        let j = natural_join(&left, &right);
+        assert_eq!(j.len(), 6);
+    }
+
+    #[test]
+    fn join_with_empty_relation_is_empty() {
+        let left = r("R", &["x", "y"], vec![vec![1, 2]]);
+        let right = r("S", &["y", "z"], vec![]);
+        assert!(natural_join(&left, &right).is_empty());
+    }
+
+    #[test]
+    fn join_over_two_shared_attributes() {
+        let left = r("R", &["x", "y"], vec![vec![1, 2], vec![3, 4]]);
+        let right = r("S", &["x", "y"], vec![vec![1, 2], vec![3, 5]]);
+        let j = natural_join(&left, &right);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.tuples()[0], Tuple::from([1, 2]));
+    }
+
+    #[test]
+    fn triangle_query_via_three_way_join() {
+        // C3 = S1(x,y), S2(y,z), S3(z,x); single triangle (1,2,3) plus noise.
+        let s1 = r("S1", &["x", "y"], vec![vec![1, 2], vec![5, 6]]);
+        let s2 = r("S2", &["y", "z"], vec![vec![2, 3], vec![6, 9]]);
+        let s3 = r("S3", &["z", "x"], vec![vec![3, 1], vec![7, 5]]);
+        let out = natural_join_all(&[s1, s2, s3]).canonicalized();
+        assert_eq!(out.len(), 1);
+        let t = &out.tuples()[0];
+        let sch = out.schema().clone();
+        let x = t.get(sch.position("x").unwrap());
+        let y = t.get(sch.position("y").unwrap());
+        let z = t.get(sch.position("z").unwrap());
+        assert_eq!((x, y, z), (1, 2, 3));
+    }
+
+    #[test]
+    fn join_all_of_single_relation_is_identity() {
+        let only = r("R", &["x"], vec![vec![1], vec![2]]);
+        let out = natural_join_all(std::slice::from_ref(&only));
+        assert_eq!(out.canonicalized().tuples(), only.canonicalized().tuples());
+    }
+
+    #[test]
+    fn join_all_of_empty_list_is_nullary_empty() {
+        let out = natural_join_all(&[]);
+        assert_eq!(out.arity(), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn greedy_order_handles_disconnected_queries() {
+        // R(x), S(y): a Cartesian product is unavoidable but must still be
+        // computed correctly.
+        let a = r("R", &["x"], vec![vec![1], vec![2]]);
+        let b = r("S", &["y"], vec![vec![7]]);
+        let out = natural_join_all(&[a, b]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn star_query_join() {
+        // T2 = S1(z, x1), S2(z, x2).
+        let s1 = r("S1", &["z", "x1"], vec![vec![1, 10], vec![1, 11], vec![2, 20]]);
+        let s2 = r("S2", &["z", "x2"], vec![vec![1, 100], vec![2, 200], vec![3, 300]]);
+        let out = natural_join_all(&[s1, s2]);
+        assert_eq!(out.len(), 3); // (1,10,100), (1,11,100), (2,20,200)
+    }
+
+    #[test]
+    fn project_applies_set_semantics() {
+        let rel = r("R", &["x", "y"], vec![vec![1, 2], vec![1, 3]]);
+        let p = project(&rel, &["x".to_string()], "P");
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn long_chain_query_join() {
+        // L4: S1(x0,x1), S2(x1,x2), S3(x2,x3), S4(x3,x4) over matchings of
+        // the identity permutation: every i yields one path.
+        let mk = |name: &str, a: &str, b: &str| {
+            r(name, &[a, b], (0..50).map(|i| vec![i, i]).collect())
+        };
+        let rels = vec![
+            mk("S1", "x0", "x1"),
+            mk("S2", "x1", "x2"),
+            mk("S3", "x2", "x3"),
+            mk("S4", "x3", "x4"),
+        ];
+        let out = natural_join_all(&rels);
+        assert_eq!(out.len(), 50);
+        assert_eq!(out.arity(), 5);
+    }
+}

@@ -1,0 +1,68 @@
+//! Relational data substrate for the parallel-query workspace.
+//!
+//! The paper evaluates conjunctive queries over relations whose tuples are
+//! drawn from a finite domain `[n]`. This crate provides everything the
+//! algorithms and the simulator need to manipulate such data:
+//!
+//! * [`tuple`] — values and tuples (`u64` domain elements),
+//! * [`schema`] / [`relation`] — named relations with attribute schemas,
+//!   projections, selections and degree computations `d_J(R)`,
+//! * [`database`] — instances mapping relation names to relations, with the
+//!   bit-size accounting (`M_j = a_j · m_j · log n`) the MPC model charges,
+//! * [`statistics`] — cardinality statistics, per-value frequencies
+//!   (degree sequences) and heavy-hitter detection,
+//! * [`hash`] — seeded strongly-universal-style hash families used by the
+//!   HyperCube partitioning,
+//! * [`generator`] — synthetic data generators: matching databases (every
+//!   degree exactly one, the distribution used by the lower-bound proofs),
+//!   heavy-hitter injectors and Zipf-skewed relations,
+//! * [`join`] — sequential natural-join evaluation used both as the local
+//!   computation performed by each simulated server and as a correctness
+//!   oracle in tests.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod database;
+pub mod generator;
+pub mod hash;
+pub mod join;
+pub mod relation;
+pub mod schema;
+pub mod statistics;
+pub mod tuple;
+
+pub use database::Database;
+pub use generator::{DataGenerator, SkewSpec};
+pub use hash::{BucketHasher, HashFamily, MultiplyShiftHash, TabulationHash};
+pub use join::{natural_join, natural_join_all, project};
+pub use relation::Relation;
+pub use schema::Schema;
+pub use statistics::{DegreeStatistics, HeavyHitter, RelationStatistics};
+pub use tuple::{Tuple, Value};
+
+/// Number of bits needed to represent one value from a domain of size `n`
+/// (`ceil(log2 n)`, at least 1).
+pub fn bits_per_value(domain_size: u64) -> u64 {
+    if domain_size <= 2 {
+        1
+    } else {
+        64 - (domain_size - 1).leading_zeros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_per_value_is_ceil_log2() {
+        assert_eq!(bits_per_value(1), 1);
+        assert_eq!(bits_per_value(2), 1);
+        assert_eq!(bits_per_value(3), 2);
+        assert_eq!(bits_per_value(4), 2);
+        assert_eq!(bits_per_value(5), 3);
+        assert_eq!(bits_per_value(1024), 10);
+        assert_eq!(bits_per_value(1025), 11);
+    }
+}

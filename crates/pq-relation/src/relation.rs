@@ -1,0 +1,426 @@
+//! Relations: a schema plus a multiset of tuples.
+//!
+//! Relations support the operations the paper's analysis needs: projection,
+//! selection, semijoin/antijoin (used in the multi-round machinery of
+//! Section 5.2), frequency ("degree") computation `d_J(R)` from the
+//! HyperCube load analysis, and bit-size accounting.
+
+use crate::schema::Schema;
+use crate::tuple::{Tuple, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// A relation instance: a schema plus a list of tuples.
+///
+/// Tuples are stored as a `Vec`, so a relation is a bag; [`Relation::dedup`]
+/// converts it to a set. All algorithms in this workspace produce and expect
+/// set semantics, but intermediate routing states may briefly hold
+/// duplicates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Create an empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Create a relation from a schema and tuples.
+    ///
+    /// # Panics
+    /// Panics when a tuple's arity does not match the schema.
+    pub fn new(schema: Schema, tuples: Vec<Tuple>) -> Self {
+        for t in &tuples {
+            assert_eq!(
+                t.arity(),
+                schema.arity(),
+                "tuple arity {} does not match schema `{}` of arity {}",
+                t.arity(),
+                schema.name(),
+                schema.arity()
+            );
+        }
+        Relation { schema, tuples }
+    }
+
+    /// Create a relation from raw value rows.
+    pub fn from_rows(schema: Schema, rows: Vec<Vec<Value>>) -> Self {
+        Relation::new(schema, rows.into_iter().map(Tuple::new).collect())
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The relation's name (shorthand for `schema().name()`).
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Number of tuples (cardinality `m_j`).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples of the relation.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Iterate over tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Add a tuple.
+    ///
+    /// # Panics
+    /// Panics when the tuple arity does not match the schema.
+    pub fn push(&mut self, tuple: Tuple) {
+        assert_eq!(
+            tuple.arity(),
+            self.schema.arity(),
+            "tuple arity mismatch for relation `{}`",
+            self.schema.name()
+        );
+        self.tuples.push(tuple);
+    }
+
+    /// Extend with many tuples.
+    pub fn extend(&mut self, tuples: impl IntoIterator<Item = Tuple>) {
+        for t in tuples {
+            self.push(t);
+        }
+    }
+
+    /// Size of the relation in bits: `arity * len * bits_per_value`
+    /// (the paper's `M_j = a_j · m_j · log n`).
+    pub fn size_bits(&self, bits_per_value: u64) -> u64 {
+        self.arity() as u64 * self.len() as u64 * bits_per_value
+    }
+
+    /// Remove duplicate tuples (set semantics). Preserves first occurrence
+    /// order.
+    pub fn dedup(&mut self) {
+        let mut seen = HashSet::with_capacity(self.tuples.len());
+        self.tuples.retain(|t| seen.insert(t.clone()));
+    }
+
+    /// Sort tuples lexicographically (useful for comparisons in tests).
+    pub fn sort(&mut self) {
+        self.tuples.sort();
+    }
+
+    /// Return a sorted, deduplicated copy (canonical form for equality
+    /// comparisons between query answers).
+    pub fn canonicalized(&self) -> Relation {
+        let mut r = self.clone();
+        r.dedup();
+        r.sort();
+        r
+    }
+
+    /// Rename the relation (schema attributes unchanged).
+    pub fn renamed(&self, name: impl Into<String>) -> Relation {
+        Relation {
+            schema: self.schema.renamed(name),
+            tuples: self.tuples.clone(),
+        }
+    }
+
+    /// Return a relation with the same tuples but attributes renamed
+    /// according to `mapping` (old name -> new name). Attributes not in the
+    /// mapping keep their name.
+    pub fn with_attributes_renamed(&self, mapping: &HashMap<String, String>) -> Relation {
+        let attrs: Vec<String> = self
+            .schema
+            .attributes()
+            .iter()
+            .map(|a| mapping.get(a).cloned().unwrap_or_else(|| a.clone()))
+            .collect();
+        Relation {
+            schema: Schema::new(self.schema.name(), attrs),
+            tuples: self.tuples.clone(),
+        }
+    }
+
+    /// Project onto the given attributes (set semantics is *not* enforced;
+    /// call [`Relation::dedup`] afterwards if needed).
+    ///
+    /// # Panics
+    /// Panics when an attribute is missing from the schema.
+    pub fn project(&self, attributes: &[String], name: &str) -> Relation {
+        let positions: Vec<usize> = attributes
+            .iter()
+            .map(|a| {
+                self.schema
+                    .position(a)
+                    .unwrap_or_else(|| panic!("attribute `{a}` not in `{}`", self.schema.name()))
+            })
+            .collect();
+        let schema = Schema::new(name, attributes.to_vec());
+        let tuples = self.tuples.iter().map(|t| t.project(&positions)).collect();
+        Relation { schema, tuples }
+    }
+
+    /// Select tuples where `attribute == value`.
+    pub fn select_eq(&self, attribute: &str, value: Value) -> Relation {
+        let pos = self
+            .schema
+            .position(attribute)
+            .unwrap_or_else(|| panic!("attribute `{attribute}` not in `{}`", self.schema.name()));
+        Relation {
+            schema: self.schema.clone(),
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| t.get(pos) == value)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Select tuples satisfying an arbitrary predicate.
+    pub fn filter(&self, predicate: impl Fn(&Tuple) -> bool) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            tuples: self.tuples.iter().filter(|t| predicate(t)).cloned().collect(),
+        }
+    }
+
+    /// Frequency map over a subset of attributes: for every distinct
+    /// projection value `J`, the degree `d_J(R) = |σ_J(R)|`.
+    ///
+    /// # Panics
+    /// Panics when an attribute is missing from the schema.
+    pub fn degree_map(&self, attributes: &[String]) -> HashMap<Tuple, usize> {
+        let positions: Vec<usize> = attributes
+            .iter()
+            .map(|a| {
+                self.schema
+                    .position(a)
+                    .unwrap_or_else(|| panic!("attribute `{a}` not in `{}`", self.schema.name()))
+            })
+            .collect();
+        let mut map: HashMap<Tuple, usize> = HashMap::new();
+        for t in &self.tuples {
+            *map.entry(t.project(&positions)).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Maximum degree over a subset of attributes (`max_J d_J(R)`); zero for
+    /// the empty relation.
+    pub fn max_degree(&self, attributes: &[String]) -> usize {
+        self.degree_map(attributes).values().copied().max().unwrap_or(0)
+    }
+
+    /// True when every degree over every single attribute is exactly one,
+    /// i.e. the relation is an `a`-dimensional (partial) matching — the
+    /// skew-free inputs of Section 3.
+    pub fn is_matching(&self) -> bool {
+        for attr in self.schema.attributes() {
+            if self
+                .degree_map(std::slice::from_ref(attr))
+                .values()
+                .any(|&d| d > 1)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Semijoin `self ⋉ other`: tuples of `self` that agree with at least
+    /// one tuple of `other` on their common attributes. With no common
+    /// attributes this is `self` when `other` is non-empty, and empty
+    /// otherwise.
+    pub fn semijoin(&self, other: &Relation) -> Relation {
+        let common = self.schema.common_attributes(other.schema());
+        if common.is_empty() {
+            return if other.is_empty() {
+                Relation::empty(self.schema.clone())
+            } else {
+                self.clone()
+            };
+        }
+        let keys: HashSet<Tuple> = other
+            .project(&common, "__keys")
+            .tuples
+            .into_iter()
+            .collect();
+        let positions: Vec<usize> = common
+            .iter()
+            .map(|a| self.schema.position(a).expect("common attribute"))
+            .collect();
+        self.filter(|t| keys.contains(&t.project(&positions)))
+    }
+
+    /// Antijoin `self ▷ other`: tuples of `self` with *no* matching tuple in
+    /// `other` on the common attributes.
+    pub fn antijoin(&self, other: &Relation) -> Relation {
+        let common = self.schema.common_attributes(other.schema());
+        if common.is_empty() {
+            return if other.is_empty() {
+                self.clone()
+            } else {
+                Relation::empty(self.schema.clone())
+            };
+        }
+        let keys: HashSet<Tuple> = other
+            .project(&common, "__keys")
+            .tuples
+            .into_iter()
+            .collect();
+        let positions: Vec<usize> = common
+            .iter()
+            .map(|a| self.schema.position(a).expect("common attribute"))
+            .collect();
+        self.filter(|t| !keys.contains(&t.project(&positions)))
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        Relation::from_rows(
+            Schema::from_strs("R", &["x", "y"]),
+            vec![vec![1, 10], vec![2, 20], vec![3, 10], vec![1, 10]],
+        )
+    }
+
+    #[test]
+    fn construction_and_size() {
+        let r = sample();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.arity(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.size_bits(8), 4 * 2 * 8);
+        assert_eq!(r.name(), "R");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        Relation::from_rows(Schema::from_strs("R", &["x"]), vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn dedup_and_sort() {
+        let r = sample().canonicalized();
+        assert_eq!(r.len(), 3);
+        assert_eq!(
+            r.tuples(),
+            &[
+                Tuple::from([1, 10]),
+                Tuple::from([2, 20]),
+                Tuple::from([3, 10])
+            ]
+        );
+    }
+
+    #[test]
+    fn projection() {
+        let r = sample();
+        let p = r.project(&["y".to_string()], "P");
+        assert_eq!(p.arity(), 1);
+        assert_eq!(p.len(), 4);
+        let p = p.canonicalized();
+        assert_eq!(p.tuples(), &[Tuple::from([10]), Tuple::from([20])]);
+    }
+
+    #[test]
+    fn selection() {
+        let r = sample();
+        assert_eq!(r.select_eq("x", 1).len(), 2);
+        assert_eq!(r.select_eq("y", 20).len(), 1);
+        assert_eq!(r.select_eq("y", 999).len(), 0);
+    }
+
+    #[test]
+    fn degree_map_counts_frequencies() {
+        let r = sample();
+        let d = r.degree_map(&["y".to_string()]);
+        assert_eq!(d[&Tuple::from([10])], 3);
+        assert_eq!(d[&Tuple::from([20])], 1);
+        assert_eq!(r.max_degree(&["y".to_string()]), 3);
+        assert_eq!(r.max_degree(&["x".to_string(), "y".to_string()]), 2);
+    }
+
+    #[test]
+    fn matching_detection() {
+        let m = Relation::from_rows(
+            Schema::from_strs("M", &["x", "y"]),
+            vec![vec![1, 4], vec![2, 5], vec![3, 6]],
+        );
+        assert!(m.is_matching());
+        assert!(!sample().is_matching());
+        assert!(Relation::empty(Schema::from_strs("E", &["x"])).is_matching());
+    }
+
+    #[test]
+    fn semijoin_and_antijoin() {
+        let r = sample();
+        let s = Relation::from_rows(Schema::from_strs("S", &["y", "z"]), vec![vec![10, 100]]);
+        let semi = r.semijoin(&s);
+        assert_eq!(semi.len(), 3);
+        let anti = r.antijoin(&s);
+        assert_eq!(anti.len(), 1);
+        assert_eq!(anti.tuples()[0], Tuple::from([2, 20]));
+        // Disjoint attributes: semijoin keeps everything iff other non-empty.
+        let t = Relation::from_rows(Schema::from_strs("T", &["w"]), vec![vec![7]]);
+        assert_eq!(r.semijoin(&t).len(), r.len());
+        assert_eq!(r.antijoin(&t).len(), 0);
+        let empty_t = Relation::empty(Schema::from_strs("T", &["w"]));
+        assert_eq!(r.semijoin(&empty_t).len(), 0);
+        assert_eq!(r.antijoin(&empty_t).len(), r.len());
+    }
+
+    #[test]
+    fn attribute_renaming() {
+        let r = sample();
+        let mut mapping = HashMap::new();
+        mapping.insert("x".to_string(), "a".to_string());
+        let renamed = r.with_attributes_renamed(&mapping);
+        assert_eq!(
+            renamed.schema().attributes(),
+            &["a".to_string(), "y".to_string()]
+        );
+        assert_eq!(renamed.tuples(), r.tuples());
+    }
+
+    #[test]
+    fn filter_with_predicate() {
+        let r = sample();
+        let f = r.filter(|t| t.get(0) + t.get(1) > 20);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.tuples()[0], Tuple::from([2, 20]));
+    }
+}

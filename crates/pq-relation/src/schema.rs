@@ -1,0 +1,158 @@
+//! Relation schemas: a relation name plus an ordered list of attribute
+//! names.
+//!
+//! Attribute names double as query-variable names: when a conjunctive query
+//! atom `S_j(x, y)` is instantiated, the corresponding relation instance
+//! carries the schema `S_j(x, y)`, so natural joins over shared attribute
+//! names compute exactly the conjunctive query.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The schema of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Schema {
+    name: String,
+    attributes: Vec<String>,
+}
+
+impl Schema {
+    /// Create a schema from a relation name and attribute names.
+    ///
+    /// # Panics
+    /// Panics if two attributes share a name (a relation over variables must
+    /// bind each variable once; repeated variables in an atom are handled at
+    /// the query layer by pre-selecting the relation).
+    pub fn new(name: impl Into<String>, attributes: Vec<String>) -> Self {
+        let name = name.into();
+        for (i, a) in attributes.iter().enumerate() {
+            assert!(
+                !attributes[..i].contains(a),
+                "duplicate attribute `{a}` in schema `{name}`"
+            );
+        }
+        Schema { name, attributes }
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn from_strs(name: &str, attributes: &[&str]) -> Self {
+        Schema::new(name, attributes.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Attribute names, in column order.
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// Number of attributes (arity).
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Position of an attribute, if present.
+    pub fn position(&self, attribute: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a == attribute)
+    }
+
+    /// Attributes shared with another schema, in this schema's column order.
+    pub fn common_attributes(&self, other: &Schema) -> Vec<String> {
+        self.attributes
+            .iter()
+            .filter(|a| other.position(a).is_some())
+            .cloned()
+            .collect()
+    }
+
+    /// Return a new schema with the same attributes but a different name.
+    pub fn renamed(&self, name: impl Into<String>) -> Schema {
+        Schema {
+            name: name.into(),
+            attributes: self.attributes.clone(),
+        }
+    }
+
+    /// Return a new schema containing only the given attributes (in the
+    /// given order), named `name`.
+    ///
+    /// # Panics
+    /// Panics if an attribute is not part of this schema.
+    pub fn project(&self, name: impl Into<String>, attributes: &[String]) -> Schema {
+        for a in attributes {
+            assert!(
+                self.position(a).is_some(),
+                "attribute `{a}` not in schema `{}`",
+                self.name
+            );
+        }
+        Schema::new(name, attributes.to_vec())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.attributes.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = Schema::from_strs("R", &["x", "y"]);
+        assert_eq!(s.name(), "R");
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.attributes(), &["x".to_string(), "y".to_string()]);
+        assert_eq!(s.position("x"), Some(0));
+        assert_eq!(s.position("y"), Some(1));
+        assert_eq!(s.position("z"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_attributes_are_rejected() {
+        Schema::from_strs("R", &["x", "x"]);
+    }
+
+    #[test]
+    fn common_attributes_preserve_order() {
+        let r = Schema::from_strs("R", &["x", "y", "z"]);
+        let s = Schema::from_strs("S", &["z", "x"]);
+        assert_eq!(r.common_attributes(&s), vec!["x", "z"]);
+        assert_eq!(s.common_attributes(&r), vec!["z", "x"]);
+    }
+
+    #[test]
+    fn renamed_keeps_attributes() {
+        let r = Schema::from_strs("R", &["x", "y"]);
+        let q = r.renamed("Q");
+        assert_eq!(q.name(), "Q");
+        assert_eq!(q.attributes(), r.attributes());
+    }
+
+    #[test]
+    fn projection_of_schema() {
+        let r = Schema::from_strs("R", &["x", "y", "z"]);
+        let p = r.project("P", &["z".to_string(), "x".to_string()]);
+        assert_eq!(p.attributes(), &["z".to_string(), "x".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in schema")]
+    fn projection_of_unknown_attribute_panics() {
+        let r = Schema::from_strs("R", &["x"]);
+        r.project("P", &["w".to_string()]);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Schema::from_strs("S1", &["x", "y"]);
+        assert_eq!(s.to_string(), "S1(x, y)");
+    }
+}

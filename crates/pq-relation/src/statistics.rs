@@ -1,0 +1,274 @@
+//! Data statistics: cardinalities, degree sequences and heavy hitters.
+//!
+//! The paper distinguishes three knowledge regimes (Table 1): cardinality
+//! statistics only (`m_j` / `M_j`), skew-oblivious computation, and
+//! computation with heavy-hitter information — the identities and
+//! (approximate) frequencies of every value whose frequency exceeds
+//! `m_j / p` (Section 4.2). This module computes all of these from concrete
+//! relation instances.
+
+use crate::relation::Relation;
+use crate::tuple::{Tuple, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A heavy hitter: a value of some attribute whose frequency exceeds the
+/// threshold `m / p`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeavyHitter {
+    /// The attribute (query variable) in which the value is heavy.
+    pub attribute: String,
+    /// The heavy value.
+    pub value: Value,
+    /// Its frequency in the relation (`m_j(h)`).
+    pub frequency: usize,
+}
+
+/// Per-attribute degree statistics of a single relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStatistics {
+    /// Relation name.
+    pub relation: String,
+    /// Attribute the statistics are over.
+    pub attribute: String,
+    /// Frequency of every distinct value of that attribute.
+    pub frequencies: BTreeMap<Value, usize>,
+}
+
+impl DegreeStatistics {
+    /// Compute the degree statistics of `relation` over `attribute`.
+    ///
+    /// # Panics
+    /// Panics when the attribute is not part of the relation's schema.
+    pub fn compute(relation: &Relation, attribute: &str) -> Self {
+        let pos = relation
+            .schema()
+            .position(attribute)
+            .unwrap_or_else(|| panic!("attribute `{attribute}` not in `{}`", relation.name()));
+        let mut frequencies: BTreeMap<Value, usize> = BTreeMap::new();
+        for t in relation.iter() {
+            *frequencies.entry(t.get(pos)).or_insert(0) += 1;
+        }
+        DegreeStatistics {
+            relation: relation.name().to_string(),
+            attribute: attribute.to_string(),
+            frequencies,
+        }
+    }
+
+    /// Frequency of a specific value (zero when absent).
+    pub fn frequency(&self, value: Value) -> usize {
+        self.frequencies.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Maximum frequency over all values.
+    pub fn max_frequency(&self) -> usize {
+        self.frequencies.values().copied().max().unwrap_or(0)
+    }
+
+    /// Number of distinct values.
+    pub fn distinct(&self) -> usize {
+        self.frequencies.len()
+    }
+
+    /// Total number of tuples counted.
+    pub fn total(&self) -> usize {
+        self.frequencies.values().sum()
+    }
+
+    /// The values whose frequency is strictly above `threshold`.
+    pub fn heavy_hitters(&self, threshold: usize) -> Vec<HeavyHitter> {
+        self.frequencies
+            .iter()
+            .filter(|(_, &f)| f > threshold)
+            .map(|(&value, &frequency)| HeavyHitter {
+                attribute: self.attribute.clone(),
+                value,
+                frequency,
+            })
+            .collect()
+    }
+}
+
+/// Full statistics of a relation: cardinality, bit size and per-attribute
+/// degree statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelationStatistics {
+    /// Relation name.
+    pub relation: String,
+    /// Cardinality `m_j`.
+    pub cardinality: usize,
+    /// Bit size `M_j`.
+    pub size_bits: u64,
+    /// Degree statistics keyed by attribute name.
+    pub degrees: BTreeMap<String, DegreeStatistics>,
+}
+
+impl RelationStatistics {
+    /// Compute statistics for a relation given the bits needed per value.
+    pub fn compute(relation: &Relation, bits_per_value: u64) -> Self {
+        let degrees = relation
+            .schema()
+            .attributes()
+            .iter()
+            .map(|a| (a.clone(), DegreeStatistics::compute(relation, a)))
+            .collect();
+        RelationStatistics {
+            relation: relation.name().to_string(),
+            cardinality: relation.len(),
+            size_bits: relation.size_bits(bits_per_value),
+            degrees,
+        }
+    }
+
+    /// Heavy hitters of this relation under the paper's threshold
+    /// `m_j / p` (values with frequency strictly greater than the
+    /// threshold). At most `p` values per attribute can exceed it.
+    pub fn heavy_hitters(&self, p: usize) -> Vec<HeavyHitter> {
+        let threshold = if p == 0 {
+            self.cardinality
+        } else {
+            self.cardinality / p
+        };
+        let mut out = Vec::new();
+        for stats in self.degrees.values() {
+            out.extend(stats.heavy_hitters(threshold));
+        }
+        out
+    }
+
+    /// Maximum frequency of any value of `attribute`.
+    pub fn max_degree(&self, attribute: &str) -> usize {
+        self.degrees
+            .get(attribute)
+            .map(|d| d.max_frequency())
+            .unwrap_or(0)
+    }
+}
+
+/// `x`-statistics of a relation (Section 4.2.3): for a set of attributes
+/// `x_j = x ∩ vars(S_j)`, the exact frequency of every tuple over those
+/// attributes. Generalises cardinality statistics (empty `x`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupStatistics {
+    /// Relation name.
+    pub relation: String,
+    /// The attributes the statistics are grouped by (possibly empty).
+    pub attributes: Vec<String>,
+    /// Frequency `m_j(h)` of every group tuple `h`.
+    pub frequencies: BTreeMap<Tuple, usize>,
+}
+
+impl GroupStatistics {
+    /// Compute grouped frequencies. With an empty attribute set there is a
+    /// single group (the empty tuple) whose frequency is the cardinality.
+    pub fn compute(relation: &Relation, attributes: &[String]) -> Self {
+        let mut frequencies: BTreeMap<Tuple, usize> = BTreeMap::new();
+        if attributes.is_empty() {
+            frequencies.insert(Tuple::new(vec![]), relation.len());
+        } else {
+            for (key, count) in relation.degree_map(attributes) {
+                frequencies.insert(key, count);
+            }
+        }
+        GroupStatistics {
+            relation: relation.name().to_string(),
+            attributes: attributes.to_vec(),
+            frequencies,
+        }
+    }
+
+    /// Frequency of a group (zero if absent).
+    pub fn frequency(&self, group: &Tuple) -> usize {
+        self.frequencies.get(group).copied().unwrap_or(0)
+    }
+
+    /// Sum of all group frequencies (the relation cardinality).
+    pub fn total(&self) -> usize {
+        self.frequencies.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    fn skewed_relation() -> Relation {
+        // Value 7 appears 5 times in attribute x, others once.
+        let mut rows = vec![];
+        for i in 0..5 {
+            rows.push(vec![7, 100 + i]);
+        }
+        for i in 0..5 {
+            rows.push(vec![i, 200 + i]);
+        }
+        Relation::from_rows(Schema::from_strs("R", &["x", "y"]), rows)
+    }
+
+    #[test]
+    fn degree_statistics_basics() {
+        let r = skewed_relation();
+        let d = DegreeStatistics::compute(&r, "x");
+        assert_eq!(d.frequency(7), 5);
+        assert_eq!(d.frequency(0), 1);
+        assert_eq!(d.frequency(999), 0);
+        assert_eq!(d.max_frequency(), 5);
+        assert_eq!(d.distinct(), 6);
+        assert_eq!(d.total(), 10);
+    }
+
+    #[test]
+    fn heavy_hitter_detection() {
+        let r = skewed_relation();
+        let d = DegreeStatistics::compute(&r, "x");
+        let hh = d.heavy_hitters(2);
+        assert_eq!(hh.len(), 1);
+        assert_eq!(hh[0].value, 7);
+        assert_eq!(hh[0].frequency, 5);
+        assert_eq!(hh[0].attribute, "x");
+        // Threshold at the max: nothing qualifies (strict inequality).
+        assert!(d.heavy_hitters(5).is_empty());
+    }
+
+    #[test]
+    fn relation_statistics_threshold_m_over_p() {
+        let r = skewed_relation();
+        let stats = RelationStatistics::compute(&r, 8);
+        assert_eq!(stats.cardinality, 10);
+        assert_eq!(stats.size_bits, 10 * 2 * 8);
+        // p = 4: threshold 10/4 = 2, so value 7 (freq 5) in x is heavy;
+        // y values all have frequency 1.
+        let hh = stats.heavy_hitters(4);
+        assert_eq!(hh.len(), 1);
+        assert_eq!(hh[0].value, 7);
+        // p = 1: threshold 10, nothing heavy.
+        assert!(stats.heavy_hitters(1).is_empty());
+        assert_eq!(stats.max_degree("x"), 5);
+        assert_eq!(stats.max_degree("y"), 1);
+        assert_eq!(stats.max_degree("nonexistent"), 0);
+    }
+
+    #[test]
+    fn group_statistics_over_attributes() {
+        let r = skewed_relation();
+        let g = GroupStatistics::compute(&r, &["x".to_string()]);
+        assert_eq!(g.frequency(&Tuple::from([7])), 5);
+        assert_eq!(g.total(), 10);
+        // Empty grouping = cardinality statistics.
+        let g0 = GroupStatistics::compute(&r, &[]);
+        assert_eq!(g0.frequency(&Tuple::new(vec![])), 10);
+        assert_eq!(g0.total(), 10);
+    }
+
+    #[test]
+    fn matching_relation_has_no_heavy_hitters() {
+        let r = Relation::from_rows(
+            Schema::from_strs("M", &["x", "y"]),
+            (0..20).map(|i| vec![i, i + 100]).collect(),
+        );
+        let stats = RelationStatistics::compute(&r, 8);
+        assert!(stats.heavy_hitters(4).is_empty());
+        assert!(stats.heavy_hitters(20).is_empty());
+    }
+}

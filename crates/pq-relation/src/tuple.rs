@@ -1,0 +1,135 @@
+//! Values and tuples.
+//!
+//! Domain elements are `u64` integers (the paper's domain `[n]`). A tuple is
+//! an ordered vector of values; its positions are interpreted through the
+//! relation's [`crate::Schema`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single domain element.
+pub type Value = u64;
+
+/// An ordered tuple of domain values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct Tuple(pub Vec<Value>);
+
+impl Tuple {
+    /// Create a tuple from a vector of values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values)
+    }
+
+    /// Arity (number of values).
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Value at `position`.
+    pub fn get(&self, position: usize) -> Value {
+        self.0[position]
+    }
+
+    /// The underlying slice of values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Project the tuple onto the given positions (in the given order).
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&p| self.0[p]).collect())
+    }
+
+    /// Concatenate two tuples.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = self.0.clone();
+        values.extend_from_slice(&other.0);
+        Tuple(values)
+    }
+
+    /// Number of bits this tuple occupies when each value takes
+    /// `bits_per_value` bits.
+    pub fn size_bits(&self, bits_per_value: u64) -> u64 {
+        self.arity() as u64 * bits_per_value
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple(values)
+    }
+}
+
+impl<const N: usize> From<[Value; N]> for Tuple {
+    fn from(values: [Value; N]) -> Self {
+        Tuple(values.to_vec())
+    }
+}
+
+impl std::ops::Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, index: usize) -> &Value {
+        &self.0[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tuple::from([1, 2, 3]);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(0), 1);
+        assert_eq!(t[2], 3);
+        assert_eq!(t.values(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn projection_reorders_and_repeats() {
+        let t = Tuple::from([10, 20, 30]);
+        assert_eq!(t.project(&[2, 0]), Tuple::from([30, 10]));
+        assert_eq!(t.project(&[1, 1]), Tuple::from([20, 20]));
+        assert_eq!(t.project(&[]), Tuple::from(Vec::new()));
+    }
+
+    #[test]
+    fn concat_appends_values() {
+        let a = Tuple::from([1, 2]);
+        let b = Tuple::from([3]);
+        assert_eq!(a.concat(&b), Tuple::from([1, 2, 3]));
+    }
+
+    #[test]
+    fn size_in_bits_scales_with_arity() {
+        let t = Tuple::from([1, 2, 3]);
+        assert_eq!(t.size_bits(10), 30);
+        assert_eq!(Tuple::from([]).size_bits(10), 0);
+    }
+
+    #[test]
+    fn display_is_parenthesised() {
+        assert_eq!(Tuple::from([1, 2]).to_string(), "(1, 2)");
+        assert_eq!(Tuple::from([]).to_string(), "()");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Tuple::from([1, 2]) < Tuple::from([1, 3]));
+        assert!(Tuple::from([1, 2]) < Tuple::from([2, 0]));
+    }
+}

@@ -1,0 +1,66 @@
+//! Multi-round plans for long chain queries (Section 5 of the paper).
+//!
+//! Computes `L_16` (a 16-way chain join) with bushy plans of different
+//! fan-ins and shows the rounds/load tradeoff of Example 5.2 and Table 3:
+//! a binary-join plan needs `log2 16 = 4` rounds at load `O(M/p)`, a 4-way
+//! plan needs `log4 16 = 2` rounds at load `O(M/√p)`, and the one-round
+//! HyperCube needs load `O(M/p^{1/8})`.
+//!
+//! Run with `cargo run --release -p pq-core --example multi_round_paths`.
+
+use pq_core::bounds::multiround::{chain_rounds_lower_bound, rounds_upper_bound};
+use pq_core::multiround::plan::{bushy_chain_plan, execute_plan, left_deep_plan};
+use pq_core::prelude::*;
+
+fn main() {
+    let k = 16;
+    let query = ConjunctiveQuery::chain(k);
+    let m = 30_000;
+    let p = 64;
+
+    // Matching relations: the composition of 16 partial matchings.
+    let mut gen = DataGenerator::new(3, 1 << 24);
+    let specs: Vec<(Schema, usize)> = (1..=k)
+        .map(|j| (Schema::from_strs(&format!("S{j}"), &["a", "b"]), m))
+        .collect();
+    let db = gen.matching_database(&specs);
+    let m_bits = db.relation_size_bits("S1");
+    println!("chain query L_{k} over {k} matching relations of {m} tuples, p = {p}");
+    println!("single-relation size M = {m_bits} bits\n");
+
+    let one_round = run_hypercube(&query, &db, p, 9);
+    println!(
+        "one round  : load {:>10} bits  (theory: M/p^(1/tau*) = {:.0})",
+        one_round.metrics.max_load(),
+        m_bits as f64 / (p as f64).powf(1.0 / 8.0)
+    );
+
+    println!(
+        "\n{:>12} {:>8} {:>14} {:>14} {:>10}",
+        "plan", "rounds", "max load", "M/p reference", "answers"
+    );
+    for (label, plan) in [
+        ("bushy fan-2", bushy_chain_plan(k, 2)),
+        ("bushy fan-4", bushy_chain_plan(k, 4)),
+        ("left-deep", left_deep_plan(&query)),
+    ] {
+        let run = execute_plan(&plan, &query, &db, p, 17);
+        println!(
+            "{:>12} {:>8} {:>14} {:>14} {:>10}",
+            label,
+            run.metrics.num_rounds(),
+            run.metrics.max_load(),
+            m_bits / p as u64,
+            run.output.len()
+        );
+    }
+
+    println!(
+        "\nround bounds for L_{k}: lower (eps=0) = {}, upper (eps=0) = {}, \
+         lower (eps=1/2) = {}, upper (eps=1/2) = {}",
+        chain_rounds_lower_bound(k, 0.0),
+        rounds_upper_bound(&query, 0.0),
+        chain_rounds_lower_bound(k, 0.5),
+        rounds_upper_bound(&query, 0.5),
+    );
+}

@@ -1,0 +1,195 @@
+//! Integration tests tying the measured behaviour of the algorithms to the
+//! paper's bounds: upper = lower for one round (Theorem 3.15), measured
+//! loads within a constant factor of the bounds (Theorems 3.4/3.5),
+//! per-round loads of multi-round plans (Proposition 5.1), and the
+//! rounds-vs-load tradeoff (Section 5).
+
+use pq_bench::{matching_database_for_query, uniform_sizes};
+use pq_core::bounds::multiround::{chain_rounds_lower_bound, rounds_upper_bound};
+use pq_core::bounds::one_round::{
+    load_for_packing, lower_bound_load, space_exponent_lower_bound, upper_bound_load,
+};
+use pq_core::bounds::replication::replication_rate_lower_bound;
+use pq_core::multiround::plan::{bushy_chain_plan, execute_plan};
+use pq_core::prelude::*;
+use pq_query::packing::{fractional_edge_packing_vertices, vertex_cover_number};
+
+#[test]
+fn theorem_3_15_upper_equals_lower_for_many_queries_and_sizes() {
+    let queries = vec![
+        ConjunctiveQuery::triangle(),
+        ConjunctiveQuery::cycle(5),
+        ConjunctiveQuery::chain(6),
+        ConjunctiveQuery::star(4),
+        ConjunctiveQuery::k4(),
+        ConjunctiveQuery::b_query(4, 2),
+        ConjunctiveQuery::star_of_paths(3),
+    ];
+    for q in queries {
+        // Equal sizes.
+        let sizes = uniform_sizes(&q, 1 << 26);
+        for p in [8usize, 64, 1024] {
+            let lo = lower_bound_load(&q, &sizes, p);
+            let hi = upper_bound_load(&q, &sizes, p);
+            assert!(
+                (lo - hi).abs() / hi < 1e-4,
+                "{}: lower {lo} != upper {hi} (p={p})",
+                q.name()
+            );
+        }
+        // Wildly unequal sizes.
+        let mut sizes = uniform_sizes(&q, 1 << 26);
+        let names = q.relation_names();
+        sizes.insert(names[0].clone(), 1 << 14);
+        if names.len() > 2 {
+            sizes.insert(names[1].clone(), 1 << 20);
+        }
+        for p in [16usize, 256] {
+            let lo = lower_bound_load(&q, &sizes, p);
+            let hi = upper_bound_load(&q, &sizes, p);
+            assert!(
+                (lo - hi).abs() / hi < 1e-3,
+                "{} unequal: lower {lo} != upper {hi} (p={p})",
+                q.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn measured_hypercube_load_is_sandwiched_by_the_bounds() {
+    // Measured load must be at least a constant fraction of L_lower (no
+    // algorithm can beat the lower bound except by constant-factor slack in
+    // the bit accounting) and at most a constant multiple of L_upper.
+    let cases = vec![
+        (ConjunctiveQuery::triangle(), 6_000usize),
+        (ConjunctiveQuery::chain(4), 6_000),
+        (ConjunctiveQuery::star(3), 6_000),
+    ];
+    for (query, m) in cases {
+        let db = matching_database_for_query(&query, m, 7);
+        for p in [16usize, 64] {
+            let run = run_hypercube(&query, &db, p, 3);
+            let lower = lower_bound_load(&query, &db.sizes_bits(), p);
+            let measured = run.metrics.max_load() as f64;
+            assert!(
+                measured < 8.0 * lower,
+                "{} p={p}: measured {measured} >> bound {lower}",
+                query.name()
+            );
+            assert!(
+                measured > 0.1 * lower,
+                "{} p={p}: measured {measured} << bound {lower} (accounting bug?)",
+                query.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn space_exponent_of_measured_runs_respects_the_lower_bound() {
+    // For the triangle, eps >= 1 - 1/tau* = 1/3: the measured load cannot be
+    // much below M/p^{2/3}.
+    let query = ConjunctiveQuery::triangle();
+    let db = matching_database_for_query(&query, 8_000, 17);
+    let p = 64;
+    let run = run_hypercube(&query, &db, p, 19);
+    let eps_bound = space_exponent_lower_bound(&query);
+    let eps_measured = run.metrics.space_exponent(p).expect("well-defined");
+    assert!(
+        eps_measured >= eps_bound - 0.15,
+        "measured eps {eps_measured} far below the bound {eps_bound}"
+    );
+}
+
+#[test]
+fn every_packing_vertex_gives_a_valid_lower_bound() {
+    // L_lower is the max over vertices; every individual vertex must give a
+    // load below the measured load (up to constants), per Theorem 3.5.
+    let query = ConjunctiveQuery::cycle(4);
+    let db = matching_database_for_query(&query, 4_000, 23);
+    let p = 64;
+    let run = run_hypercube(&query, &db, p, 29);
+    let sizes: Vec<f64> = query
+        .relation_names()
+        .iter()
+        .map(|r| db.relation_size_bits(r) as f64)
+        .collect();
+    for u in fractional_edge_packing_vertices(&query) {
+        let bound = load_for_packing(&u, &sizes, p);
+        assert!(
+            run.metrics.max_load() as f64 > 0.1 * bound,
+            "vertex {u:?} bound {bound} above measured load"
+        );
+    }
+}
+
+#[test]
+fn replication_rate_bound_is_respected_by_hypercube() {
+    let query = ConjunctiveQuery::triangle();
+    let db = matching_database_for_query(&query, 6_000, 31);
+    for p in [16usize, 64, 256] {
+        let run = run_hypercube(&query, &db, p, 37);
+        let bound =
+            replication_rate_lower_bound(&query, &db.sizes_bits(), run.metrics.max_load() as f64);
+        let measured = run.metrics.replication_rate();
+        assert!(
+            measured >= 0.5 * bound,
+            "p={p}: measured replication {measured} below half the bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn proposition_5_1_per_round_load_of_bushy_plans() {
+    // Every round of the bushy plan stays within a constant factor of
+    // M / (p / operators-in-round): the plan achieves load O(M/p^{1-eps}).
+    let k = 8;
+    let query = ConjunctiveQuery::chain(k);
+    let db = matching_database_for_query(&query, 6_000, 41);
+    let p = 32;
+    let run = execute_plan(&bushy_chain_plan(k, 2), &query, &db, p, 43);
+    let m_bits = db.relation_size_bits("S1") as f64;
+    let max_operators = k / 2;
+    for (i, load) in run.metrics.per_round_max_loads().iter().enumerate() {
+        let budget = 6.0 * 2.0 * m_bits / (p / max_operators) as f64;
+        assert!(
+            (*load as f64) < budget,
+            "round {i} load {load} exceeds budget {budget}"
+        );
+    }
+    assert_eq!(run.metrics.num_rounds(), chain_rounds_lower_bound(k, 0.0));
+}
+
+#[test]
+fn round_bounds_are_consistent_for_many_chain_lengths() {
+    for epsilon in [0.0, 0.5, 2.0 / 3.0] {
+        for k in 2..=32 {
+            let q = ConjunctiveQuery::chain(k);
+            let lower = chain_rounds_lower_bound(k, epsilon);
+            let upper = rounds_upper_bound(&q, epsilon);
+            assert!(lower <= upper, "L_{k} eps={epsilon}: lower {lower} > upper {upper}");
+            assert!(upper <= lower + 1, "L_{k} eps={epsilon}: gap larger than 1");
+        }
+    }
+}
+
+#[test]
+fn tau_star_closed_forms_for_the_table_2_families() {
+    for k in 3..=10 {
+        assert!((vertex_cover_number(&ConjunctiveQuery::cycle(k)) - k as f64 / 2.0).abs() < 1e-6);
+    }
+    for k in 1..=8 {
+        assert!((vertex_cover_number(&ConjunctiveQuery::star(k)) - 1.0).abs() < 1e-6);
+        assert!(
+            (vertex_cover_number(&ConjunctiveQuery::chain(k)) - (k as f64 / 2.0).ceil()).abs()
+                < 1e-6
+        );
+    }
+    for (k, m) in [(4usize, 2usize), (5, 2), (6, 3), (6, 2)] {
+        assert!(
+            (vertex_cover_number(&ConjunctiveQuery::b_query(k, m)) - k as f64 / m as f64).abs()
+                < 1e-6
+        );
+    }
+}

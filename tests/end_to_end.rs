@@ -1,0 +1,139 @@
+//! End-to-end integration tests: generator → query → algorithm → simulator
+//! → answer, compared against the sequential oracle for a spread of query
+//! shapes, data distributions and cluster sizes.
+
+use pq_bench::{hub_triangle_database, matching_database_for_query, skewed_star_database};
+use pq_core::baselines::{broadcast_join, sequential_plan_join, single_server_join};
+use pq_core::multiround::plan::{bushy_chain_plan, execute_plan, left_deep_plan, star_of_paths_plan};
+use pq_core::prelude::*;
+use pq_query::evaluate_sequential;
+
+fn assert_same_answer(a: &Relation, b: &Relation, context: &str) {
+    assert_eq!(a.canonicalized(), b.canonicalized(), "answer mismatch: {context}");
+}
+
+#[test]
+fn hypercube_matches_oracle_across_queries_and_cluster_sizes() {
+    let cases = vec![
+        (ConjunctiveQuery::triangle(), 600usize),
+        (ConjunctiveQuery::chain(2), 800),
+        (ConjunctiveQuery::chain(4), 500),
+        (ConjunctiveQuery::star(2), 800),
+        (ConjunctiveQuery::star(4), 400),
+        (ConjunctiveQuery::cycle(4), 500),
+        (ConjunctiveQuery::star_of_paths(2), 400),
+    ];
+    for (query, m) in cases {
+        let db = matching_database_for_query(&query, m, 0xC0FFEE);
+        let oracle = evaluate_sequential(&query, &db);
+        for p in [3usize, 8, 17, 64] {
+            let run = run_hypercube(&query, &db, p, 5);
+            assert_same_answer(
+                &run.output,
+                &oracle,
+                &format!("{} on p={p}", query.name()),
+            );
+            assert_eq!(run.metrics.num_rounds(), 1);
+        }
+    }
+}
+
+#[test]
+fn baselines_agree_with_hypercube() {
+    let query = ConjunctiveQuery::triangle();
+    let db = matching_database_for_query(&query, 500, 99);
+    let oracle = evaluate_sequential(&query, &db);
+    let p = 16;
+    let hc = run_hypercube(&query, &db, p, 1);
+    let single = single_server_join(&query, &db, p);
+    let broadcast = broadcast_join(&query, &db, p);
+    let sequential = sequential_plan_join(&query, &db, p, 1);
+    for (name, out) in [
+        ("hypercube", &hc.output),
+        ("single-server", &single.output),
+        ("broadcast", &broadcast.output),
+        ("sequential-plan", &sequential.output),
+    ] {
+        assert_same_answer(out, &oracle, name);
+    }
+    // The whole point: HC's load is far below the single-server load.
+    assert!(hc.metrics.max_load() < single.metrics.max_load() / 2);
+}
+
+#[test]
+fn multi_round_plans_agree_with_one_round_hypercube() {
+    let query = ConjunctiveQuery::chain(8);
+    let db = matching_database_for_query(&query, 700, 31);
+    let oracle = evaluate_sequential(&query, &db);
+    let p = 16;
+    let one_round = run_hypercube(&query, &db, p, 3);
+    let bushy2 = execute_plan(&bushy_chain_plan(8, 2), &query, &db, p, 3);
+    let bushy4 = execute_plan(&bushy_chain_plan(8, 4), &query, &db, p, 3);
+    let left = execute_plan(&left_deep_plan(&query), &query, &db, p, 3);
+    for (name, out) in [
+        ("one-round", &one_round.output),
+        ("bushy-2", &bushy2.output),
+        ("bushy-4", &bushy4.output),
+        ("left-deep", &left.output),
+    ] {
+        assert_same_answer(out, &oracle, name);
+    }
+    assert_eq!(bushy2.metrics.num_rounds(), 3);
+    assert_eq!(bushy4.metrics.num_rounds(), 2);
+    assert_eq!(left.metrics.num_rounds(), 7);
+}
+
+#[test]
+fn star_of_paths_two_round_plan_is_correct() {
+    let query = ConjunctiveQuery::star_of_paths(3);
+    let db = matching_database_for_query(&query, 500, 77);
+    let oracle = evaluate_sequential(&query, &db);
+    let run = execute_plan(&star_of_paths_plan(3), &query, &db, 12, 9);
+    assert_same_answer(&run.output, &oracle, "SP3 plan");
+    assert_eq!(run.metrics.num_rounds(), 2);
+}
+
+#[test]
+fn skew_aware_algorithms_agree_with_oracle_end_to_end() {
+    // Star query with a strong heavy hitter. (The heavy hitter's residual
+    // answer is a Cartesian product, so its multiplicity is kept moderate to
+    // bound the output size.)
+    let query = ConjunctiveQuery::star(3);
+    let db = skewed_star_database(3, 900, 60, 3);
+    let oracle = evaluate_sequential(&query, &db);
+    let aware = run_star_skew_aware(&query, &db, 16, 5);
+    assert_same_answer(&aware.output, &oracle, "skew-aware star");
+
+    // Triangle with a hub.
+    let db = hub_triangle_database(900, 450, 3);
+    let triangle = ConjunctiveQuery::triangle();
+    let oracle = evaluate_sequential(&triangle, &db);
+    let aware = run_triangle_skew_aware(&db, 27, 5);
+    assert_same_answer(&aware.output, &oracle, "skew-aware triangle");
+}
+
+#[test]
+fn replication_rate_accounting_is_consistent() {
+    // Total bits received / input bits must equal the replication rate, and
+    // for the triangle HC with shares (c, c, c) each tuple is sent to c
+    // servers, so the replication rate is ~c.
+    let query = ConjunctiveQuery::triangle();
+    let db = matching_database_for_query(&query, 2_000, 11);
+    let run = run_hypercube(&query, &db, 64, 13);
+    let c = *run.shares.values().max().expect("shares") as f64;
+    let r = run.metrics.replication_rate();
+    assert!(r <= c + 0.01, "replication {r} exceeds share {c}");
+    assert!(r >= c * 0.9, "replication {r} far below share {c}");
+}
+
+#[test]
+fn output_is_empty_when_one_relation_is_empty() {
+    let query = ConjunctiveQuery::triangle();
+    let mut db = matching_database_for_query(&query, 300, 21);
+    db.insert(Relation::empty(pq_relation::Schema::from_strs(
+        "S2",
+        &["c0", "c1"],
+    )));
+    let run = run_hypercube(&query, &db, 8, 3);
+    assert!(run.output.is_empty());
+}

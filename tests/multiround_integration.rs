@@ -1,0 +1,174 @@
+//! Integration tests for Section 5: multi-round plans, the Γ classes, round
+//! bounds and connected components.
+
+use pq_bench::{identity_chain_database, matching_database_for_query};
+use pq_core::bounds::multiround::{
+    chain_good_set, chain_plan_lengths, chain_rounds_lower_bound, cycle_rounds_lower_bound,
+    in_gamma_one, is_epsilon_good, k_epsilon, rounds_upper_bound, treelike_rounds_lower_bound,
+};
+use pq_core::multiround::connected::{
+    connected_components, connected_components_oracle, CcStrategy,
+};
+use pq_core::multiround::plan::{bushy_chain_plan, execute_plan, star_of_paths_plan, PlanNode};
+use pq_core::prelude::*;
+use pq_query::evaluate_sequential;
+use pq_relation::DataGenerator;
+use std::collections::BTreeMap;
+
+#[test]
+fn example_5_2_l16_with_fan_in_four_runs_in_two_rounds() {
+    let k = 16;
+    let query = ConjunctiveQuery::chain(k);
+    let db = identity_chain_database(k, 1_500);
+    let p = 64;
+    let run = execute_plan(&bushy_chain_plan(k, 4), &query, &db, p, 3);
+    assert_eq!(run.metrics.num_rounds(), 2);
+    assert_eq!(run.output.len(), 1_500);
+    // Round structure: 4 L4-operators, then one top join.
+    assert_eq!(run.round_views[0].len(), 4);
+    assert_eq!(run.round_views[1].len(), 1);
+    // Lower bound at eps = 1/2 is exactly 2 rounds (Corollary 5.15).
+    assert_eq!(chain_rounds_lower_bound(k, 0.5), 2);
+}
+
+#[test]
+fn plan_depth_matches_round_bounds_for_chains() {
+    for (k, fan_in, epsilon) in [(8usize, 2usize, 0.0f64), (16, 2, 0.0), (16, 4, 0.5), (9, 3, 0.5)] {
+        let plan = bushy_chain_plan(k, fan_in);
+        let lower = chain_rounds_lower_bound(k, epsilon);
+        assert!(
+            plan.depth() >= lower,
+            "L_{k} fan-{fan_in}: depth {} below the lower bound {lower}",
+            plan.depth()
+        );
+        assert!(plan.depth() <= lower + 1, "L_{k} fan-{fan_in}: depth too deep");
+    }
+}
+
+#[test]
+fn gamma_one_membership_drives_one_round_feasibility() {
+    // Queries in Γ¹_ε are computable in one round at load O(M/p^{1−ε});
+    // check the measured space exponent for a borderline member.
+    let q = ConjunctiveQuery::chain(4); // τ* = 2, in Γ¹ for ε = 1/2
+    assert!(in_gamma_one(&q, 0.5));
+    assert!(!in_gamma_one(&q, 0.49));
+    let db = matching_database_for_query(&q, 6_000, 5);
+    let p = 64;
+    let run = run_hypercube(&q, &db, p, 7);
+    let eps = run.metrics.space_exponent(p).expect("defined");
+    assert!(eps < 0.62, "measured eps {eps} should be close to 1/2");
+}
+
+#[test]
+fn epsilon_good_sets_and_plans_for_chains() {
+    for (k, eps) in [(8usize, 0.0f64), (16, 0.0), (16, 0.5), (20, 0.5)] {
+        let q = ConjunctiveQuery::chain(k);
+        let m = chain_good_set(k, eps);
+        assert!(is_epsilon_good(&q, &m, eps), "L_{k}, eps={eps}");
+        let lengths = chain_plan_lengths(k, eps);
+        assert_eq!(lengths[0], k);
+        assert!(*lengths.last().expect("non-empty") <= k_epsilon(eps).max(2));
+        // Lengths shrink by roughly kε each step.
+        for w in lengths.windows(2) {
+            assert_eq!(w[1], w[0].div_ceil(k_epsilon(eps).max(2)));
+        }
+    }
+}
+
+#[test]
+fn round_bounds_agree_with_paper_examples() {
+    // Example 5.19: C6 tight at 3 rounds, C5 lower bound 2 / upper bound 3.
+    assert_eq!(cycle_rounds_lower_bound(6, 0.0), 3);
+    assert_eq!(rounds_upper_bound(&ConjunctiveQuery::cycle(6), 0.0), 3);
+    assert_eq!(cycle_rounds_lower_bound(5, 0.0), 2);
+    assert_eq!(rounds_upper_bound(&ConjunctiveQuery::cycle(5), 0.0), 3);
+    // Tree-like bound uses the diameter (Cor. 5.17).
+    assert_eq!(
+        treelike_rounds_lower_bound(&ConjunctiveQuery::star_of_paths(4), 0.0),
+        2
+    );
+}
+
+#[test]
+fn arbitrary_hand_built_plans_execute_correctly() {
+    // A hand-built unbalanced plan for L5.
+    let query = ConjunctiveQuery::chain(5);
+    let db = matching_database_for_query(&query, 800, 13);
+    let plan = PlanNode::join(
+        "root",
+        vec![
+            PlanNode::join(
+                "left",
+                vec![
+                    PlanNode::base("S1"),
+                    PlanNode::base("S2"),
+                    PlanNode::base("S3"),
+                ],
+            ),
+            PlanNode::join("right", vec![PlanNode::base("S4"), PlanNode::base("S5")]),
+        ],
+    );
+    let run = execute_plan(&plan, &query, &db, 16, 17);
+    let oracle = evaluate_sequential(&query, &db);
+    assert_eq!(run.output.canonicalized(), oracle.canonicalized());
+    assert_eq!(run.metrics.num_rounds(), 2);
+}
+
+#[test]
+fn star_of_paths_plan_achieves_m_over_p_per_round() {
+    let k = 3;
+    let query = ConjunctiveQuery::star_of_paths(k);
+    let db = matching_database_for_query(&query, 6_000, 19);
+    let p = 60;
+    let run = execute_plan(&star_of_paths_plan(k), &query, &db, p, 23);
+    let m_bits = db.relation_size_bits("R1") as f64;
+    for load in run.metrics.per_round_max_loads() {
+        // Each round's operators get p/k servers; allow generous constants.
+        assert!((load as f64) < 10.0 * 2.0 * m_bits / (p / k) as f64);
+    }
+    assert_eq!(run.metrics.num_rounds(), 2);
+}
+
+#[test]
+fn connected_components_round_growth_matches_theorem_5_20_shape() {
+    // As the path length grows with p, pointer jumping uses Θ(log p) rounds
+    // while propagation grows linearly.
+    let mut jump_rounds = Vec::new();
+    for (p, layers) in [(8usize, 4usize), (16, 8), (32, 16), (64, 32)] {
+        let mut gen = DataGenerator::new(layers as u64, 1 << 22);
+        let edges = gen.layered_matching_graph(500, layers);
+        let jump = connected_components(&edges, p, 7, CcStrategy::PointerJumping);
+        let prop = connected_components(&edges, p, 7, CcStrategy::Propagation);
+        // Correctness against the union-find oracle.
+        let oracle = connected_components_oracle(&edges);
+        let got: BTreeMap<_, _> = jump.labels.iter().map(|t| (t.get(0), t.get(1))).collect();
+        assert_eq!(got.len(), oracle.len());
+        assert!(prop.iterations >= layers, "propagation must walk the diameter");
+        assert!(
+            jump.iterations <= 2 * (layers as f64).log2().ceil() as usize + 2,
+            "jumping used {} iterations for {layers} layers",
+            jump.iterations
+        );
+        jump_rounds.push(jump.metrics.num_rounds());
+    }
+    // Logarithmic growth: doubling the diameter adds O(1) iterations.
+    for w in jump_rounds.windows(2) {
+        assert!(w[1] <= w[0] + 4, "jump rounds grew too fast: {jump_rounds:?}");
+    }
+}
+
+#[test]
+fn per_round_load_of_connected_components_is_balanced() {
+    let mut gen = DataGenerator::new(3, 1 << 22);
+    let edges = gen.layered_matching_graph(4_000, 8);
+    let p = 32;
+    let run = connected_components(&edges, p, 9, CcStrategy::PointerJumping);
+    let input_bits = edges.size_bits(pq_relation::bits_per_value(1 << 22)) as f64;
+    for load in run.metrics.per_round_max_loads() {
+        assert!(
+            (load as f64) < 8.0 * input_bits / p as f64 + 2048.0,
+            "round load {load} too far above M/p = {}",
+            input_bits / p as f64
+        );
+    }
+}

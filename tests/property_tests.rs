@@ -1,0 +1,218 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * HyperCube output always equals the sequential oracle, for random
+//!   databases (matching or skewed) and random cluster sizes;
+//! * the characteristic identities of Lemma 2.1 hold for random queries;
+//! * packing-polytope vertices are always feasible packings and `L(u,M,p)`
+//!   never exceeds `L_lower`;
+//! * integer shares never exceed the server budget;
+//! * multi-round plans compute the query, whatever the fan-in.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use pq_core::bounds::one_round::{load_for_packing, lower_bound_load};
+use pq_core::multiround::plan::{bushy_chain_plan, execute_plan};
+use pq_core::shares::{grid_size, integer_shares, optimal_share_exponents, ShareRounding};
+use pq_core::{hypercube, skew};
+use pq_query::{characteristic, evaluate_sequential, packing, Atom, ConjunctiveQuery};
+use pq_relation::{DataGenerator, Database, Relation, Schema};
+
+/// Build a database for a query with uniformly random relations of the given
+/// cardinality (duplicates removed), over a domain that guarantees plenty of
+/// accidental joins.
+fn random_database(query: &ConjunctiveQuery, m: usize, domain: u64, seed: u64) -> Database {
+    let mut gen = DataGenerator::new(seed, domain.max(4));
+    let mut db = Database::new(domain.max(4));
+    for atom in query.atoms() {
+        let cols: Vec<String> = (0..atom.arity()).map(|i| format!("c{i}")).collect();
+        let rel = gen.uniform_relation(Schema::new(atom.relation(), cols), m);
+        db.insert(rel);
+    }
+    db
+}
+
+/// A random connected binary query over at most 5 variables: a random tree
+/// plus a few extra edges. Atom names are unique so there are no self-joins.
+fn arbitrary_connected_query() -> impl Strategy<Value = ConjunctiveQuery> {
+    (2usize..6, proptest::collection::vec(any::<u32>(), 0..4), any::<u32>()).prop_map(
+        |(k, extra_edges, tree_seed)| {
+            let mut atoms = Vec::new();
+            let mut counter = 0usize;
+            // Random tree over variables x0..x{k-1}.
+            for i in 1..k {
+                let parent = (tree_seed as usize + i * 7) % i;
+                counter += 1;
+                atoms.push(Atom::new(
+                    format!("R{counter}"),
+                    vec![format!("x{parent}"), format!("x{i}")],
+                ));
+            }
+            for e in extra_edges {
+                let a = (e as usize) % k;
+                let b = (e as usize / 7) % k;
+                if a != b {
+                    counter += 1;
+                    atoms.push(Atom::new(
+                        format!("R{counter}"),
+                        vec![format!("x{a}"), format!("x{b}")],
+                    ));
+                }
+            }
+            if atoms.is_empty() {
+                atoms.push(Atom::new("R1", vec!["x0".to_string(), "x1".to_string()]));
+            }
+            ConjunctiveQuery::new("rand", atoms)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hypercube_always_matches_oracle_on_random_data(
+        seed in 0u64..1000,
+        m in 50usize..300,
+        p in 2usize..40,
+        domain in 16u64..400,
+    ) {
+        let query = ConjunctiveQuery::triangle();
+        let db = random_database(&query, m, domain, seed);
+        let run = hypercube::run_hypercube(&query, &db, p, seed ^ 0xABCD);
+        let oracle = evaluate_sequential(&query, &db);
+        prop_assert_eq!(run.output.canonicalized(), oracle.canonicalized());
+    }
+
+    #[test]
+    fn hypercube_matches_oracle_on_random_queries(
+        query in arbitrary_connected_query(),
+        seed in 0u64..1000,
+        p in 2usize..30,
+    ) {
+        let db = random_database(&query, 80, 60, seed);
+        let run = hypercube::run_hypercube(&query, &db, p, seed);
+        let oracle = evaluate_sequential(&query, &db);
+        prop_assert_eq!(run.output.canonicalized(), oracle.canonicalized());
+    }
+
+    #[test]
+    fn characteristic_is_nonnegative_and_contraction_identity_holds(
+        query in arbitrary_connected_query(),
+        mask in any::<u32>(),
+    ) {
+        let chi = characteristic::characteristic(&query);
+        prop_assert!(chi >= 0, "chi must be non-negative");
+        // Lemma 2.1(d): contraction never increases the characteristic.
+        let l = query.num_atoms();
+        let m: Vec<usize> = (0..l).filter(|i| mask & (1 << (i % 32)) != 0).collect();
+        if !m.is_empty() && m.len() < l {
+            let contracted = characteristic::contract(&query, &m);
+            let chi_contracted = characteristic::characteristic(&contracted);
+            prop_assert!(chi >= chi_contracted, "Lemma 2.1(d) violated");
+            // Lemma 2.1(b): chi(q/M) = chi(q) - chi(M).
+            let chi_m = characteristic::characteristic_of_atoms(&query, &m);
+            prop_assert_eq!(chi_contracted, chi - chi_m);
+        }
+    }
+
+    #[test]
+    fn packing_vertices_are_feasible_and_bounded_by_lower_bound(
+        query in arbitrary_connected_query(),
+        p in 2usize..200,
+    ) {
+        let sizes: BTreeMap<String, u64> = query
+            .relation_names()
+            .into_iter()
+            .map(|r| (r, 1u64 << 20))
+            .collect();
+        let size_vec: Vec<f64> = query.atoms().iter().map(|_| (1u64 << 20) as f64).collect();
+        let lower = lower_bound_load(&query, &sizes, p);
+        for u in packing::fractional_edge_packing_vertices(&query) {
+            prop_assert!(packing::is_edge_packing(&query, &u, 1e-6));
+            let load = load_for_packing(&u, &size_vec, p);
+            prop_assert!(load <= lower * (1.0 + 1e-6));
+        }
+    }
+
+    #[test]
+    fn integer_shares_respect_the_server_budget(
+        query in arbitrary_connected_query(),
+        p in 2usize..500,
+    ) {
+        let sizes: BTreeMap<String, u64> = query
+            .relation_names()
+            .into_iter()
+            .map(|r| (r, 1u64 << 22))
+            .collect();
+        let exps = optimal_share_exponents(&query, &sizes, p);
+        for strategy in [ShareRounding::Floor, ShareRounding::GreedyFill] {
+            let shares = integer_shares(&exps, strategy);
+            prop_assert!(grid_size(&shares) <= p);
+            prop_assert!(shares.values().all(|&s| s >= 1));
+        }
+    }
+
+    #[test]
+    fn bushy_plans_compute_chains_for_any_fan_in(
+        k in 2usize..10,
+        fan_in in 2usize..5,
+        seed in 0u64..100,
+    ) {
+        let query = ConjunctiveQuery::chain(k);
+        let db = random_database(&query, 60, 40, seed);
+        let plan = bushy_chain_plan(k, fan_in);
+        let run = execute_plan(&plan, &query, &db, 16, seed);
+        let oracle = evaluate_sequential(&query, &db);
+        prop_assert_eq!(run.output.canonicalized(), oracle.canonicalized());
+    }
+
+    #[test]
+    fn skew_aware_star_matches_oracle_on_random_skew(
+        m in 100usize..400,
+        heavy in 0usize..200,
+        p in 2usize..32,
+        seed in 0u64..1000,
+    ) {
+        let heavy = heavy.min(m);
+        let query = ConjunctiveQuery::simple_join();
+        // Random data plus a planted heavy hitter.
+        let mut db = random_database(&query, m, 500, seed);
+        for name in ["S1", "S2"] {
+            let rel = db.relation_mut(name).expect("exists");
+            for i in 0..heavy as u64 {
+                rel.push(pq_relation::Tuple::from([0, 1000 + i]));
+            }
+        }
+        let run = skew::star::run_star_skew_aware(&query, &db, p, seed);
+        let oracle = evaluate_sequential(&query, &db);
+        prop_assert_eq!(run.output.canonicalized(), oracle.canonicalized());
+    }
+
+    #[test]
+    fn relation_algebra_invariants(
+        rows in proptest::collection::vec((0u64..50, 0u64..50), 0..200),
+    ) {
+        let rel = Relation::from_rows(
+            Schema::from_strs("R", &["x", "y"]),
+            rows.iter().map(|&(a, b)| vec![a, b]).collect(),
+        );
+        let other = Relation::from_rows(
+            Schema::from_strs("S", &["y", "z"]),
+            rows.iter().map(|&(a, b)| vec![b, a]).collect(),
+        );
+        // Semijoin + antijoin partition the relation.
+        let semi = rel.semijoin(&other);
+        let anti = rel.antijoin(&other);
+        prop_assert_eq!(semi.len() + anti.len(), rel.len());
+        // Join output size equals the sum over keys of the degree products.
+        let join = pq_relation::natural_join(&rel, &other);
+        let d_rel = rel.degree_map(&["y".to_string()]);
+        let d_other = other.degree_map(&["y".to_string()]);
+        let expected: usize = d_rel
+            .iter()
+            .map(|(k, c)| c * d_other.get(k).copied().unwrap_or(0))
+            .sum();
+        prop_assert_eq!(join.len(), expected);
+    }
+}
