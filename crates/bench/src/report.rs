@@ -136,7 +136,7 @@ mod tests {
     fn float_formatting() {
         assert_eq!(fmt_f64(0.0), "0");
         assert_eq!(fmt_f64(3.0), "3");
-        assert_eq!(fmt_f64(3.14159), "3.142");
+        assert_eq!(fmt_f64(2.46813), "2.468");
         assert_eq!(fmt_f64(123456.7), "123457");
     }
 }

@@ -116,8 +116,8 @@ pub fn run_triangle_skew_aware(database: &Database, p: usize, seed: u64) -> Skew
         let positions = var_positions(shared);
         let heavy_heavy = shared.filter(|t| {
             positions.iter().all(|(var, pos)| {
-                (var == va || var == vb) && is_heavy(&heavy_p, var, t.get(*pos))
-                    || (var != va && var != vb)
+                let endpoint = var == va || var == vb;
+                !endpoint || is_heavy(&heavy_p, var, t.get(*pos))
             })
         });
         if heavy_heavy.is_empty() {

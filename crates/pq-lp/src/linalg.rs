@@ -44,16 +44,17 @@ pub fn solve_square(a: &[Vec<f64>], b: &[f64], tol: f64) -> Result<Vec<f64>, LpE
         }
         m.swap(col, pivot_row);
         let pivot = m[col][col];
-        for row in 0..n {
+        let pivot_vals: Vec<f64> = m[col][col..=n].to_vec();
+        for (row, row_vals) in m.iter_mut().enumerate() {
             if row == col {
                 continue;
             }
-            let factor = m[row][col] / pivot;
+            let factor = row_vals[col] / pivot;
             if factor == 0.0 {
                 continue;
             }
-            for k in col..=n {
-                m[row][k] -= factor * m[col][k];
+            for (dst, src) in row_vals[col..=n].iter_mut().zip(&pivot_vals) {
+                *dst -= factor * src;
             }
         }
     }
@@ -87,14 +88,15 @@ pub fn rank(a: &[Vec<f64>], tol: f64) -> usize {
         }
         m.swap(r, pivot_row);
         let pivot = m[r][col];
-        for row in 0..rows {
+        let pivot_vals: Vec<f64> = m[r][col..].to_vec();
+        for (row, row_vals) in m.iter_mut().enumerate() {
             if row == r {
                 continue;
             }
-            let factor = m[row][col] / pivot;
+            let factor = row_vals[col] / pivot;
             if factor != 0.0 {
-                for k in col..cols {
-                    m[row][k] -= factor * m[r][k];
+                for (dst, src) in row_vals[col..].iter_mut().zip(&pivot_vals) {
+                    *dst -= factor * src;
                 }
             }
         }

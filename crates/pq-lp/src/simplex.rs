@@ -198,10 +198,7 @@ pub fn solve(lp: &LinearProgram, options: &SimplexOptions) -> Result<Solution, L
     let mut artificial_of_row: Vec<Option<usize>> = vec![None; m];
     let mut num_artificial = 0usize;
     for (i, slack) in slack_signs.iter().enumerate() {
-        let needs_artificial = match slack {
-            Some((_, s)) if *s > 0.0 => false,
-            _ => true,
-        };
+        let needs_artificial = !matches!(slack, Some((_, s)) if *s > 0.0);
         if needs_artificial {
             artificial_of_row[i] = Some(total_structural + num_artificial);
             num_artificial += 1;
@@ -230,9 +227,7 @@ pub fn solve(lp: &LinearProgram, options: &SimplexOptions) -> Result<Solution, L
         // Objective: minimise sum of artificials. Reduced costs start as
         // c_j - sum over basic rows.
         let mut objective = vec![0.0; total_cols + 1];
-        for a in total_structural..total_cols {
-            objective[a] = 1.0;
-        }
+        objective[total_structural..total_cols].fill(1.0);
         // Price out the artificial basics.
         for (i, &b) in basis.iter().enumerate() {
             if b >= total_structural {

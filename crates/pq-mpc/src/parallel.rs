@@ -3,13 +3,12 @@
 //! The MPC cost model does not charge local computation, but the simulator
 //! still has to *perform* it. For large experiments the per-server local
 //! joins dominate wall-clock time, so this module fans the per-server work
-//! out over real threads with `crossbeam`'s scoped threads. Results are
-//! collected in server order, so callers see a deterministic outcome
-//! regardless of scheduling.
+//! out over real threads with `std::thread::scope`. Results are collected
+//! in server order, so callers see a deterministic outcome regardless of
+//! scheduling.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
 use std::num::NonZeroUsize;
+use std::sync::Mutex;
 
 /// Apply `f` to every server-indexed item of `inputs` in parallel and return
 /// the outputs in input order. Falls back to a sequential loop for small
@@ -34,21 +33,21 @@ where
 
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
     let next = std::sync::atomic::AtomicUsize::new(0);
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let out = f(i, &inputs[i]);
-                results.lock()[i] = Some(out);
+                results.lock().expect("result lock poisoned")[i] = Some(out);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     results
         .into_inner()
+        .expect("result lock poisoned")
         .into_iter()
         .map(|r| r.expect("every index processed"))
         .collect()

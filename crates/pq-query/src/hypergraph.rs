@@ -81,10 +81,11 @@ impl Hypergraph {
             visited[start] = true;
             let mut component = vec![start];
             while let Some(i) = queue.pop_front() {
-                for j in 0..l {
-                    if !visited[j] && !self.edges[i].is_disjoint(&self.edges[j]) && !self.edges[i].is_empty()
-                    {
-                        visited[j] = true;
+                for (j, vis) in visited.iter_mut().enumerate() {
+                    // An empty (nullary) edge is disjoint from everything, so
+                    // nullary atoms fall out as singleton components here.
+                    if !*vis && !self.edges[i].is_disjoint(&self.edges[j]) {
+                        *vis = true;
                         component.push(j);
                         queue.push_back(j);
                     }

@@ -8,7 +8,7 @@
 //!   two-level star-of-paths `SP_k` of Example 5.3, and `K_4`;
 //! * [`hypergraph`] — connectivity, connected components, distances, radius
 //!   and diameter of the query hypergraph;
-//! * [`characteristic`] — the characteristic `χ(q) = a − k − ℓ + c`
+//! * [`characteristic`](mod@characteristic) — the characteristic `χ(q) = a − k − ℓ + c`
 //!   (Lemma 2.1), tree-likeness, and the edge-contraction `q/M`;
 //! * [`packing`] — fractional edge packings and covers, the fractional
 //!   vertex-covering number `τ*` and edge-cover number `ρ*`, and the

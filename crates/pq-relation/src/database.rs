@@ -175,7 +175,8 @@ mod tests {
         let db = db();
         assert_eq!(db.bits_per_value(), 10);
         assert_eq!(db.relation_size_bits("R"), 2 * 2 * 10);
-        assert_eq!(db.relation_size_bits("S"), 1 * 2 * 10);
+        // a_S = 1 attribute, m_S = 2 tuples, log n = 10 bits.
+        assert_eq!(db.relation_size_bits("S"), 2 * 10);
         assert_eq!(db.total_size_bits(), 40 + 20);
         assert_eq!(db.cardinalities()["R"], 2);
         assert_eq!(db.sizes_bits()["S"], 20);

@@ -4,7 +4,7 @@
 //! drawn from a finite domain `[n]`. This crate provides everything the
 //! algorithms and the simulator need to manipulate such data:
 //!
-//! * [`tuple`] — values and tuples (`u64` domain elements),
+//! * [`tuple`](mod@tuple) — values and tuples (`u64` domain elements),
 //! * [`schema`] / [`relation`] — named relations with attribute schemas,
 //!   projections, selections and degree computations `d_J(R)`,
 //! * [`database`] — instances mapping relation names to relations, with the

@@ -125,11 +125,10 @@ impl RelationStatistics {
     /// `m_j / p` (values with frequency strictly greater than the
     /// threshold). At most `p` values per attribute can exceed it.
     pub fn heavy_hitters(&self, p: usize) -> Vec<HeavyHitter> {
-        let threshold = if p == 0 {
-            self.cardinality
-        } else {
-            self.cardinality / p
-        };
+        let threshold = self
+            .cardinality
+            .checked_div(p)
+            .unwrap_or(self.cardinality);
         let mut out = Vec::new();
         for stats in self.degrees.values() {
             out.extend(stats.heavy_hitters(threshold));

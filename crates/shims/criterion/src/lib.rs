@@ -1,0 +1,171 @@
+//! Offline shim for the `criterion` benchmark framework.
+//!
+//! The build environment has no network access, so this crate provides the
+//! subset of the criterion API the workspace benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — on top of a plain
+//! `std::time::Instant` harness: a short warm-up, then timed batches, then a
+//! `group/id: median ns/iter` line on stdout. No statistics beyond the
+//! median, no HTML reports; enough for the A/B comparisons the experiment
+//! harness makes. Swap the workspace dependency to the registry crate for
+//! the real analysis pipeline.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion's optimizer barrier.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver; hands out [`BenchmarkGroup`]s.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Identifier of a single benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, `name/param`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id consisting of a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix in the output.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Request a sample count for the group. The shim sizes batches by
+    /// target duration instead, so this only exists for API compatibility.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { median: None };
+        f(&mut bencher, input);
+        self.report(&id.id, bencher.median);
+        self
+    }
+
+    /// Run a benchmark without an input parameter.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { median: None };
+        f(&mut bencher);
+        self.report(&id.to_string(), bencher.median);
+        self
+    }
+
+    /// Finish the group (separator line in the output).
+    pub fn finish(self) {
+        println!();
+    }
+
+    fn report(&self, id: &str, median: Option<Duration>) {
+        match median {
+            Some(d) => println!("{}/{}: {:>12.0} ns/iter", self.name, id, d.as_nanos() as f64),
+            None => println!("{}/{}: no measurement (Bencher::iter never called)", self.name, id),
+        }
+    }
+}
+
+/// Passed to each benchmark closure; times the routine under test.
+#[derive(Debug)]
+pub struct Bencher {
+    median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`: warm up briefly, then take several timed batches and
+    /// record the median per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run for ~20ms or at least once.
+        let warmup_deadline = Instant::now() + Duration::from_millis(20);
+        let one = loop {
+            let t = Instant::now();
+            black_box(routine());
+            let elapsed = t.elapsed();
+            if Instant::now() >= warmup_deadline {
+                break elapsed;
+            }
+        };
+        // Pick a batch size aiming at ~5ms per batch.
+        let per_iter = one.max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(5).as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+        let mut samples: Vec<Duration> = (0..7)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                t.elapsed() / batch as u32
+            })
+            .collect();
+        samples.sort_unstable();
+        self.median = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Define a function running a list of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running one or more benchmark groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

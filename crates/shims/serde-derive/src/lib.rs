@@ -1,0 +1,24 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal stand-in for the serde derive macros. The workspace only ever
+//! *derives* `Serialize`/`Deserialize` (to keep its public types
+//! wire-ready); nothing serializes yet, so the derives expand to nothing.
+//! When a real serializer lands, point `[workspace.dependencies] serde` at
+//! the registry crate and this shim retires with no source changes.
+
+#![deny(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,29 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data types
+//! so they are ready for wire formats, but no code path serializes anything
+//! yet — and the build environment has no network access to fetch the real
+//! crate. This shim supplies the two trait names and re-exports the no-op
+//! derive macros from the sibling `serde_derive` shim. The derives expand to
+//! nothing, so the traits here are plain markers with no required methods.
+//!
+//! Swapping `[workspace.dependencies] serde` from the shim path to a
+//! registry requirement restores the real implementation without touching
+//! any `use serde::...` line in the workspace.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// The real trait's methods are only needed by serializers, none of which
+/// exist in this offline workspace; the shim derive emits no impls.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+///
+/// See [`Serialize`] for why this carries no methods.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
