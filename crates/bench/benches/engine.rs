@@ -1,0 +1,51 @@
+//! Criterion benchmark for the `pq-engine` end-to-end pipeline: cold runs
+//! (the plan cache is cleared before every iteration, so each run pays
+//! parse + statistics + LPs + execute) versus warm runs (plan served from
+//! the LRU cache). Both share one engine, so the gap between the two is
+//! exactly the planning cost the cache amortises; the baseline is recorded
+//! in `BENCH_engine.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pq_bench::matching_database_for_query;
+use pq_engine::Engine;
+use pq_query::ConjunctiveQuery;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_end_to_end");
+    group.sample_size(10);
+    let cases = [
+        ("triangle", ConjunctiveQuery::triangle(), 16usize),
+        ("chain4", ConjunctiveQuery::chain(4), 16),
+        ("star3", ConjunctiveQuery::star(3), 16),
+    ];
+    for (name, query, p) in cases {
+        for m in [1_000usize, 4_000] {
+            let db = matching_database_for_query(&query, m, 7);
+            let text = query.to_string();
+
+            let mut cold = Engine::new(db.clone(), p);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_cold"), m),
+                &text,
+                |b, text| {
+                    b.iter(|| {
+                        cold.clear_plan_cache();
+                        cold.run(text).expect("runs").outcome.output.len()
+                    })
+                },
+            );
+
+            let mut warm = Engine::new(db.clone(), p);
+            warm.run(&text).expect("warm-up run");
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_warm"), m),
+                &text,
+                |b, text| b.iter(|| warm.run(text).expect("runs").outcome.output.len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

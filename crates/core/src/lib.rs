@@ -79,5 +79,8 @@ pub mod prelude {
     pub use crate::skew::triangle::run_triangle_skew_aware;
     pub use pq_mpc::{Cluster, RunMetrics};
     pub use pq_query::{evaluate_sequential, Atom, ConjunctiveQuery};
-    pub use pq_relation::{DataGenerator, Database, Relation, Schema};
+    pub use pq_relation::{
+        database_fingerprint, load_database_dir, load_database_files, DataGenerator, Database,
+        Relation, RelationStatistics, Schema, ValueDictionary,
+    };
 }

@@ -277,8 +277,10 @@ pub fn execute_plan(
     }
 }
 
-/// The join nodes whose depth equals `depth` (1-based rounds).
-fn nodes_at_depth(plan: &PlanNode, depth: usize) -> Vec<&PlanNode> {
+/// The join nodes whose depth equals `depth` (1-based rounds) — the
+/// operators [`execute_plan`] schedules in round `depth`. Public so cost
+/// models (e.g. `pq-engine`'s planner) can price exactly these rounds.
+pub fn nodes_at_depth(plan: &PlanNode, depth: usize) -> Vec<&PlanNode> {
     let mut out = Vec::new();
     collect_at_depth(plan, depth, &mut out);
     out

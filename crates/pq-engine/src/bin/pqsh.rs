@@ -1,0 +1,278 @@
+//! `pqsh` — the parallel-query shell.
+//!
+//! Loads CSV/TSV relations into the engine and evaluates conjunctive
+//! queries over them, either as one-shot commands (`explain`, `run`,
+//! `stats`) or as an interactive shell when no command is given.
+//!
+//! ```text
+//! pqsh --data data/sample run "Q(x, y, z) :- E1(x, y), E2(y, z), E3(z, x)"
+//! ```
+
+use pq_engine::{Engine, EngineRun};
+use pq_relation::{load_database_files, Relation, ValueDictionary};
+use std::io::{BufRead, IsTerminal, Write};
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+pqsh — parallel-query shell (parser → cost-based planner → threaded executor)
+
+USAGE:
+    pqsh [OPTIONS] --data PATH... [COMMAND]
+
+OPTIONS:
+    --data PATH      CSV/TSV file, or directory of .csv/.tsv files
+                     (repeatable; one shared value dictionary)
+    --servers P      number of simulated servers (default 64)
+    --seed S         hash seed for the routers (default 7)
+    --limit N        maximum rows printed by `run` (default 20)
+    -h, --help       this text
+
+COMMAND (one-shot; omit to enter the interactive shell):
+    explain QUERY    parse + plan, print the explainable plan
+    run QUERY        parse + plan + execute, print rows and a summary
+    stats            print the loaded relations and their statistics
+
+QUERY syntax: full conjunctive queries, e.g.
+    \"Q(x, y, z) :- R(x, y), S(y, z)\"
+";
+
+struct Options {
+    data: Vec<PathBuf>,
+    servers: usize,
+    seed: u64,
+    limit: usize,
+    command: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        data: Vec::new(),
+        servers: 64,
+        seed: 7,
+        limit: 20,
+        command: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_of = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value (see --help)"))
+        };
+        match arg.as_str() {
+            "--data" => options.data.push(PathBuf::from(value_of("--data")?)),
+            "--servers" => {
+                let v = value_of("--servers")?;
+                options.servers = v
+                    .parse()
+                    .map_err(|_| format!("--servers: `{v}` is not a number"))?;
+            }
+            "--seed" => {
+                let v = value_of("--seed")?;
+                options.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed: `{v}` is not a number"))?;
+            }
+            "--limit" => {
+                let v = value_of("--limit")?;
+                options.limit = v
+                    .parse()
+                    .map_err(|_| format!("--limit: `{v}` is not a number"))?;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}` (see --help)"));
+            }
+            other => {
+                options.command.push(other.to_string());
+                options.command.extend(args.by_ref());
+            }
+        }
+    }
+    if options.data.is_empty() {
+        return Err("no data given; pass --data FILE_OR_DIR at least once (see --help)".into());
+    }
+    Ok(options)
+}
+
+fn print_rows(output: &Relation, dictionary: &ValueDictionary, limit: usize) {
+    let attrs = output.schema().attributes();
+    println!("{}", attrs.join(" | "));
+    println!("{}", "-".repeat(attrs.join(" | ").len().max(4)));
+    for tuple in output.iter().take(limit) {
+        let row: Vec<String> = tuple
+            .values()
+            .iter()
+            .map(|&v| dictionary.decode_or_number(v))
+            .collect();
+        println!("{}", row.join(" | "));
+    }
+}
+
+fn print_run(run: &EngineRun, dictionary: &ValueDictionary, limit: usize) {
+    let output = &run.outcome.output;
+    print_rows(output, dictionary, limit);
+    let shown = output.len().min(limit);
+    let elided = if shown < output.len() {
+        format!(" (showing {shown})")
+    } else {
+        String::new()
+    };
+    println!(
+        "-- {} rows{elided} · {:.1} ms · strategy: {} · rounds: {} · max load: {} bits · \
+         replication rate: {:.2} · plan cache: {}",
+        output.len(),
+        run.outcome.wall.as_secs_f64() * 1e3,
+        run.plan.strategy.name(),
+        run.outcome.metrics.num_rounds(),
+        run.outcome.metrics.max_load(),
+        run.outcome.metrics.replication_rate(),
+        if run.cache_hit { "HIT" } else { "MISS" },
+    );
+}
+
+fn print_stats(engine: &Engine, dictionary: &ValueDictionary) {
+    let db = engine.database();
+    println!(
+        "{} relations · {} tuples · domain of {} distinct values · p = {} servers",
+        db.num_relations(),
+        db.total_tuples(),
+        dictionary.len(),
+        engine.servers()
+    );
+    for relation in db.relations() {
+        println!(
+            "  {}({}) · {} tuples · {} bits",
+            relation.name(),
+            relation.schema().attributes().join(", "),
+            relation.len(),
+            relation.size_bits(db.bits_per_value())
+        );
+    }
+    let cache = engine.cache_stats();
+    println!(
+        "plan cache: {} cached · {} hit(s) · {} miss(es)",
+        cache.len, cache.hits, cache.misses
+    );
+}
+
+/// One command. Returns false on an engine/parse error (the REPL keeps
+/// going; one-shot mode exits non-zero).
+fn dispatch(
+    engine: &mut Engine,
+    dictionary: &ValueDictionary,
+    limit: usize,
+    command: &str,
+    query: &str,
+) -> bool {
+    match command {
+        "explain" => match engine.explain(query) {
+            Ok(text) => {
+                print!("{text}");
+                true
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                false
+            }
+        },
+        "run" => match engine.run(query) {
+            Ok(run) => {
+                print_run(&run, dictionary, limit);
+                true
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                false
+            }
+        },
+        "stats" => {
+            print_stats(engine, dictionary);
+            true
+        }
+        other => {
+            eprintln!("unknown command `{other}`; try explain, run, stats or help");
+            false
+        }
+    }
+}
+
+fn repl(engine: &mut Engine, dictionary: &ValueDictionary, limit: usize) {
+    let interactive = std::io::stdin().is_terminal();
+    if interactive {
+        println!(
+            "pqsh: {} relations loaded; try `run Q(x, y) :- R(x, y)` or `help`",
+            engine.database().num_relations()
+        );
+    }
+    let stdin = std::io::stdin();
+    loop {
+        if interactive {
+            print!("pqsh> ");
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (command, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        match command {
+            "quit" | "exit" => break,
+            "help" => print!("{USAGE}"),
+            _ => {
+                dispatch(engine, dictionary, limit, command, rest.trim());
+            }
+        }
+    }
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(message) => {
+            eprintln!("pqsh: {message}");
+            std::process::exit(2);
+        }
+    };
+    let (database, dictionary) = match load_database_files(&options.data) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            eprintln!("pqsh: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut engine = Engine::new(database, options.servers).with_seed(options.seed);
+
+    match options.command.split_first() {
+        None => repl(&mut engine, &dictionary, options.limit),
+        Some((command, rest)) => {
+            let query = rest.join(" ");
+            if command == "help" {
+                print!("{USAGE}");
+                return;
+            }
+            if command == "stats" && !query.is_empty() {
+                eprintln!("pqsh: `stats` takes no arguments");
+                std::process::exit(2);
+            }
+            if !matches!(command.as_str(), "stats" | "explain" | "run") && query.is_empty() {
+                eprintln!("pqsh: unknown command `{command}`; try explain, run, stats or help");
+                std::process::exit(2);
+            }
+            if matches!(command.as_str(), "explain" | "run") && query.is_empty() {
+                eprintln!("pqsh: `{command}` needs a query argument");
+                std::process::exit(2);
+            }
+            if !dispatch(&mut engine, &dictionary, options.limit, command, &query) {
+                std::process::exit(1);
+            }
+        }
+    }
+}

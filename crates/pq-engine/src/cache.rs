@@ -1,0 +1,188 @@
+//! The LRU plan cache.
+//!
+//! Planning is cheap relative to execution but not free: it scans every
+//! relation for statistics, solves two linear programs and prices candidate
+//! plans. Repeated queries over unchanged data — the common case for a
+//! serving system — should skip all of that, so the engine caches plans
+//! keyed by the **query signature** (structure up to variable renaming, see
+//! [`crate::parser::ParsedQuery::signature`]), the **statistics
+//! fingerprint** of the database ([`pq_relation::database_fingerprint`]),
+//! and the server budget `p`. Any data change flips the fingerprint and
+//! transparently invalidates every stale plan.
+
+use crate::planner::Plan;
+use std::collections::VecDeque;
+
+/// Key of one cached plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanKey {
+    /// Canonical query signature.
+    pub signature: String,
+    /// Database statistics fingerprint.
+    pub fingerprint: u64,
+    /// Server budget.
+    pub p: usize,
+}
+
+/// Hit/miss counters and occupancy of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a plan.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Plans currently cached.
+    pub len: usize,
+    /// Maximum number of plans retained.
+    pub capacity: usize,
+}
+
+/// A least-recently-used plan cache.
+///
+/// Capacities are small (plans are a few hundred bytes and real workloads
+/// have few distinct query shapes), so the cache is a `VecDeque` in recency
+/// order — front is most recent — with linear lookup; eviction pops the
+/// back.
+#[derive(Debug)]
+pub struct PlanCache {
+    entries: VecDeque<(PlanKey, Plan)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// A cache retaining at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            entries: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a plan, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &PlanKey) -> Option<Plan> {
+        match self.entries.iter().position(|(k, _)| k == key) {
+            Some(i) => {
+                let entry = self.entries.remove(i).expect("index in range");
+                self.entries.push_front(entry);
+                self.hits += 1;
+                Some(self.entries[0].1.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) a plan as most-recently-used, evicting the least
+    /// recently used entry when full.
+    pub fn insert(&mut self, key: PlanKey, plan: Plan) {
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(i);
+        }
+        self.entries.push_front((key, plan));
+        while self.entries.len() > self.capacity {
+            self.entries.pop_back();
+        }
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            len: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drop every cached plan (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl Default for PlanCache {
+    /// A cache with the engine's default capacity of 64 plans.
+    fn default() -> Self {
+        PlanCache::new(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::planner::plan_query;
+    use pq_relation::{Database, Relation, Schema};
+
+    fn toy_plan(relation: &str) -> (PlanKey, Plan) {
+        let text = format!("Q(x, y) :- {relation}(x, y)");
+        let parsed = parse_query(&text).unwrap();
+        let mut db = Database::new(64);
+        db.insert(Relation::from_rows(
+            Schema::from_strs(relation, &["a", "b"]),
+            vec![vec![1, 2], vec![3, 4]],
+        ));
+        let plan = plan_query(&parsed, &db, 4).unwrap();
+        (
+            PlanKey {
+                signature: parsed.signature(),
+                fingerprint: plan.fingerprint,
+                p: 4,
+            },
+            plan,
+        )
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction() {
+        let mut cache = PlanCache::new(2);
+        let (ka, pa) = toy_plan("A");
+        let (kb, pb) = toy_plan("B");
+        let (kc, pc) = toy_plan("C");
+        assert!(cache.get(&ka).is_none());
+        cache.insert(ka.clone(), pa);
+        cache.insert(kb.clone(), pb);
+        assert!(cache.get(&ka).is_some()); // A is now most recent.
+        cache.insert(kc.clone(), pc); // evicts B, the LRU entry.
+        assert!(cache.get(&kb).is_none());
+        assert!(cache.get(&ka).is_some());
+        assert!(cache.get(&kc).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.len, 2);
+        assert_eq!(stats.capacity, 2);
+    }
+
+    #[test]
+    fn fingerprint_partitions_the_key_space() {
+        let mut cache = PlanCache::new(8);
+        let (ka, pa) = toy_plan("A");
+        cache.insert(ka.clone(), pa);
+        let stale = PlanKey {
+            fingerprint: ka.fingerprint.wrapping_add(1),
+            ..ka.clone()
+        };
+        assert!(cache.get(&stale).is_none());
+        let other_p = PlanKey { p: 8, ..ka.clone() };
+        assert!(cache.get(&other_p).is_none());
+        assert!(cache.get(&ka).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut cache = PlanCache::new(4);
+        let (ka, pa) = toy_plan("A");
+        cache.insert(ka.clone(), pa.clone());
+        cache.insert(ka.clone(), pa);
+        assert_eq!(cache.stats().len, 1);
+        cache.clear();
+        assert_eq!(cache.stats().len, 0);
+    }
+}

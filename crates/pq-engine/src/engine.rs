@@ -1,0 +1,382 @@
+//! The engine façade: parse → plan (cached) → execute.
+
+use crate::cache::{CacheStats, PlanCache, PlanKey};
+use crate::executor::{run_plan, RunOutcome};
+use crate::parser::{parse_query, ParsedQuery, ParseError};
+use crate::planner::{plan_query_with_fingerprint, Plan, PlanError, Strategy};
+use pq_relation::{database_fingerprint, Database};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Anything that can go wrong between query text and answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The query text did not parse (or failed validation).
+    Parse(ParseError),
+    /// The query parsed but cannot be planned over the loaded data.
+    Plan(PlanError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Plan(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+impl From<PlanError> for EngineError {
+    fn from(e: PlanError) -> Self {
+        EngineError::Plan(e)
+    }
+}
+
+/// A fully executed query: the plan that was used (and whether it came from
+/// the cache) plus the executor's outcome.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// The plan the executor ran.
+    pub plan: Plan,
+    /// True when the plan was served from the LRU cache.
+    pub cache_hit: bool,
+    /// Output relation, metrics and wall-clock time.
+    pub outcome: RunOutcome,
+}
+
+/// The query engine: owns a database, a server budget and a plan cache.
+///
+/// ```
+/// use pq_engine::Engine;
+/// use pq_relation::{Database, Relation, Schema};
+///
+/// let mut db = Database::new(64);
+/// db.insert(Relation::from_rows(
+///     Schema::from_strs("R", &["a", "b"]),
+///     vec![vec![1, 2], vec![2, 3]],
+/// ));
+/// db.insert(Relation::from_rows(
+///     Schema::from_strs("S", &["a", "b"]),
+///     vec![vec![2, 10], vec![3, 30]],
+/// ));
+/// let mut engine = Engine::new(db, 4);
+/// let run = engine.run("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+/// assert_eq!(run.outcome.output.len(), 2);
+/// assert!(!run.cache_hit);
+/// assert!(engine.run("Q(x, y, z) :- R(x, y), S(y, z)").unwrap().cache_hit);
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    database: Database,
+    p: usize,
+    seed: u64,
+    cache: PlanCache,
+    /// Memoized statistics fingerprint; cleared by [`Engine::database_mut`]
+    /// (the only mutation path), so warm queries skip the O(data) scan.
+    fingerprint: Option<u64>,
+}
+
+impl Engine {
+    /// An engine over `database` simulating `p` servers, with the default
+    /// hash seed and plan-cache capacity.
+    pub fn new(database: Database, p: usize) -> Self {
+        Engine {
+            database,
+            p,
+            seed: 7,
+            cache: PlanCache::default(),
+            fingerprint: None,
+        }
+    }
+
+    /// Select the hash seed used by the routing (any value is correct).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Select the plan-cache capacity.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = PlanCache::new(capacity);
+        self
+    }
+
+    /// The loaded database.
+    pub fn database(&self) -> &Database {
+        &self.database
+    }
+
+    /// Mutable access to the database. Cached plans need no explicit
+    /// invalidation: the statistics fingerprint in the cache key changes
+    /// with the data, so stale plans simply stop matching. (The memoized
+    /// fingerprint is dropped here, pessimistically assuming a mutation.)
+    pub fn database_mut(&mut self) -> &mut Database {
+        self.fingerprint = None;
+        &mut self.database
+    }
+
+    /// The server budget `p`.
+    pub fn servers(&self) -> usize {
+        self.p
+    }
+
+    /// Change the server budget (plans for the old budget stay cached under
+    /// their own key).
+    pub fn set_servers(&mut self, p: usize) {
+        self.p = p;
+    }
+
+    /// Plan-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop every cached plan (used by benchmarks to measure cold planning
+    /// without rebuilding the engine; counters are kept).
+    pub fn clear_plan_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Parse and plan a query, consulting the plan cache. Returns the plan
+    /// and whether it was a cache hit.
+    pub fn plan(&mut self, text: &str) -> Result<(Plan, bool), EngineError> {
+        let parsed = parse_query(text)?;
+        let fingerprint = *self
+            .fingerprint
+            .get_or_insert_with(|| database_fingerprint(&self.database));
+        let key = PlanKey {
+            signature: parsed.signature(),
+            fingerprint,
+            p: self.p,
+        };
+        if let Some(plan) = self.cache.get(&key) {
+            return Ok((adapt_cached_plan(plan, parsed), true));
+        }
+        // Reuse the fingerprint just computed for the cache key rather than
+        // paying a second full statistics scan inside the planner.
+        let plan =
+            plan_query_with_fingerprint(&parsed, &self.database, self.p, key.fingerprint)?;
+        self.cache.insert(key, plan.clone());
+        Ok((plan, false))
+    }
+
+    /// Parse and plan a query, returning the human-readable explanation —
+    /// what `pqsh explain` prints.
+    pub fn explain(&mut self, text: &str) -> Result<String, EngineError> {
+        let (plan, cache_hit) = self.plan(text)?;
+        let stats = self.cache.stats();
+        Ok(format!(
+            "{}  {:<18} {} ({} hit(s), {} miss(es), {} cached)\n",
+            plan.explain(),
+            "plan cache",
+            if cache_hit { "HIT" } else { "MISS" },
+            stats.hits,
+            stats.misses,
+            stats.len
+        ))
+    }
+
+    /// Parse, plan (cached) and execute a query.
+    pub fn run(&mut self, text: &str) -> Result<EngineRun, EngineError> {
+        let (plan, cache_hit) = self.plan(text)?;
+        let outcome = run_plan(&plan, &self.database, self.seed);
+        Ok(EngineRun {
+            plan,
+            cache_hit,
+            outcome,
+        })
+    }
+}
+
+/// Re-point a cached plan at the user's current query. Signatures are
+/// rename-invariant, so a hit may come from an alpha-renamed (or
+/// differently named) query; every variable-keyed field of the plan is
+/// rewritten through the positional correspondence of the two variable
+/// lists (equal signatures guarantee identical structure). Relation names
+/// are part of the signature and never change.
+fn adapt_cached_plan(mut plan: Plan, parsed: ParsedQuery) -> Plan {
+    let old_vars = plan.parsed.query.variables();
+    let new_vars = parsed.query.variables();
+    if old_vars != new_vars {
+        let map: HashMap<&String, &String> = old_vars.iter().zip(new_vars.iter()).collect();
+        let rename = |v: &String| -> String {
+            map.get(v).map_or_else(|| v.clone(), |s| (*s).clone())
+        };
+        plan.strategy = match plan.strategy {
+            Strategy::HyperCube { shares } => Strategy::HyperCube {
+                shares: shares.iter().map(|(k, &s)| (rename(k), s)).collect(),
+            },
+            Strategy::SkewAwareStar { center } => Strategy::SkewAwareStar {
+                center: rename(&center),
+            },
+            Strategy::SkewAwareTriangle { canonical_vars } => Strategy::SkewAwareTriangle {
+                canonical_vars: [
+                    rename(&canonical_vars[0]),
+                    rename(&canonical_vars[1]),
+                    rename(&canonical_vars[2]),
+                ],
+            },
+            multi_round @ Strategy::MultiRound { .. } => multi_round,
+        };
+        plan.shares = plan.shares.iter().map(|(k, &s)| (rename(k), s)).collect();
+        plan.exponents.exponents = plan
+            .exponents
+            .exponents
+            .iter()
+            .map(|(k, &e)| (rename(k), e))
+            .collect();
+        for h in &mut plan.heavy {
+            h.variable = rename(&h.variable);
+        }
+        // Notes embed variable names only in backticks (the planner's
+        // formatting convention), so a backtick-delimited replacement
+        // renames them without touching the surrounding prose. The renaming
+        // must be simultaneous (an alpha-renaming may swap two variables),
+        // hence the placeholder pass.
+        for note in &mut plan.notes {
+            for (i, old) in old_vars.iter().enumerate() {
+                *note = note.replace(&format!("`{old}`"), &format!("\u{1}{i}\u{1}"));
+            }
+            for (i, new) in new_vars.iter().enumerate() {
+                *note = note.replace(&format!("\u{1}{i}\u{1}"), &format!("`{new}`"));
+            }
+        }
+    }
+    plan.parsed = parsed;
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_relation::{Relation, Schema, Tuple};
+
+    fn engine() -> Engine {
+        let mut db = Database::new(1 << 10);
+        db.insert(Relation::from_rows(
+            Schema::from_strs("R", &["a", "b"]),
+            (0..50).map(|i| vec![i, i + 1]).collect(),
+        ));
+        db.insert(Relation::from_rows(
+            Schema::from_strs("S", &["a", "b"]),
+            (0..50).map(|i| vec![i + 1, i + 2]).collect(),
+        ));
+        Engine::new(db, 8)
+    }
+
+    #[test]
+    fn run_reports_cache_hits_on_repeats() {
+        let mut e = engine();
+        let first = e.run("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        assert!(!first.cache_hit);
+        assert_eq!(first.outcome.output.len(), 50);
+        let again = e.run("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        assert!(again.cache_hit);
+        assert_eq!(again.outcome.output.len(), 50);
+        // Alpha-renamed query: same signature, still a hit.
+        let renamed = e.run("P(u, v, w) :- R(u, v), S(v, w)").unwrap();
+        assert!(renamed.cache_hit);
+        assert_eq!(renamed.outcome.output.name(), "P");
+        assert_eq!(e.cache_stats().hits, 2);
+        assert_eq!(e.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn renamed_cache_hit_still_executes_specialised_strategies() {
+        // A skewed triangle: the cached plan is a SkewAwareTriangle whose
+        // canonical variables must be rekeyed when an alpha-renamed query
+        // hits the cache.
+        let mut db = Database::new(1 << 20);
+        for name in ["R", "S", "T"] {
+            let mut rows: Vec<Vec<u64>> = (0..100).map(|i| vec![i, i]).collect();
+            if name != "S" {
+                // Hub value 0 with high degree in R and T.
+                rows.extend((0..80).map(|i| {
+                    if name == "R" {
+                        vec![0, 10_000 + i]
+                    } else {
+                        vec![20_000 + i, 0]
+                    }
+                }));
+            }
+            db.insert(Relation::from_rows(Schema::from_strs(name, &["a", "b"]), rows));
+        }
+        let mut e = Engine::new(db, 16);
+        let first = e.run("Q(a, b, c) :- R(a, b), S(b, c), T(c, a)").unwrap();
+        assert!(
+            matches!(first.plan.strategy, crate::planner::Strategy::SkewAwareTriangle { .. }),
+            "got {}",
+            first.plan.strategy.name()
+        );
+        let renamed = e.run("P(u, v, w) :- R(u, v), S(v, w), T(w, u)").unwrap();
+        assert!(renamed.cache_hit);
+        let crate::planner::Strategy::SkewAwareTriangle { canonical_vars } =
+            &renamed.plan.strategy
+        else {
+            panic!("strategy changed across the cache");
+        };
+        assert_eq!(canonical_vars, &["u".to_string(), "v".to_string(), "w".to_string()]);
+        assert_eq!(
+            renamed.outcome.output.canonicalized().tuples(),
+            first.outcome.output.canonicalized().tuples()
+        );
+    }
+
+    #[test]
+    fn renamed_cache_hit_rewrites_planner_notes() {
+        let mut db = Database::new(1 << 16);
+        let mut r_rows: Vec<Vec<u64>> = (0..100).map(|i| vec![i, i + 200]).collect();
+        let mut s_rows: Vec<Vec<u64>> = (0..100).map(|i| vec![i, i + 300]).collect();
+        r_rows.extend((0..40).map(|i| vec![7, 1_000 + i]));
+        s_rows.extend((0..40).map(|i| vec![7, 2_000 + i]));
+        db.insert(Relation::from_rows(Schema::from_strs("R", &["a", "b"]), r_rows));
+        db.insert(Relation::from_rows(Schema::from_strs("S", &["a", "b"]), s_rows));
+        let mut e = Engine::new(db, 16);
+        let first = e.explain("Q(z, a, b) :- R(z, a), S(z, b)").unwrap();
+        assert!(first.contains("centre `z`"), "{first}");
+        let renamed = e.explain("P(c, x, y) :- R(c, x), S(c, y)").unwrap();
+        assert!(renamed.contains("HIT"), "{renamed}");
+        assert!(renamed.contains("centre `c`"), "{renamed}");
+        assert!(!renamed.contains('z'), "stale variable name leaked: {renamed}");
+    }
+
+    #[test]
+    fn data_changes_invalidate_cached_plans_via_the_fingerprint() {
+        let mut e = engine();
+        e.run("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        e.database_mut()
+            .relation_mut("R")
+            .unwrap()
+            .push(Tuple::from([900, 901]));
+        let rerun = e.run("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        assert!(!rerun.cache_hit, "stale plan must not be reused");
+    }
+
+    #[test]
+    fn explain_names_strategy_and_cache_state() {
+        let mut e = engine();
+        let text = "Q(x, y, z) :- R(x, y), S(y, z)";
+        let first = e.explain(text).unwrap();
+        assert!(first.contains("MISS"), "{first}");
+        assert!(first.contains("strategy"), "{first}");
+        let second = e.explain(text).unwrap();
+        assert!(second.contains("HIT"), "{second}");
+    }
+
+    #[test]
+    fn errors_surface_readably() {
+        let mut e = engine();
+        let err = e.run("Q(x) :- ").unwrap_err();
+        assert!(matches!(err, EngineError::Parse(_)));
+        let err = e.run("Q(x, y) :- Missing(x, y)").unwrap_err();
+        assert!(err.to_string().contains("not loaded"), "{err}");
+    }
+}

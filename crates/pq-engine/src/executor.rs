@@ -1,0 +1,201 @@
+//! The executor: turn a [`Plan`] into an answer.
+//!
+//! Every strategy bottoms out in the MPC simulator, whose per-server local
+//! computation phases run on real OS threads through
+//! [`pq_mpc::map_servers_parallel`] — the executor inherits the paper's
+//! communication accounting ([`RunMetrics`]) for free and adds wall-clock
+//! timing. Answers are returned with columns in the user's head order,
+//! whatever variable order the underlying algorithm produced.
+
+use crate::planner::{Plan, Strategy};
+use pq_core::hypercube::run_hypercube_with_shares;
+use pq_core::multiround::plan::execute_plan as execute_multiround;
+use pq_core::skew::star::run_star_skew_aware;
+use pq_core::skew::triangle::run_triangle_skew_aware;
+use pq_mpc::RunMetrics;
+use pq_query::{bind_atom, ConjunctiveQuery};
+use pq_relation::{Database, Relation};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// The result of executing a plan.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The query answer, columns in head order, set semantics.
+    pub output: Relation,
+    /// The MPC communication metrics of the run (rounds, loads, bits).
+    pub metrics: RunMetrics,
+    /// Wall-clock time of the execution (routing + threaded local joins).
+    pub wall: Duration,
+}
+
+/// Execute `plan` over `database`. The `seed` selects the hash functions of
+/// the HyperCube routers; any value gives a correct answer.
+///
+/// # Panics
+/// Panics when the database no longer matches the plan (relations dropped
+/// or re-shaped since planning); the engine re-plans on any statistics
+/// change, so this indicates misuse of the raw executor API.
+pub fn run_plan(plan: &Plan, database: &Database, seed: u64) -> RunOutcome {
+    let query = &plan.parsed.query;
+    let start = Instant::now();
+    let (raw, metrics) = match &plan.strategy {
+        Strategy::HyperCube { shares } => {
+            let run = run_hypercube_with_shares(query, database, plan.p, shares, seed);
+            (run.output, run.metrics)
+        }
+        Strategy::SkewAwareStar { .. } => {
+            let run = run_star_skew_aware(query, database, plan.p, seed);
+            (run.output, run.metrics)
+        }
+        Strategy::SkewAwareTriangle { canonical_vars } => {
+            let canonical = canonical_triangle_database(query, canonical_vars, database);
+            let run = run_triangle_skew_aware(&canonical, plan.p, seed);
+            // Map the canonical x1..x3 columns back to the user's variables.
+            let mapping: HashMap<String, String> = canonical_vars
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (format!("x{}", i + 1), v.clone()))
+                .collect();
+            (run.output.with_attributes_renamed(&mapping), run.metrics)
+        }
+        Strategy::MultiRound { plan: node, .. } => {
+            let run = execute_multiround(node, query, database, plan.p, seed);
+            (run.output, run.metrics)
+        }
+    };
+    let mut output = raw.project(&plan.parsed.head, query.name());
+    output.dedup();
+    RunOutcome {
+        output,
+        metrics,
+        wall: start.elapsed(),
+    }
+}
+
+/// Rebuild the database in the canonical triangle layout expected by
+/// [`run_triangle_skew_aware`]: relations `S1(x1,x2), S2(x2,x3), S3(x3,x1)`
+/// with columns in canonical variable order, whatever order the user's
+/// atoms bind them in.
+fn canonical_triangle_database(
+    query: &ConjunctiveQuery,
+    canonical_vars: &[String; 3],
+    database: &Database,
+) -> Database {
+    let [v1, v2, v3] = canonical_vars;
+    let edges = [(v1, v2), (v2, v3), (v3, v1)];
+    let mut out = Database::new(database.domain_size());
+    for (i, (a, b)) in edges.iter().enumerate() {
+        let atom = query
+            .atoms()
+            .iter()
+            .find(|at| at.contains(a) && at.contains(b))
+            .expect("planner verified the triangle shape");
+        let bound = bind_atom(atom, database.expect_relation(atom.relation()));
+        out.insert(bound.project(&[(*a).clone(), (*b).clone()], &format!("S{}", i + 1)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::planner::plan_query;
+    use pq_query::evaluate_sequential;
+    use pq_relation::{DataGenerator, Schema, Tuple};
+
+    fn matching_db(query: &ConjunctiveQuery, m: usize, seed: u64) -> Database {
+        let domain = ((m as u64) * 64).max(1 << 12);
+        let mut gen = DataGenerator::new(seed, domain);
+        let specs: Vec<(Schema, usize)> = query
+            .atoms()
+            .iter()
+            .map(|a| {
+                let cols: Vec<String> = (0..a.arity()).map(|i| format!("c{i}")).collect();
+                (Schema::new(a.relation(), cols), m)
+            })
+            .collect();
+        gen.matching_database(&specs)
+    }
+
+    fn oracle(plan: &Plan, db: &Database) -> Relation {
+        let mut o = evaluate_sequential(&plan.parsed.query, db)
+            .project(&plan.parsed.head, plan.parsed.query.name());
+        o.dedup();
+        o.canonicalized()
+    }
+
+    #[test]
+    fn hypercube_strategy_matches_oracle_in_head_order() {
+        // Head order (z, x, y) differs from body first-occurrence (x, y, z).
+        let parsed = parse_query("Q(z, x, y) :- R(x, y), S(y, z)").unwrap();
+        let db = matching_db(&parsed.query, 300, 5);
+        let plan = plan_query(&parsed, &db, 16).unwrap();
+        let run = run_plan(&plan, &db, 3);
+        assert_eq!(run.output.schema().attributes(), &["z", "x", "y"]);
+        assert_eq!(run.output.canonicalized(), oracle(&plan, &db));
+        assert_eq!(run.metrics.num_rounds(), 1);
+    }
+
+    #[test]
+    fn skewed_triangle_with_renamed_variables_matches_oracle() {
+        let parsed = parse_query("Q(c, a, b) :- R(a, b), S(c, b), T(c, a)").unwrap();
+        let mut db = matching_db(&parsed.query, 300, 9);
+        for i in 0..120u64 {
+            db.relation_mut("R").unwrap().push(Tuple::from([0, 500_000 + i]));
+            db.relation_mut("T").unwrap().push(Tuple::from([600_000 + i, 0]));
+        }
+        let plan = plan_query(&parsed, &db, 16).unwrap();
+        assert!(
+            matches!(plan.strategy, Strategy::SkewAwareTriangle { .. }),
+            "got {}",
+            plan.strategy.name()
+        );
+        let run = run_plan(&plan, &db, 11);
+        assert_eq!(run.output.canonicalized(), oracle(&plan, &db));
+        assert_eq!(run.metrics.num_rounds(), 1);
+    }
+
+    #[test]
+    fn skewed_star_matches_oracle() {
+        let parsed = parse_query("Q(z, a, b) :- R(z, a), S(z, b)").unwrap();
+        let mut db = matching_db(&parsed.query, 300, 13);
+        for i in 0..100u64 {
+            db.relation_mut("R").unwrap().push(Tuple::from([5, 700_000 + i]));
+            db.relation_mut("S").unwrap().push(Tuple::from([5, 800_000 + i]));
+        }
+        let plan = plan_query(&parsed, &db, 16).unwrap();
+        assert!(matches!(plan.strategy, Strategy::SkewAwareStar { .. }));
+        let run = run_plan(&plan, &db, 17);
+        assert_eq!(run.output.canonicalized(), oracle(&plan, &db));
+    }
+
+    #[test]
+    fn multi_round_chain_matches_oracle() {
+        let parsed = parse_query("Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d)").unwrap();
+        let db = matching_db(&parsed.query, 1_500, 21);
+        let plan = plan_query(&parsed, &db, 64).unwrap();
+        assert!(matches!(plan.strategy, Strategy::MultiRound { .. }));
+        let run = run_plan(&plan, &db, 23);
+        assert_eq!(run.output.canonicalized(), oracle(&plan, &db));
+        assert_eq!(run.metrics.num_rounds(), 2);
+    }
+
+    #[test]
+    fn cartesian_product_query_executes() {
+        let parsed = parse_query("Q(x, y) :- R(x), S(y)").unwrap();
+        let mut db = Database::new(64);
+        db.insert(Relation::from_rows(
+            Schema::from_strs("R", &["a"]),
+            vec![vec![1], vec![2]],
+        ));
+        db.insert(Relation::from_rows(
+            Schema::from_strs("S", &["a"]),
+            vec![vec![7], vec![8], vec![9]],
+        ));
+        let plan = plan_query(&parsed, &db, 4).unwrap();
+        let run = run_plan(&plan, &db, 1);
+        assert_eq!(run.output.len(), 6);
+    }
+}

@@ -1,0 +1,46 @@
+//! # pq-engine — an end-to-end query engine over the MPC simulator
+//!
+//! Everything below this crate simulates the *algorithms* of Beame, Koutris
+//! and Suciu's "Communication Cost in Parallel Query Processing"; this crate
+//! turns them into a *system*: from "a query and a database" to "an answer",
+//! with the strategy chosen by inspecting the query's structure and the
+//! data's statistics rather than hard-coded per experiment.
+//!
+//! The four layers:
+//!
+//! * [`parser`] — Datalog-style text syntax for full conjunctive queries
+//!   (`Q(x, z) :- R(x, y), S(y, z)`), with spans and caret diagnostics;
+//! * [`planner`] — a cost-based planner: relation statistics, the
+//!   share-exponent LP (Eq. 10) and its fractional-edge-packing dual,
+//!   heavy-hitter detection against the paper's `m/p` skew threshold, and
+//!   an explainable [`Plan`] choosing between one-round HyperCube, the
+//!   skew-aware star/triangle algorithms of §4.2, and multi-round bushy
+//!   plans of §5;
+//! * [`cache`] — an LRU plan cache keyed by (query signature, statistics
+//!   fingerprint, `p`), so repeated queries over unchanged data skip
+//!   planning and data changes invalidate stale plans automatically;
+//! * [`executor`] — runs the chosen plan's rounds on the MPC simulator,
+//!   with per-server local joins fanned out over real OS threads via
+//!   [`pq_mpc::map_servers_parallel`], returning the answer plus
+//!   [`pq_mpc::RunMetrics`] and wall-clock time.
+//!
+//! The [`Engine`] façade wires the layers together, and the `pqsh` binary
+//! exposes them as a CLI that loads CSV/TSV relations and supports
+//! `explain` and `run`.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cache;
+pub mod engine;
+pub mod executor;
+pub mod parser;
+pub mod planner;
+
+pub use cache::{CacheStats, PlanCache, PlanKey};
+pub use engine::{Engine, EngineError, EngineRun};
+pub use executor::{run_plan, RunOutcome};
+pub use parser::{parse_query, ParseError, ParsedQuery, Span};
+pub use planner::{
+    plan_query, plan_query_with_fingerprint, HeavyReport, Plan, PlanError, Strategy,
+};

@@ -1,0 +1,493 @@
+//! Text parser for conjunctive queries.
+//!
+//! The surface syntax is the usual Datalog-style rule for a full conjunctive
+//! query:
+//!
+//! ```text
+//! Q(x, z) :- R(x, y), S(y, z).
+//! ```
+//!
+//! `<-` and `=` are accepted in place of `:-` (the latter makes
+//! [`pq_query::ConjunctiveQuery`]'s `Display` output round-trip through the
+//! parser), and the trailing period is optional. Every error carries a
+//! [`Span`] into the input and renders as a compiler-style message with a
+//! caret line, so `pqsh` users see *where* a query went wrong, not just
+//! that it did.
+//!
+//! Queries must be **full** (every body variable appears in the head) and
+//! **self-join free** (no relation appears twice in the body) — the paper's
+//! query class, and what the downstream algorithms expect. Violations are
+//! reported as parse errors with the offending atom or variable underlined.
+
+use pq_query::{Atom, ConjunctiveQuery};
+use std::fmt;
+
+/// A byte range into the query text, used to point errors at their cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first offending character.
+    pub start: usize,
+    /// Byte offset one past the last offending character.
+    pub end: usize,
+}
+
+impl Span {
+    fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+}
+
+/// A parse (or validation) error with a location and the original text, so
+/// `Display` can render a caret diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub span: Span,
+    source_text: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>, span: Span, source_text: &str) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+            source_text: source_text.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error: {}", self.message)?;
+        // Locate the line containing the span start.
+        let start = self.span.start.min(self.source_text.len());
+        let line_start = self.source_text[..start].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = self.source_text[line_start..]
+            .find('\n')
+            .map_or(self.source_text.len(), |i| line_start + i);
+        let line = &self.source_text[line_start..line_end];
+        writeln!(f, "  | {line}")?;
+        let caret_offset = self.source_text[line_start..start].chars().count();
+        let caret_len = self.source_text[start..self.span.end.min(line_end)]
+            .chars()
+            .count()
+            .max(1);
+        write!(
+            f,
+            "  | {}{}",
+            " ".repeat(caret_offset),
+            "^".repeat(caret_len)
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A successfully parsed query: the [`ConjunctiveQuery`] plus the head
+/// variables *in the order the user wrote them* (query answers are returned
+/// in head order, which may differ from body first-occurrence order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedQuery {
+    /// The query, named after the head predicate.
+    pub query: ConjunctiveQuery,
+    /// Head variables in written order.
+    pub head: Vec<String>,
+}
+
+impl ParsedQuery {
+    /// A canonical signature of the query *structure*: relation names and
+    /// the join pattern with variables renamed to `v0, v1, …` in body
+    /// first-occurrence order, plus the head order. Two queries with equal
+    /// signatures get identical plans, whatever the user called the
+    /// variables or the query — this is the plan-cache key together with
+    /// the statistics fingerprint.
+    pub fn signature(&self) -> String {
+        fn canon(v: &str, names: &mut Vec<String>) -> String {
+            let idx = match names.iter().position(|n| n == v) {
+                Some(i) => i,
+                None => {
+                    names.push(v.to_string());
+                    names.len() - 1
+                }
+            };
+            format!("v{idx}")
+        }
+        let mut names: Vec<String> = Vec::new();
+        let mut body = Vec::new();
+        for atom in self.query.atoms() {
+            let vars: Vec<String> = atom
+                .variables()
+                .iter()
+                .map(|v| canon(v, &mut names))
+                .collect();
+            body.push(format!("{}({})", atom.relation(), vars.join(",")));
+        }
+        let head: Vec<String> = self.head.iter().map(|v| canon(v, &mut names)).collect();
+        format!("{}=>{}", body.join(","), head.join(","))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Turnstile,
+    Dot,
+}
+
+fn tokenize(text: &str) -> Result<Vec<(Token, Span)>, ParseError> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = text[i..].chars().next().expect("in bounds");
+        match c {
+            c if c.is_whitespace() => i += c.len_utf8(),
+            '(' => {
+                tokens.push((Token::LParen, Span::new(i, i + 1)));
+                i += 1;
+            }
+            ')' => {
+                tokens.push((Token::RParen, Span::new(i, i + 1)));
+                i += 1;
+            }
+            ',' => {
+                tokens.push((Token::Comma, Span::new(i, i + 1)));
+                i += 1;
+            }
+            '.' => {
+                tokens.push((Token::Dot, Span::new(i, i + 1)));
+                i += 1;
+            }
+            '=' => {
+                tokens.push((Token::Turnstile, Span::new(i, i + 1)));
+                i += 1;
+            }
+            ':' | '<' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    tokens.push((Token::Turnstile, Span::new(i, i + 2)));
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(
+                        format!("expected `{c}-` (as in `:-`), found a lone `{c}`"),
+                        Span::new(i, i + 1),
+                        text,
+                    ));
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = text[i..].chars().next().expect("in bounds");
+                    if ch.is_alphanumeric() || ch == '_' || ch == '\'' {
+                        i += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push((Token::Ident(text[start..i].to_string()), Span::new(start, i)));
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{other}`"),
+                    Span::new(i, i + other.len_utf8()),
+                    text,
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    tokens: Vec<(Token, Span)>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&(Token, Span)> {
+        self.tokens.get(self.pos)
+    }
+
+    fn eof_span(&self) -> Span {
+        Span::new(self.text.len(), self.text.len())
+    }
+
+    fn error(&self, message: impl Into<String>, span: Span) -> ParseError {
+        ParseError::new(message, span, self.text)
+    }
+
+    fn expect(&mut self, token: Token, what: &str) -> Result<Span, ParseError> {
+        match self.peek() {
+            Some((t, span)) if *t == token => {
+                let span = *span;
+                self.pos += 1;
+                Ok(span)
+            }
+            Some((t, span)) => Err(self.error(
+                format!("expected {what}, found `{}`", render(t)),
+                *span,
+            )),
+            None => Err(self.error(
+                format!("expected {what}, found end of input"),
+                self.eof_span(),
+            )),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), ParseError> {
+        match self.peek() {
+            Some((Token::Ident(name), span)) => {
+                let out = (name.clone(), *span);
+                self.pos += 1;
+                Ok(out)
+            }
+            Some((t, span)) => Err(self.error(
+                format!("expected {what}, found `{}`", render(t)),
+                *span,
+            )),
+            None => Err(self.error(
+                format!("expected {what}, found end of input"),
+                self.eof_span(),
+            )),
+        }
+    }
+
+    /// `ident ( var {, var} )`, returning the atom with its full span and
+    /// the spans of the individual variables.
+    fn atom(&mut self, what: &str) -> Result<(Atom, Span, Vec<Span>), ParseError> {
+        let (relation, rel_span) = self.ident(what)?;
+        self.expect(
+            Token::LParen,
+            &format!("`(` after relation name `{relation}`"),
+        )?;
+        let mut variables = Vec::new();
+        let mut var_spans = Vec::new();
+        loop {
+            let (var, span) = self.ident("a variable name")?;
+            variables.push(var);
+            var_spans.push(span);
+            match self.peek() {
+                Some((Token::Comma, _)) => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let close = self.expect(Token::RParen, "`,` or `)` in the argument list")?;
+        let span = Span::new(rel_span.start, close.end);
+        Ok((Atom::new(relation, variables), span, var_spans))
+    }
+}
+
+fn render(token: &Token) -> String {
+    match token {
+        Token::Ident(name) => name.clone(),
+        Token::LParen => "(".to_string(),
+        Token::RParen => ")".to_string(),
+        Token::Comma => ",".to_string(),
+        Token::Turnstile => ":-".to_string(),
+        Token::Dot => ".".to_string(),
+    }
+}
+
+/// Parse a conjunctive query from text.
+///
+/// Accepts `Q(x̄) :- body`, `Q(x̄) <- body` and `Q(x̄) = body`, with an
+/// optional trailing `.`. Returns a readable, located [`ParseError`] on
+/// malformed input, on self-joins, and on non-full queries.
+pub fn parse_query(text: &str) -> Result<ParsedQuery, ParseError> {
+    let tokens = tokenize(text)?;
+    let mut parser = Parser {
+        text,
+        tokens,
+        pos: 0,
+    };
+    let (head_atom, head_span, head_var_spans) = parser.atom("a query head like `Q(x, y)`")?;
+    parser.expect(Token::Turnstile, "`:-` between the head and the body")?;
+
+    let mut atoms: Vec<(Atom, Span)> = Vec::new();
+    loop {
+        let (atom, span, _) = parser.atom("a body atom like `R(x, y)`")?;
+        atoms.push((atom, span));
+        match parser.peek() {
+            Some((Token::Comma, _)) => {
+                parser.pos += 1;
+            }
+            _ => break,
+        }
+    }
+    if let Some((Token::Dot, _)) = parser.peek() {
+        parser.pos += 1;
+    }
+    if let Some((t, span)) = parser.peek() {
+        return Err(parser.error(
+            format!("unexpected `{}` after the query body", render(t)),
+            *span,
+        ));
+    }
+
+    // Self-join freedom.
+    for (i, (a, span)) in atoms.iter().enumerate() {
+        if let Some((b, _)) = atoms[..i].iter().find(|(b, _)| b.relation() == a.relation()) {
+            return Err(ParseError::new(
+                format!(
+                    "relation `{}` appears twice in the body; self-joins are not supported \
+                     (rename one occurrence and duplicate the data)",
+                    b.relation()
+                ),
+                *span,
+                text,
+            ));
+        }
+    }
+
+    // Head variables: distinct.
+    let head_vars = head_atom.variables().to_vec();
+    for (i, v) in head_vars.iter().enumerate() {
+        if head_vars[..i].contains(v) {
+            return Err(ParseError::new(
+                format!("variable `{v}` is repeated in the head"),
+                head_var_spans[i],
+                text,
+            ));
+        }
+    }
+
+    // Fullness: head variables == body variables as sets.
+    let mut body_vars: Vec<&String> = Vec::new();
+    for (a, _) in &atoms {
+        for v in a.variables() {
+            if !body_vars.contains(&v) {
+                body_vars.push(v);
+            }
+        }
+    }
+    for (v, span) in head_vars.iter().zip(&head_var_spans) {
+        if !body_vars.contains(&v) {
+            return Err(ParseError::new(
+                format!("head variable `{v}` does not appear in the body"),
+                *span,
+                text,
+            ));
+        }
+    }
+    for v in &body_vars {
+        if !head_vars.contains(v) {
+            return Err(ParseError::new(
+                format!(
+                    "body variable `{v}` is missing from the head; the engine evaluates full \
+                     conjunctive queries (add `{v}` to the head, projections are not supported)"
+                ),
+                head_span,
+                text,
+            ));
+        }
+    }
+
+    let query = ConjunctiveQuery::new(
+        head_atom.relation(),
+        atoms.into_iter().map(|(a, _)| a).collect(),
+    );
+    Ok(ParsedQuery {
+        query,
+        head: head_vars,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_binary_join() {
+        let parsed = parse_query("Q(x, z, y) :- R(x, y), S(y, z).").expect("parses");
+        assert_eq!(parsed.query.name(), "Q");
+        assert_eq!(parsed.query.num_atoms(), 2);
+        assert_eq!(parsed.head, vec!["x", "z", "y"]);
+        // Body-order variables differ from head order; both are preserved.
+        assert_eq!(parsed.query.variables(), vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn accepts_arrow_and_equals_and_no_period() {
+        for text in [
+            "Q(x, y) <- R(x, y)",
+            "Q(x, y) = R(x, y)",
+            "Q(x,y):-R(x,y)",
+        ] {
+            let parsed = parse_query(text).expect(text);
+            assert_eq!(parsed.query.num_atoms(), 1);
+        }
+    }
+
+    #[test]
+    fn display_output_round_trips() {
+        let q = ConjunctiveQuery::triangle();
+        let parsed = parse_query(&q.to_string()).expect("round-trips");
+        assert_eq!(parsed.query.atoms(), q.atoms());
+        assert_eq!(parsed.head, q.variables());
+    }
+
+    #[test]
+    fn error_points_at_the_problem() {
+        let err = parse_query("Q(x, y) :- R x, y)").expect_err("missing paren");
+        let msg = err.to_string();
+        assert!(msg.contains("expected `(` after relation name `R`"), "{msg}");
+        assert!(msg.contains('^'), "{msg}");
+        // The caret is under the offending token (`x` at column 13).
+        let caret_line = msg.lines().last().unwrap();
+        assert_eq!(caret_line.find('^'), Some(4 + 13), "{msg}");
+    }
+
+    #[test]
+    fn self_join_is_a_located_error() {
+        let err = parse_query("Q(x, y, z) :- S(x, y), S(y, z)").expect_err("self-join");
+        assert!(err.to_string().contains("appears twice"), "{err}");
+        assert_eq!(err.span.start, 23);
+    }
+
+    #[test]
+    fn non_full_queries_are_rejected_both_ways() {
+        let err = parse_query("Q(x) :- R(x, y)").expect_err("projection");
+        assert!(err.to_string().contains("missing from the head"), "{err}");
+        let err = parse_query("Q(x, y, w) :- R(x, y)").expect_err("unbound head var");
+        assert!(err.to_string().contains("does not appear in the body"), "{err}");
+    }
+
+    #[test]
+    fn repeated_head_variable_is_rejected() {
+        let err = parse_query("Q(x, x) :- R(x, y)").expect_err("repeat");
+        assert!(err.to_string().contains("repeated in the head"), "{err}");
+    }
+
+    #[test]
+    fn lone_colon_and_garbage_are_rejected() {
+        assert!(parse_query("Q(x) : R(x)").is_err());
+        assert!(parse_query("Q(x) :- R(x) extra").is_err());
+        assert!(parse_query("Q(x) :- R(x) @").is_err());
+        assert!(parse_query("").is_err());
+        assert!(parse_query("Q()").is_err());
+    }
+
+    #[test]
+    fn signatures_are_invariant_under_renaming() {
+        let a = parse_query("Q(x, z, y) :- R(x, y), S(y, z), T(z, x)").unwrap();
+        let b = parse_query("P(a, c, b) :- R(a, b), S(b, c), T(c, a)").unwrap();
+        let c = parse_query("P(a, c, b) :- R(a, b), S(b, c), T(a, c)").unwrap();
+        assert_eq!(a.signature(), b.signature());
+        assert_ne!(a.signature(), c.signature());
+    }
+
+    #[test]
+    fn repeated_variable_inside_an_atom_is_allowed() {
+        let parsed = parse_query("Q(x) :- R(x, x)").expect("diagonal selection");
+        assert_eq!(parsed.query.atoms()[0].arity(), 2);
+        assert_eq!(parsed.head, vec!["x"]);
+    }
+}

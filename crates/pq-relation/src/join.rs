@@ -52,17 +52,38 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Relation {
     );
     let mut out = Relation::empty(out_schema);
 
-    // Build a hash index on the smaller side keyed by the join attributes.
-    let mut index: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
-    for t in right.iter() {
-        index.entry(t.project(&right_positions)).or_default().push(t);
-    }
-    for lt in left.iter() {
-        let key = lt.project(&left_positions);
-        if let Some(matches) = index.get(&key) {
-            for rt in matches {
+    // Build a hash index on the smaller side keyed by the join attributes,
+    // and stream the larger side over it. The output row format is the same
+    // either way (left tuple followed by the extra right attributes), so the
+    // choice of build side never changes the output schema or contents.
+    if right.len() <= left.len() {
+        let mut index: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
+        for t in right.iter() {
+            index.entry(t.project(&right_positions)).or_default().push(t);
+        }
+        for lt in left.iter() {
+            let key = lt.project(&left_positions);
+            if let Some(matches) = index.get(&key) {
+                for rt in matches {
+                    let extra: Vec<u64> =
+                        right_extra.iter().map(|&(_, pos)| rt.get(pos)).collect();
+                    out.push(lt.concat(&Tuple::new(extra)));
+                }
+            }
+        }
+    } else {
+        let mut index: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
+        for t in left.iter() {
+            index.entry(t.project(&left_positions)).or_default().push(t);
+        }
+        for rt in right.iter() {
+            let key = rt.project(&right_positions);
+            if let Some(matches) = index.get(&key) {
                 let extra: Vec<u64> = right_extra.iter().map(|&(_, pos)| rt.get(pos)).collect();
-                out.push(lt.concat(&Tuple::new(extra)));
+                let extra = Tuple::new(extra);
+                for lt in matches {
+                    out.push(lt.concat(&extra));
+                }
             }
         }
     }
@@ -72,6 +93,10 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Relation {
 /// Natural join of a list of relations, using a greedy ordering that always
 /// joins in a relation sharing at least one attribute with the accumulated
 /// result when possible (avoiding needless Cartesian products).
+///
+/// The accumulator is renamed to `⋈{k}` (with `k` the number of relations
+/// absorbed so far) after every step, so wide queries never build an
+/// unbounded `A⋈B⋈C⋈…` name string.
 ///
 /// Returns an empty nullary relation when the input list is empty.
 pub fn natural_join_all(relations: &[Relation]) -> Relation {
@@ -87,6 +112,7 @@ pub fn natural_join_all(relations: &[Relation]) -> Relation {
         .map(|(i, _)| i)
         .expect("non-empty");
     let mut acc = remaining.remove(start).clone();
+    let mut joined = 1usize;
     while !remaining.is_empty() {
         // Prefer a relation sharing attributes with the accumulator.
         let next = remaining
@@ -98,6 +124,8 @@ pub fn natural_join_all(relations: &[Relation]) -> Relation {
             .unwrap_or(0);
         let r = remaining.remove(next);
         acc = natural_join(&acc, r);
+        joined += 1;
+        acc.rename(format!("⋈{joined}"));
     }
     acc
 }
@@ -136,6 +164,62 @@ mod tests {
                 Tuple::from([3, 10, 100]),
             ]
         );
+    }
+
+    #[test]
+    fn build_side_choice_does_not_change_the_output() {
+        // Larger right side: the index is built on the (smaller) left, but
+        // the result must be identical to the right-build case.
+        let small = r("R", &["x", "y"], vec![vec![1, 10], vec![2, 20]]);
+        let big = r(
+            "S",
+            &["y", "z"],
+            vec![vec![10, 100], vec![10, 101], vec![20, 200], vec![30, 300], vec![40, 400]],
+        );
+        let forward = natural_join(&small, &big).canonicalized();
+        assert_eq!(
+            forward.schema().attributes(),
+            &["x".to_string(), "y".to_string(), "z".to_string()]
+        );
+        assert_eq!(
+            forward.tuples(),
+            &[
+                Tuple::from([1, 10, 100]),
+                Tuple::from([1, 10, 101]),
+                Tuple::from([2, 20, 200]),
+            ]
+        );
+        // Swapping the sides swaps the schema prefix but yields the same
+        // rows up to column order.
+        let backward = natural_join(&big, &small);
+        assert_eq!(
+            backward.schema().attributes(),
+            &["y".to_string(), "z".to_string(), "x".to_string()]
+        );
+        let reordered = backward
+            .project(
+                &["x".to_string(), "y".to_string(), "z".to_string()],
+                "j",
+            )
+            .canonicalized();
+        assert_eq!(reordered.tuples(), forward.tuples());
+    }
+
+    #[test]
+    fn join_all_accumulator_name_stays_bounded() {
+        let rels: Vec<Relation> = (0..12)
+            .map(|j| {
+                r(
+                    &format!("S{j}"),
+                    &[&format!("x{j}"), &format!("x{}", j + 1)],
+                    (0..5).map(|i| vec![i, i]).collect(),
+                )
+            })
+            .collect();
+        let out = natural_join_all(&rels);
+        assert_eq!(out.len(), 5);
+        // Bounded name, not the concatenation of all twelve inputs.
+        assert!(out.name().len() < 8, "unbounded name `{}`", out.name());
     }
 
     #[test]

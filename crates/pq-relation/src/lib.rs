@@ -9,6 +9,8 @@
 //!   projections, selections and degree computations `d_J(R)`,
 //! * [`database`] — instances mapping relation names to relations, with the
 //!   bit-size accounting (`M_j = a_j · m_j · log n`) the MPC model charges,
+//! * [`csv`](mod@csv) — loading relations from delimited text files through
+//!   a shared [`ValueDictionary`] (the `pqsh` ingestion path),
 //! * [`statistics`] — cardinality statistics, per-value frequencies
 //!   (degree sequences) and heavy-hitter detection,
 //! * [`hash`] — seeded strongly-universal-style hash families used by the
@@ -23,6 +25,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod csv;
 pub mod database;
 pub mod generator;
 pub mod hash;
@@ -32,13 +35,16 @@ pub mod schema;
 pub mod statistics;
 pub mod tuple;
 
+pub use csv::{
+    load_database_dir, load_database_files, load_relation_csv, CsvError, ValueDictionary,
+};
 pub use database::Database;
 pub use generator::{DataGenerator, SkewSpec};
 pub use hash::{BucketHasher, HashFamily, MultiplyShiftHash, TabulationHash};
 pub use join::{natural_join, natural_join_all, project};
 pub use relation::Relation;
 pub use schema::Schema;
-pub use statistics::{DegreeStatistics, HeavyHitter, RelationStatistics};
+pub use statistics::{database_fingerprint, DegreeStatistics, HeavyHitter, RelationStatistics};
 pub use tuple::{Tuple, Value};
 
 /// Number of bits needed to represent one value from a domain of size `n`

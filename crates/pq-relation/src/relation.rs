@@ -137,6 +137,12 @@ impl Relation {
         r
     }
 
+    /// Rename the relation in place (schema attributes unchanged). Cheaper
+    /// than [`Relation::renamed`] when the tuples need not be copied.
+    pub fn rename(&mut self, name: impl Into<String>) {
+        self.schema = self.schema.renamed(name);
+    }
+
     /// Rename the relation (schema attributes unchanged).
     pub fn renamed(&self, name: impl Into<String>) -> Relation {
         Relation {

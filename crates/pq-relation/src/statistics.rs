@@ -143,6 +143,68 @@ impl RelationStatistics {
             .map(|d| d.max_frequency())
             .unwrap_or(0)
     }
+
+    /// A 64-bit fingerprint of the planner-relevant statistics: name,
+    /// cardinality, bit size, and per-attribute distinct counts and maximum
+    /// frequencies. Two relations with equal fingerprints look identical to
+    /// a cost-based planner, so the fingerprint is a sound cache key for
+    /// query plans; the full degree maps are deliberately *not* hashed.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_str(&self.relation);
+        h.write_u64(self.cardinality as u64);
+        h.write_u64(self.size_bits);
+        for (attribute, degrees) in &self.degrees {
+            h.write_str(attribute);
+            h.write_u64(degrees.distinct() as u64);
+            h.write_u64(degrees.max_frequency() as u64);
+        }
+        h.finish()
+    }
+}
+
+/// A 64-bit fingerprint of a whole database's planner-relevant statistics:
+/// the domain size combined with every relation's
+/// [`RelationStatistics::fingerprint`]. Plan caches key on this value — any
+/// change of cardinality, size or skew profile changes the fingerprint and
+/// invalidates the cached plan.
+pub fn database_fingerprint(database: &crate::database::Database) -> u64 {
+    let bpv = database.bits_per_value();
+    let mut h = Fnv1a::new();
+    h.write_u64(database.domain_size());
+    for relation in database.relations() {
+        h.write_u64(RelationStatistics::compute(relation, bpv).fingerprint());
+    }
+    h.finish()
+}
+
+/// Minimal FNV-1a hasher (the workspace is offline, so no hashing crates).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_str(&mut self, s: &str) {
+        for byte in s.as_bytes() {
+            self.0 ^= *byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Length delimiter so `("ab","c")` and `("a","bc")` differ.
+        self.write_u64(s.len() as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 /// `x`-statistics of a relation (Section 4.2.3): for a set of attributes
@@ -258,6 +320,31 @@ mod tests {
         let g0 = GroupStatistics::compute(&r, &[]);
         assert_eq!(g0.frequency(&Tuple::new(vec![])), 10);
         assert_eq!(g0.total(), 10);
+    }
+
+    #[test]
+    fn fingerprints_track_planner_relevant_changes() {
+        let r = skewed_relation();
+        let base = RelationStatistics::compute(&r, 8).fingerprint();
+        // Deterministic.
+        assert_eq!(base, RelationStatistics::compute(&r, 8).fingerprint());
+        // Adding a tuple changes cardinality => new fingerprint.
+        let mut bigger = r.clone();
+        bigger.push(Tuple::from([99, 999]));
+        assert_ne!(base, RelationStatistics::compute(&bigger, 8).fingerprint());
+        // Same shape under a different name => new fingerprint.
+        let renamed = r.renamed("R2");
+        assert_ne!(base, RelationStatistics::compute(&renamed, 8).fingerprint());
+    }
+
+    #[test]
+    fn database_fingerprint_changes_with_content() {
+        let mut db = crate::Database::new(1 << 10);
+        db.insert(skewed_relation());
+        let base = database_fingerprint(&db);
+        assert_eq!(base, database_fingerprint(&db));
+        db.relation_mut("R").unwrap().push(Tuple::from([5, 501]));
+        assert_ne!(base, database_fingerprint(&db));
     }
 
     #[test]
