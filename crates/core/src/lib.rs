@@ -81,6 +81,6 @@ pub mod prelude {
     pub use pq_query::{evaluate_sequential, Atom, ConjunctiveQuery};
     pub use pq_relation::{
         database_fingerprint, load_database_dir, load_database_files, DataGenerator, Database,
-        Relation, RelationStatistics, Schema, ValueDictionary,
+        DatabaseStatistics, Relation, RelationStatistics, Schema, ValueDictionary,
     };
 }

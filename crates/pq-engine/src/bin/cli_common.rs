@@ -1,0 +1,86 @@
+//! Flag-parsing plumbing shared by the `pqsh` and `pqd` binaries (pulled in
+//! via `#[path] mod`, not compiled as a binary — see `autobins = false`).
+//!
+//! Both front-ends load the same data and construct the same engine, so the
+//! `--data`/`--servers`/`--seed` flags live here once: same validation, same
+//! error style, one place to extend.
+
+use std::path::PathBuf;
+use std::str::FromStr;
+
+/// The flags every pq-engine front-end accepts.
+pub struct CommonArgs {
+    /// `--data` paths (repeatable).
+    pub data: Vec<PathBuf>,
+    /// `--servers`: default server budget for new sessions.
+    pub servers: usize,
+    /// `--seed`: default router hash seed for new sessions.
+    pub seed: u64,
+}
+
+impl CommonArgs {
+    /// Defaults shared by both binaries (`--servers 64 --seed 7`).
+    pub fn new() -> Self {
+        CommonArgs {
+            data: Vec::new(),
+            servers: 64,
+            seed: 7,
+        }
+    }
+
+    /// Try to consume `arg` as one of the shared flags, pulling its value
+    /// from `args`. Returns `Ok(true)` when the flag was handled here,
+    /// `Ok(false)` when it is the caller's to interpret.
+    pub fn consume(
+        &mut self,
+        arg: &str,
+        args: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--data" => {
+                self.data.push(PathBuf::from(value_of("--data", args)?));
+                Ok(true)
+            }
+            "--servers" => {
+                self.servers = parse_number("--servers", &value_of("--servers", args)?)?;
+                if self.servers < 2 {
+                    return Err(format!(
+                        "--servers: the planner needs p ≥ 2, got {}",
+                        self.servers
+                    ));
+                }
+                Ok(true)
+            }
+            "--seed" => {
+                self.seed = parse_number("--seed", &value_of("--seed", args)?)?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Final validation once every argument is parsed.
+    pub fn finish(self) -> Result<Self, String> {
+        if self.data.is_empty() {
+            return Err(
+                "no data given; pass --data FILE_OR_DIR at least once (see --help)".into(),
+            );
+        }
+        Ok(self)
+    }
+}
+
+/// The value following a flag, or a readable error.
+pub fn value_of(flag: &str, args: &mut impl Iterator<Item = String>) -> Result<String, String> {
+    args.next()
+        .ok_or_else(|| format!("{flag} needs a value (see --help)"))
+}
+
+/// Parse a flag value into any integer type, rejecting (rather than
+/// truncating) out-of-range input — `--port 70000` must be an error, not
+/// a silent bind to port 4464.
+pub fn parse_number<T: FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: `{value}` is not a valid number for this flag"))
+}

@@ -1,0 +1,242 @@
+//! `pqd` — the parallel-query daemon.
+//!
+//! A minimal line-protocol TCP server that proves the concurrent engine
+//! API end to end: the process loads one database into one [`Engine`]
+//! (one snapshot, one shared plan cache) and serves every connection from
+//! its own thread with its own [`Session`] — so N clients plan and execute
+//! concurrently, and a plan cached for one client is a HIT for all others.
+//!
+//! Protocol (one request line, one response block ending in `OK …`/`ERR …`):
+//!
+//! ```text
+//! → RUN Q(x, y, z) :- E1(x, y), E2(y, z), E3(z, x)
+//! ← ROW a,b,c                    (one line per answer tuple; inside a
+//!                                 value, `\` is `\\` and `,` is `\,`)
+//! ← OK 200 rows strategy=one-round HyperCube cache=MISS
+//! → EXPLAIN Q(x, y) :- R(x, y)
+//! ← …plan text…
+//! ← OK
+//! → SERVERS 8        ← OK p=8          (this connection's session only)
+//! → SEED 42          ← OK seed=42
+//! → STATS            ← …lines… then OK
+//! → QUIT             ← OK bye
+//! ```
+//!
+//! Errors never kill the connection: `ERR <message>` (newlines folded) and
+//! the session keeps listening.
+
+use pq_engine::{Engine, Session};
+use pq_relation::{load_database_files, ValueDictionary};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+#[path = "cli_common.rs"]
+mod cli_common;
+use cli_common::{parse_number, value_of, CommonArgs};
+
+const USAGE: &str = "\
+pqd — parallel-query daemon (one engine, one plan cache, N client sessions)
+
+USAGE:
+    pqd [OPTIONS] --data PATH...
+
+OPTIONS:
+    --data PATH      CSV/TSV file, or directory of .csv/.tsv files (repeatable)
+    --servers P      default simulated servers per session (default 64)
+    --seed S         default router hash seed per session (default 7)
+    --port PORT      TCP port to listen on (default 0 = ephemeral, printed)
+    --host HOST      address to bind (default 127.0.0.1)
+    -h, --help       this text
+
+PROTOCOL: one command per line — RUN <query>, EXPLAIN <query>, SERVERS <p>,
+SEED <n>, STATS, QUIT; each response block ends with an OK or ERR line.
+";
+
+struct Options {
+    common: CommonArgs,
+    port: u16,
+    host: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut common = CommonArgs::new();
+    let mut port = 0u16;
+    let mut host = "127.0.0.1".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if common.consume(&arg, &mut args)? {
+            continue;
+        }
+        match arg.as_str() {
+            // parse_number::<u16> rejects (not truncates) ports above 65535.
+            "--port" => port = parse_number("--port", &value_of("--port", &mut args)?)?,
+            "--host" => host = value_of("--host", &mut args)?,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}` (see --help)")),
+        }
+    }
+    Ok(Options {
+        common: common.finish()?,
+        port,
+        host,
+    })
+}
+
+/// Serve one connection: its own session, its own budget/seed, shared
+/// engine. Any I/O error simply ends the connection.
+fn serve(stream: TcpStream, mut session: Session, dictionary: Arc<ValueDictionary>) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".to_string());
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(stream);
+    let fold = |message: String| message.replace('\n', " | ");
+    let _ = writeln!(
+        writer,
+        "READY {} relation(s) p={} seed={}",
+        session.engine().snapshot().database().num_relations(),
+        session.servers(),
+        session.seed()
+    );
+    let _ = writer.flush();
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (command, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        let result = match command.to_ascii_uppercase().as_str() {
+            "RUN" => match session.run(rest) {
+                Ok(run) => {
+                    for tuple in run.outcome.output.iter() {
+                        // Backslash-escape the delimiter so string-valued
+                        // cells containing commas stay unambiguous:
+                        // `\` → `\\`, `,` → `\,`.
+                        let row: Vec<String> = tuple
+                            .values()
+                            .iter()
+                            .map(|&v| {
+                                dictionary
+                                    .decode_or_number(v)
+                                    .replace('\\', "\\\\")
+                                    .replace(',', "\\,")
+                            })
+                            .collect();
+                        let _ = writeln!(writer, "ROW {}", row.join(","));
+                    }
+                    writeln!(
+                        writer,
+                        "OK {} rows strategy={} cache={}",
+                        run.outcome.output.len(),
+                        run.plan.strategy.name(),
+                        if run.cache_hit { "HIT" } else { "MISS" }
+                    )
+                }
+                Err(e) => writeln!(writer, "ERR {}", fold(e.to_string())),
+            },
+            "EXPLAIN" => match session.explain(rest) {
+                Ok(text) => {
+                    let _ = write!(writer, "{text}");
+                    writeln!(writer, "OK")
+                }
+                Err(e) => writeln!(writer, "ERR {}", fold(e.to_string())),
+            },
+            "SERVERS" => match rest.parse::<usize>() {
+                Ok(p) if p >= 2 => {
+                    session.set_servers(p);
+                    writeln!(writer, "OK p={p}")
+                }
+                _ => writeln!(writer, "ERR SERVERS needs a number >= 2, got `{rest}`"),
+            },
+            "SEED" => match rest.parse::<u64>() {
+                Ok(seed) => {
+                    session.set_seed(seed);
+                    writeln!(writer, "OK seed={seed}")
+                }
+                Err(_) => writeln!(writer, "ERR SEED needs a number, got `{rest}`"),
+            },
+            "STATS" => {
+                let snapshot = session.engine().snapshot();
+                let cache = session.engine().cache_stats();
+                let _ = writeln!(
+                    writer,
+                    "{} relation(s) {} tuple(s) fingerprint {:#018x}",
+                    snapshot.database().num_relations(),
+                    snapshot.database().total_tuples(),
+                    snapshot.fingerprint()
+                );
+                let _ = writeln!(
+                    writer,
+                    "plan cache {} cached {} hit(s) {} miss(es)",
+                    cache.len, cache.hits, cache.misses
+                );
+                writeln!(writer, "OK")
+            }
+            "QUIT" | "EXIT" => {
+                let _ = writeln!(writer, "OK bye");
+                let _ = writer.flush();
+                break;
+            }
+            other => writeln!(
+                writer,
+                "ERR unknown command `{other}`; try RUN, EXPLAIN, SERVERS, SEED, STATS, QUIT"
+            ),
+        };
+        if result.is_err() || writer.flush().is_err() {
+            break;
+        }
+    }
+    eprintln!("pqd: connection from {peer} closed");
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(message) => {
+            eprintln!("pqd: {message}");
+            std::process::exit(2);
+        }
+    };
+    let (database, dictionary) = match load_database_files(&options.common.data) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            eprintln!("pqd: {e}");
+            std::process::exit(1);
+        }
+    };
+    let engine = Engine::new(database, options.common.servers).with_seed(options.common.seed);
+    let dictionary = Arc::new(dictionary);
+    let listener = match TcpListener::bind((options.host.as_str(), options.port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("pqd: cannot bind {}:{}: {e}", options.host, options.port);
+            std::process::exit(1);
+        }
+    };
+    match listener.local_addr() {
+        Ok(addr) => println!("pqd: listening on {addr}"),
+        Err(_) => println!("pqd: listening"),
+    }
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                // One thread + one session per connection; the engine handle
+                // (snapshot + plan cache) is shared by all of them.
+                let session = engine.session();
+                let dictionary = Arc::clone(&dictionary);
+                std::thread::spawn(move || serve(stream, session, dictionary));
+            }
+            Err(e) => eprintln!("pqd: accept failed: {e}"),
+        }
+    }
+}

@@ -1,17 +1,22 @@
 //! `pqsh` — the parallel-query shell.
 //!
 //! Loads CSV/TSV relations into the engine and evaluates conjunctive
-//! queries over them, either as one-shot commands (`explain`, `run`,
-//! `stats`) or as an interactive shell when no command is given.
+//! queries over them through a [`Session`], either as one-shot commands
+//! (`explain`, `run`, `stats`) or as an interactive shell when no command
+//! is given. Session-local settings (`servers`, `seed`) can be changed
+//! mid-REPL without touching the engine other clients would share.
 //!
 //! ```text
 //! pqsh --data data/sample run "Q(x, y, z) :- E1(x, y), E2(y, z), E3(z, x)"
 //! ```
 
-use pq_engine::{Engine, EngineRun};
+use pq_engine::{Engine, EngineRun, Session};
 use pq_relation::{load_database_files, Relation, ValueDictionary};
 use std::io::{BufRead, IsTerminal, Write};
-use std::path::PathBuf;
+
+#[path = "cli_common.rs"]
+mod cli_common;
+use cli_common::{parse_number, value_of, CommonArgs};
 
 const USAGE: &str = "\
 pqsh — parallel-query shell (parser → cost-based planner → threaded executor)
@@ -32,52 +37,33 @@ COMMAND (one-shot; omit to enter the interactive shell):
     run QUERY        parse + plan + execute, print rows and a summary
     stats            print the loaded relations and their statistics
 
+REPL-only commands (session-local, take effect immediately):
+    servers P        change this session's server budget p
+    seed S           change this session's router hash seed
+    help             this text
+    quit             leave the shell
+
 QUERY syntax: full conjunctive queries, e.g.
     \"Q(x, y, z) :- R(x, y), S(y, z)\"
 ";
 
 struct Options {
-    data: Vec<PathBuf>,
-    servers: usize,
-    seed: u64,
+    common: CommonArgs,
     limit: usize,
     command: Vec<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
-    let mut options = Options {
-        data: Vec::new(),
-        servers: 64,
-        seed: 7,
-        limit: 20,
-        command: Vec::new(),
-    };
+    let mut common = CommonArgs::new();
+    let mut limit = 20usize;
+    let mut command = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut value_of = |flag: &str| {
-            args.next()
-                .ok_or_else(|| format!("{flag} needs a value (see --help)"))
-        };
+        if common.consume(&arg, &mut args)? {
+            continue;
+        }
         match arg.as_str() {
-            "--data" => options.data.push(PathBuf::from(value_of("--data")?)),
-            "--servers" => {
-                let v = value_of("--servers")?;
-                options.servers = v
-                    .parse()
-                    .map_err(|_| format!("--servers: `{v}` is not a number"))?;
-            }
-            "--seed" => {
-                let v = value_of("--seed")?;
-                options.seed = v
-                    .parse()
-                    .map_err(|_| format!("--seed: `{v}` is not a number"))?;
-            }
-            "--limit" => {
-                let v = value_of("--limit")?;
-                options.limit = v
-                    .parse()
-                    .map_err(|_| format!("--limit: `{v}` is not a number"))?;
-            }
+            "--limit" => limit = parse_number("--limit", &value_of("--limit", &mut args)?)?,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -86,15 +72,16 @@ fn parse_args() -> Result<Options, String> {
                 return Err(format!("unknown option `{other}` (see --help)"));
             }
             other => {
-                options.command.push(other.to_string());
-                options.command.extend(args.by_ref());
+                command.push(other.to_string());
+                command.extend(args.by_ref());
             }
         }
     }
-    if options.data.is_empty() {
-        return Err("no data given; pass --data FILE_OR_DIR at least once (see --help)".into());
-    }
-    Ok(options)
+    Ok(Options {
+        common: common.finish()?,
+        limit,
+        command,
+    })
 }
 
 fn print_rows(output: &Relation, dictionary: &ValueDictionary, limit: usize) {
@@ -133,14 +120,16 @@ fn print_run(run: &EngineRun, dictionary: &ValueDictionary, limit: usize) {
     );
 }
 
-fn print_stats(engine: &Engine, dictionary: &ValueDictionary) {
-    let db = engine.database();
+fn print_stats(session: &Session, dictionary: &ValueDictionary) {
+    let snapshot = session.engine().snapshot();
+    let db = snapshot.database();
     println!(
-        "{} relations · {} tuples · domain of {} distinct values · p = {} servers",
+        "{} relations · {} tuples · domain of {} distinct values · p = {} servers · seed {}",
         db.num_relations(),
         db.total_tuples(),
         dictionary.len(),
-        engine.servers()
+        session.servers(),
+        session.seed()
     );
     for relation in db.relations() {
         println!(
@@ -151,63 +140,104 @@ fn print_stats(engine: &Engine, dictionary: &ValueDictionary) {
             relation.size_bits(db.bits_per_value())
         );
     }
-    let cache = engine.cache_stats();
+    let cache = session.engine().cache_stats();
+    let per_p: Vec<String> = cache
+        .per_p
+        .iter()
+        .map(|(p, n)| format!("p={p}: {n}"))
+        .collect();
     println!(
-        "plan cache: {} cached · {} hit(s) · {} miss(es)",
-        cache.len, cache.hits, cache.misses
+        "plan cache: {} cached · {} hit(s) · {} miss(es){}",
+        cache.len,
+        cache.hits,
+        cache.misses,
+        if per_p.is_empty() {
+            String::new()
+        } else {
+            format!(" · {}", per_p.join(" · "))
+        }
     );
 }
 
 /// One command. Returns false on an engine/parse error (the REPL keeps
-/// going; one-shot mode exits non-zero).
+/// going; one-shot mode exits non-zero). Errors are reported through
+/// `report`, which the REPL uses to prefix the input line number.
 fn dispatch(
-    engine: &mut Engine,
+    session: &mut Session,
     dictionary: &ValueDictionary,
     limit: usize,
     command: &str,
     query: &str,
+    report: &dyn Fn(String),
 ) -> bool {
     match command {
-        "explain" => match engine.explain(query) {
+        "explain" => match session.explain(query) {
             Ok(text) => {
                 print!("{text}");
                 true
             }
             Err(e) => {
-                eprintln!("{e}");
+                report(e.to_string());
                 false
             }
         },
-        "run" => match engine.run(query) {
+        "run" => match session.run(query) {
             Ok(run) => {
                 print_run(&run, dictionary, limit);
                 true
             }
             Err(e) => {
-                eprintln!("{e}");
+                report(e.to_string());
                 false
             }
         },
         "stats" => {
-            print_stats(engine, dictionary);
+            print_stats(session, dictionary);
             true
         }
+        "servers" => match query.parse::<usize>() {
+            Ok(p) if p >= 2 => {
+                session.set_servers(p);
+                println!("servers set to p = {p} (this session only)");
+                true
+            }
+            _ => {
+                report(format!(
+                    "`servers` needs a number ≥ 2, got `{query}`"
+                ));
+                false
+            }
+        },
+        "seed" => match query.parse::<u64>() {
+            Ok(seed) => {
+                session.set_seed(seed);
+                println!("seed set to {seed} (this session only)");
+                true
+            }
+            Err(_) => {
+                report(format!("`seed` needs a number, got `{query}`"));
+                false
+            }
+        },
         other => {
-            eprintln!("unknown command `{other}`; try explain, run, stats or help");
+            report(format!(
+                "unknown command `{other}`; try explain, run, stats, servers, seed or help"
+            ));
             false
         }
     }
 }
 
-fn repl(engine: &mut Engine, dictionary: &ValueDictionary, limit: usize) {
+fn repl(session: &mut Session, dictionary: &ValueDictionary, limit: usize) {
     let interactive = std::io::stdin().is_terminal();
     if interactive {
         println!(
             "pqsh: {} relations loaded; try `run Q(x, y) :- R(x, y)` or `help`",
-            engine.database().num_relations()
+            session.engine().snapshot().database().num_relations()
         );
     }
     let stdin = std::io::stdin();
+    let mut line_no = 0usize;
     loop {
         if interactive {
             print!("pqsh> ");
@@ -218,6 +248,7 @@ fn repl(engine: &mut Engine, dictionary: &ValueDictionary, limit: usize) {
             Ok(0) | Err(_) => break,
             Ok(_) => {}
         }
+        line_no += 1;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -227,7 +258,10 @@ fn repl(engine: &mut Engine, dictionary: &ValueDictionary, limit: usize) {
             "quit" | "exit" => break,
             "help" => print!("{USAGE}"),
             _ => {
-                dispatch(engine, dictionary, limit, command, rest.trim());
+                // Same `path:line:` shape as the CSV loader's diagnostics,
+                // with stdin standing in for the file.
+                let report = |message: String| eprintln!("stdin:{line_no}: {message}");
+                dispatch(session, dictionary, limit, command, rest.trim(), &report);
             }
         }
     }
@@ -241,36 +275,52 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let (database, dictionary) = match load_database_files(&options.data) {
+    let (database, dictionary) = match load_database_files(&options.common.data) {
         Ok(loaded) => loaded,
         Err(e) => {
             eprintln!("pqsh: {e}");
             std::process::exit(1);
         }
     };
-    let mut engine = Engine::new(database, options.servers).with_seed(options.seed);
+    let engine = Engine::new(database, options.common.servers).with_seed(options.common.seed);
+    let mut session = engine.session();
 
     match options.command.split_first() {
-        None => repl(&mut engine, &dictionary, options.limit),
+        None => repl(&mut session, &dictionary, options.limit),
         Some((command, rest)) => {
             let query = rest.join(" ");
             if command == "help" {
                 print!("{USAGE}");
                 return;
             }
-            if command == "stats" && !query.is_empty() {
-                eprintln!("pqsh: `stats` takes no arguments");
+            if matches!(command.as_str(), "servers" | "seed") {
+                eprintln!(
+                    "pqsh: `{command}` is REPL-only (a one-shot session ends immediately, so \
+                     it would have no effect); use the --{command} option instead"
+                );
                 std::process::exit(2);
             }
-            if !matches!(command.as_str(), "stats" | "explain" | "run") && query.is_empty() {
-                eprintln!("pqsh: unknown command `{command}`; try explain, run, stats or help");
+            if !matches!(command.as_str(), "stats" | "explain" | "run") {
+                eprintln!("pqsh: unknown one-shot command `{command}`; try explain, run, stats or help");
+                std::process::exit(2);
+            }
+            if command == "stats" && !query.is_empty() {
+                eprintln!("pqsh: `stats` takes no arguments");
                 std::process::exit(2);
             }
             if matches!(command.as_str(), "explain" | "run") && query.is_empty() {
                 eprintln!("pqsh: `{command}` needs a query argument");
                 std::process::exit(2);
             }
-            if !dispatch(&mut engine, &dictionary, options.limit, command, &query) {
+            let report = |message: String| eprintln!("{message}");
+            if !dispatch(
+                &mut session,
+                &dictionary,
+                options.limit,
+                command,
+                &query,
+                &report,
+            ) {
                 std::process::exit(1);
             }
         }

@@ -11,7 +11,7 @@
 //! transparently invalidates every stale plan.
 
 use crate::planner::Plan;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Key of one cached plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,7 +25,7 @@ pub struct PlanKey {
 }
 
 /// Hit/miss counters and occupancy of a [`PlanCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups that found a plan.
     pub hits: u64,
@@ -35,6 +35,11 @@ pub struct CacheStats {
     pub len: usize,
     /// Maximum number of plans retained.
     pub capacity: usize,
+    /// Cached plans per server budget `p`. Sessions choose their own `p`
+    /// (each gets its own cache key), so this shows how the cache is split
+    /// across budgets — entries for a `p` nobody uses any more linger only
+    /// until the LRU evicts them.
+    pub per_p: BTreeMap<usize, usize>,
 }
 
 /// A least-recently-used plan cache.
@@ -90,18 +95,33 @@ impl PlanCache {
         }
     }
 
-    /// Current counters and occupancy.
+    /// Current counters and occupancy, including the per-`p` entry counts.
     pub fn stats(&self) -> CacheStats {
+        let mut per_p: BTreeMap<usize, usize> = BTreeMap::new();
+        for (key, _) in &self.entries {
+            *per_p.entry(key.p).or_insert(0) += 1;
+        }
         CacheStats {
             hits: self.hits,
             misses: self.misses,
             len: self.entries.len(),
             capacity: self.capacity,
+            per_p,
         }
     }
 
-    /// Drop every cached plan (counters are kept).
+    /// Drop every cached plan **and** reset the hit/miss counters — the
+    /// cache looks freshly constructed afterwards.
     pub fn clear(&mut self) {
+        self.entries.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Drop every cached plan but keep the hit/miss counters. Benchmarks
+    /// use this to force cold planning on every iteration while still
+    /// reporting cumulative counter totals at the end.
+    pub fn clear_keep_stats(&mut self) {
         self.entries.clear();
     }
 }
@@ -184,5 +204,46 @@ mod tests {
         assert_eq!(cache.stats().len, 1);
         cache.clear();
         assert_eq!(cache.stats().len, 0);
+    }
+
+    #[test]
+    fn clear_resets_counters_but_clear_keep_stats_does_not() {
+        let mut cache = PlanCache::new(4);
+        let (ka, pa) = toy_plan("A");
+        cache.insert(ka.clone(), pa.clone());
+        assert!(cache.get(&ka).is_some());
+        let (kb, _) = toy_plan("B");
+        assert!(cache.get(&kb).is_none());
+        assert_eq!((cache.stats().hits, cache.stats().misses), (1, 1));
+
+        cache.clear_keep_stats();
+        assert_eq!(cache.stats().len, 0, "entries gone");
+        assert_eq!(
+            (cache.stats().hits, cache.stats().misses),
+            (1, 1),
+            "counters survive clear_keep_stats"
+        );
+
+        cache.insert(ka.clone(), pa);
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats.len, 0);
+        assert_eq!((stats.hits, stats.misses), (0, 0), "clear resets counters");
+        assert!(stats.per_p.is_empty());
+    }
+
+    #[test]
+    fn stats_report_entry_counts_per_server_budget() {
+        let mut cache = PlanCache::new(8);
+        let (ka, pa) = toy_plan("A");
+        let (kb, pb) = toy_plan("B");
+        let (kc, pc) = toy_plan("C");
+        cache.insert(ka, pa);
+        cache.insert(PlanKey { p: 8, ..kb }, pb);
+        cache.insert(PlanKey { p: 8, ..kc }, pc);
+        let per_p = cache.stats().per_p;
+        assert_eq!(per_p.get(&4), Some(&1));
+        assert_eq!(per_p.get(&8), Some(&2));
+        assert_eq!(per_p.values().sum::<usize>(), cache.stats().len);
     }
 }

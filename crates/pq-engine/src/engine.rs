@@ -1,12 +1,34 @@
-//! The engine façade: parse → plan (cached) → execute.
+//! The engine: a cheap, cloneable handle over shared, concurrently-served
+//! state.
+//!
+//! An [`Engine`] owns nothing mutable itself — it is an `Arc` around:
+//!
+//! * the current [`Snapshot`] (immutable database + statistics catalogue,
+//!   analysed once), behind an `RwLock` that is held only for the instant
+//!   of reading or swapping the `Arc`;
+//! * one shared [`PlanCache`] behind a `Mutex`, so every session benefits
+//!   from every other session's planning work;
+//! * the default server budget and hash seed handed to new [`Session`]s.
+//!
+//! Cloning an `Engine` clones the handle, not the data. All query entry
+//! points live on [`Session`] (and [`crate::PreparedQuery`]) and take
+//! `&self`, so arbitrarily many sessions run concurrently on real threads
+//! against one engine. Mutation is copy-on-write: [`Engine::update`] builds
+//! a **new** snapshot and atomically installs it — sessions mid-query keep
+//! the `Arc` to the old snapshot and finish on it, while the statistics
+//! fingerprint in every plan-cache key makes stale plans stop matching
+//! without any explicit invalidation.
 
 use crate::cache::{CacheStats, PlanCache, PlanKey};
-use crate::executor::{run_plan, RunOutcome};
-use crate::parser::{parse_query, ParsedQuery, ParseError};
-use crate::planner::{plan_query_with_fingerprint, Plan, PlanError, Strategy};
-use pq_relation::{database_fingerprint, Database};
+use crate::executor::RunOutcome;
+use crate::parser::{ParseError, ParsedQuery};
+use crate::planner::{plan_query_on, Plan, PlanError, Strategy};
+use crate::session::Session;
+use crate::snapshot::Snapshot;
+use pq_relation::Database;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
 /// Anything that can go wrong between query text and answer.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,18 +63,39 @@ impl From<PlanError> for EngineError {
 }
 
 /// A fully executed query: the plan that was used (and whether it came from
-/// the cache) plus the executor's outcome.
+/// a cache) plus the executor's outcome.
 #[derive(Debug, Clone)]
 pub struct EngineRun {
     /// The plan the executor ran.
     pub plan: Plan,
-    /// True when the plan was served from the LRU cache.
+    /// True when the plan was reused (shared LRU cache, or a
+    /// [`crate::PreparedQuery`]'s memoized plan) instead of freshly planned.
     pub cache_hit: bool,
     /// Output relation, metrics and wall-clock time.
     pub outcome: RunOutcome,
 }
 
-/// The query engine: owns a database, a server budget and a plan cache.
+/// Lock a mutex, ignoring poisoning: the protected values (plan cache,
+/// snapshot pointer) are valid after any partial operation, and a reader
+/// must never be taken down by an unrelated thread's panic.
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The shared state behind every clone of one [`Engine`].
+#[derive(Debug)]
+struct SharedState {
+    snapshot: RwLock<Arc<Snapshot>>,
+    cache: Mutex<PlanCache>,
+    /// Serialises copy-on-write updates so concurrent writers cannot lose
+    /// each other's mutations (readers are never blocked by this).
+    update_lock: Mutex<()>,
+    default_p: usize,
+    default_seed: u64,
+}
+
+/// A cheap, cloneable, thread-safe handle to one loaded database and one
+/// shared plan cache.
 ///
 /// ```
 /// use pq_engine::Engine;
@@ -67,132 +110,158 @@ pub struct EngineRun {
 ///     Schema::from_strs("S", &["a", "b"]),
 ///     vec![vec![2, 10], vec![3, 30]],
 /// ));
-/// let mut engine = Engine::new(db, 4);
-/// let run = engine.run("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+/// let engine = Engine::new(db, 4);
+/// let session = engine.session(); // per-client; `run` takes `&self`
+/// let run = session.run("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
 /// assert_eq!(run.outcome.output.len(), 2);
 /// assert!(!run.cache_hit);
-/// assert!(engine.run("Q(x, y, z) :- R(x, y), S(y, z)").unwrap().cache_hit);
+/// // A different session shares the plan cache: same shape, instant HIT.
+/// let other = engine.session();
+/// assert!(other.run("Q(x, y, z) :- R(x, y), S(y, z)").unwrap().cache_hit);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Engine {
-    database: Database,
-    p: usize,
-    seed: u64,
-    cache: PlanCache,
-    /// Memoized statistics fingerprint; cleared by [`Engine::database_mut`]
-    /// (the only mutation path), so warm queries skip the O(data) scan.
-    fingerprint: Option<u64>,
+    shared: Arc<SharedState>,
 }
 
 impl Engine {
-    /// An engine over `database` simulating `p` servers, with the default
-    /// hash seed and plan-cache capacity.
+    /// An engine over `database`, analysed once into a [`Snapshot`]. New
+    /// sessions default to `p` servers and the default hash seed.
     pub fn new(database: Database, p: usize) -> Self {
         Engine {
-            database,
-            p,
-            seed: 7,
-            cache: PlanCache::default(),
-            fingerprint: None,
+            shared: Arc::new(SharedState {
+                snapshot: RwLock::new(Arc::new(Snapshot::new(database))),
+                cache: Mutex::new(PlanCache::default()),
+                update_lock: Mutex::new(()),
+                default_p: p,
+                default_seed: 7,
+            }),
         }
     }
 
-    /// Select the hash seed used by the routing (any value is correct).
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
+    /// Select the default hash seed handed to new sessions (any value is
+    /// correct). Builder-style: call before the handle is cloned.
+    ///
+    /// # Panics
+    /// Panics when the engine handle has already been cloned or has live
+    /// sessions — defaults are fixed once the engine is shared.
+    pub fn with_seed(self, seed: u64) -> Self {
+        let mut shared = self.shared;
+        Arc::get_mut(&mut shared)
+            .expect("configure the engine before sharing it")
+            .default_seed = seed;
+        Engine { shared }
     }
 
-    /// Select the plan-cache capacity.
-    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
-        self.cache = PlanCache::new(capacity);
-        self
+    /// Select the plan-cache capacity. Builder-style: call before the
+    /// handle is cloned.
+    ///
+    /// # Panics
+    /// Panics when the engine handle has already been cloned or has live
+    /// sessions.
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        let mut shared = self.shared;
+        *lock_unpoisoned(
+            &Arc::get_mut(&mut shared)
+                .expect("configure the engine before sharing it")
+                .cache,
+        ) = PlanCache::new(capacity);
+        Engine { shared }
     }
 
-    /// The loaded database.
-    pub fn database(&self) -> &Database {
-        &self.database
+    /// The current snapshot. The returned `Arc` stays valid (and fully
+    /// queryable through [`crate::run_plan`]) even after a writer installs
+    /// a newer snapshot via [`Engine::update`].
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.shared
+            .snapshot
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
-    /// Mutable access to the database. Cached plans need no explicit
-    /// invalidation: the statistics fingerprint in the cache key changes
-    /// with the data, so stale plans simply stop matching. (The memoized
-    /// fingerprint is dropped here, pessimistically assuming a mutation.)
-    pub fn database_mut(&mut self) -> &mut Database {
-        self.fingerprint = None;
-        &mut self.database
+    /// Open a new session with the engine's default server budget and
+    /// seed. Sessions are independent: each can change its own `p` and
+    /// seed without affecting anyone else, and all of them share this
+    /// engine's snapshot and plan cache.
+    pub fn session(&self) -> Session {
+        Session::new(
+            self.clone(),
+            self.shared.default_p,
+            self.shared.default_seed,
+        )
     }
 
-    /// The server budget `p`.
-    pub fn servers(&self) -> usize {
-        self.p
+    /// The default server budget handed to new sessions.
+    pub fn default_servers(&self) -> usize {
+        self.shared.default_p
     }
 
-    /// Change the server budget (plans for the old budget stay cached under
-    /// their own key).
-    pub fn set_servers(&mut self, p: usize) {
-        self.p = p;
+    /// Copy-on-write mutation: clone the current database, apply `mutate`,
+    /// analyse the result into a fresh [`Snapshot`] and atomically install
+    /// it. Returns the new snapshot.
+    ///
+    /// Readers are never blocked: sessions that already fetched the old
+    /// snapshot finish their queries on it, and the old `Arc` stays alive
+    /// for as long as anyone holds it. The statistics fingerprint changes
+    /// with the data, so cached plans for the old snapshot simply stop
+    /// matching (they age out of the LRU). Concurrent `update` calls are
+    /// serialised, so no mutation is lost.
+    pub fn update<F: FnOnce(&mut Database)>(&self, mutate: F) -> Arc<Snapshot> {
+        let _serialised = lock_unpoisoned(&self.shared.update_lock);
+        let mut database = self.snapshot().database().clone();
+        mutate(&mut database);
+        let next = Arc::new(Snapshot::new(database));
+        *self
+            .shared
+            .snapshot
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = next.clone();
+        next
     }
 
-    /// Plan-cache counters.
+    /// Plan-cache counters and occupancy (including per-`p` entry counts).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        lock_unpoisoned(&self.shared.cache).stats()
     }
 
-    /// Drop every cached plan (used by benchmarks to measure cold planning
-    /// without rebuilding the engine; counters are kept).
-    pub fn clear_plan_cache(&mut self) {
-        self.cache.clear();
+    /// Drop every cached plan and reset the hit/miss counters.
+    pub fn clear_plan_cache(&self) {
+        lock_unpoisoned(&self.shared.cache).clear();
     }
 
-    /// Parse and plan a query, consulting the plan cache. Returns the plan
-    /// and whether it was a cache hit.
-    pub fn plan(&mut self, text: &str) -> Result<(Plan, bool), EngineError> {
-        let parsed = parse_query(text)?;
-        let fingerprint = *self
-            .fingerprint
-            .get_or_insert_with(|| database_fingerprint(&self.database));
+    /// Drop every cached plan but keep the hit/miss counters — what
+    /// benchmarks use to force cold planning while still reporting
+    /// cumulative totals.
+    pub fn clear_plan_cache_keep_stats(&self) {
+        lock_unpoisoned(&self.shared.cache).clear_keep_stats();
+    }
+
+    /// Plan `parsed` against `snapshot` for `p` servers, consulting the
+    /// shared cache. Returns the plan and whether it was a cache hit.
+    ///
+    /// The cache lock is held only for the lookup and the insert, never
+    /// while planning — two sessions missing on the same key concurrently
+    /// will both plan (identical plans; one insert wins), which keeps the
+    /// planner's LP solves out of every other session's critical path.
+    pub(crate) fn plan_parsed(
+        &self,
+        snapshot: &Snapshot,
+        parsed: &ParsedQuery,
+        p: usize,
+    ) -> Result<(Plan, bool), EngineError> {
         let key = PlanKey {
             signature: parsed.signature(),
-            fingerprint,
-            p: self.p,
+            fingerprint: snapshot.fingerprint(),
+            p,
         };
-        if let Some(plan) = self.cache.get(&key) {
-            return Ok((adapt_cached_plan(plan, parsed), true));
+        let cached = lock_unpoisoned(&self.shared.cache).get(&key);
+        if let Some(plan) = cached {
+            return Ok((adapt_cached_plan(plan, parsed.clone()), true));
         }
-        // Reuse the fingerprint just computed for the cache key rather than
-        // paying a second full statistics scan inside the planner.
-        let plan =
-            plan_query_with_fingerprint(&parsed, &self.database, self.p, key.fingerprint)?;
-        self.cache.insert(key, plan.clone());
+        let plan = plan_query_on(parsed, snapshot, p)?;
+        lock_unpoisoned(&self.shared.cache).insert(key, plan.clone());
         Ok((plan, false))
-    }
-
-    /// Parse and plan a query, returning the human-readable explanation —
-    /// what `pqsh explain` prints.
-    pub fn explain(&mut self, text: &str) -> Result<String, EngineError> {
-        let (plan, cache_hit) = self.plan(text)?;
-        let stats = self.cache.stats();
-        Ok(format!(
-            "{}  {:<18} {} ({} hit(s), {} miss(es), {} cached)\n",
-            plan.explain(),
-            "plan cache",
-            if cache_hit { "HIT" } else { "MISS" },
-            stats.hits,
-            stats.misses,
-            stats.len
-        ))
-    }
-
-    /// Parse, plan (cached) and execute a query.
-    pub fn run(&mut self, text: &str) -> Result<EngineRun, EngineError> {
-        let (plan, cache_hit) = self.plan(text)?;
-        let outcome = run_plan(&plan, &self.database, self.seed);
-        Ok(EngineRun {
-            plan,
-            cache_hit,
-            outcome,
-        })
     }
 }
 
@@ -202,7 +271,7 @@ impl Engine {
 /// rewritten through the positional correspondence of the two variable
 /// lists (equal signatures guarantee identical structure). Relation names
 /// are part of the signature and never change.
-fn adapt_cached_plan(mut plan: Plan, parsed: ParsedQuery) -> Plan {
+pub(crate) fn adapt_cached_plan(mut plan: Plan, parsed: ParsedQuery) -> Plan {
     let old_vars = plan.parsed.query.variables();
     let new_vars = parsed.query.variables();
     if old_vars != new_vars {
@@ -273,16 +342,19 @@ mod tests {
     }
 
     #[test]
-    fn run_reports_cache_hits_on_repeats() {
-        let mut e = engine();
-        let first = e.run("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    fn sessions_share_the_plan_cache_across_handle_clones() {
+        let e = engine();
+        let s1 = e.session();
+        let first = s1.run("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
         assert!(!first.cache_hit);
         assert_eq!(first.outcome.output.len(), 50);
-        let again = e.run("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        // Another session from a *cloned* handle still shares the cache.
+        let s2 = e.clone().session();
+        let again = s2.run("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
         assert!(again.cache_hit);
         assert_eq!(again.outcome.output.len(), 50);
         // Alpha-renamed query: same signature, still a hit.
-        let renamed = e.run("P(u, v, w) :- R(u, v), S(v, w)").unwrap();
+        let renamed = s1.run("P(u, v, w) :- R(u, v), S(v, w)").unwrap();
         assert!(renamed.cache_hit);
         assert_eq!(renamed.outcome.output.name(), "P");
         assert_eq!(e.cache_stats().hits, 2);
@@ -309,14 +381,14 @@ mod tests {
             }
             db.insert(Relation::from_rows(Schema::from_strs(name, &["a", "b"]), rows));
         }
-        let mut e = Engine::new(db, 16);
-        let first = e.run("Q(a, b, c) :- R(a, b), S(b, c), T(c, a)").unwrap();
+        let session = Engine::new(db, 16).session();
+        let first = session.run("Q(a, b, c) :- R(a, b), S(b, c), T(c, a)").unwrap();
         assert!(
             matches!(first.plan.strategy, crate::planner::Strategy::SkewAwareTriangle { .. }),
             "got {}",
             first.plan.strategy.name()
         );
-        let renamed = e.run("P(u, v, w) :- R(u, v), S(v, w), T(w, u)").unwrap();
+        let renamed = session.run("P(u, v, w) :- R(u, v), S(v, w), T(w, u)").unwrap();
         assert!(renamed.cache_hit);
         let crate::planner::Strategy::SkewAwareTriangle { canonical_vars } =
             &renamed.plan.strategy
@@ -339,44 +411,71 @@ mod tests {
         s_rows.extend((0..40).map(|i| vec![7, 2_000 + i]));
         db.insert(Relation::from_rows(Schema::from_strs("R", &["a", "b"]), r_rows));
         db.insert(Relation::from_rows(Schema::from_strs("S", &["a", "b"]), s_rows));
-        let mut e = Engine::new(db, 16);
-        let first = e.explain("Q(z, a, b) :- R(z, a), S(z, b)").unwrap();
+        let session = Engine::new(db, 16).session();
+        let first = session.explain("Q(z, a, b) :- R(z, a), S(z, b)").unwrap();
         assert!(first.contains("centre `z`"), "{first}");
-        let renamed = e.explain("P(c, x, y) :- R(c, x), S(c, y)").unwrap();
+        let renamed = session.explain("P(c, x, y) :- R(c, x), S(c, y)").unwrap();
         assert!(renamed.contains("HIT"), "{renamed}");
         assert!(renamed.contains("centre `c`"), "{renamed}");
         assert!(!renamed.contains('z'), "stale variable name leaked: {renamed}");
     }
 
     #[test]
-    fn data_changes_invalidate_cached_plans_via_the_fingerprint() {
-        let mut e = engine();
-        e.run("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
-        e.database_mut()
-            .relation_mut("R")
-            .unwrap()
-            .push(Tuple::from([900, 901]));
-        let rerun = e.run("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    fn update_is_copy_on_write_and_invalidates_cached_plans() {
+        let e = engine();
+        let session = e.session();
+        session.run("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let before = e.snapshot();
+        let after = e.update(|db| {
+            db.relation_mut("R").unwrap().push(Tuple::from([900, 901]));
+        });
+        // Copy-on-write: the old snapshot is untouched and still readable.
+        assert_eq!(before.database().expect_relation("R").len(), 50);
+        assert_eq!(after.database().expect_relation("R").len(), 51);
+        assert_ne!(before.fingerprint(), after.fingerprint());
+        let rerun = session.run("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
         assert!(!rerun.cache_hit, "stale plan must not be reused");
     }
 
     #[test]
+    fn clear_plan_cache_variants_follow_their_counter_semantics() {
+        let e = engine();
+        let session = e.session();
+        session.run("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        session.run("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        assert_eq!((e.cache_stats().hits, e.cache_stats().misses), (1, 1));
+        e.clear_plan_cache_keep_stats();
+        assert_eq!(e.cache_stats().len, 0);
+        assert_eq!(
+            (e.cache_stats().hits, e.cache_stats().misses),
+            (1, 1),
+            "keep-stats variant preserves counters"
+        );
+        e.clear_plan_cache();
+        assert_eq!(
+            (e.cache_stats().hits, e.cache_stats().misses),
+            (0, 0),
+            "full clear resets counters"
+        );
+    }
+
+    #[test]
     fn explain_names_strategy_and_cache_state() {
-        let mut e = engine();
+        let session = engine().session();
         let text = "Q(x, y, z) :- R(x, y), S(y, z)";
-        let first = e.explain(text).unwrap();
+        let first = session.explain(text).unwrap();
         assert!(first.contains("MISS"), "{first}");
         assert!(first.contains("strategy"), "{first}");
-        let second = e.explain(text).unwrap();
+        let second = session.explain(text).unwrap();
         assert!(second.contains("HIT"), "{second}");
     }
 
     #[test]
     fn errors_surface_readably() {
-        let mut e = engine();
-        let err = e.run("Q(x) :- ").unwrap_err();
+        let session = engine().session();
+        let err = session.run("Q(x) :- ").unwrap_err();
         assert!(matches!(err, EngineError::Parse(_)));
-        let err = e.run("Q(x, y) :- Missing(x, y)").unwrap_err();
+        let err = session.run("Q(x, y) :- Missing(x, y)").unwrap_err();
         assert!(err.to_string().contains("not loaded"), "{err}");
     }
 }

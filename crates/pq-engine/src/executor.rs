@@ -8,6 +8,7 @@
 //! whatever variable order the underlying algorithm produced.
 
 use crate::planner::{Plan, Strategy};
+use crate::snapshot::Snapshot;
 use pq_core::hypercube::run_hypercube_with_shares;
 use pq_core::multiround::plan::execute_plan as execute_multiround;
 use pq_core::skew::star::run_star_skew_aware;
@@ -29,14 +30,17 @@ pub struct RunOutcome {
     pub wall: Duration,
 }
 
-/// Execute `plan` over `database`. The `seed` selects the hash functions of
-/// the HyperCube routers; any value gives a correct answer.
+/// Execute `plan` over a database [`Snapshot`]. The `seed` selects the hash
+/// functions of the HyperCube routers; any value gives a correct answer.
+/// Takes the snapshot immutably, so arbitrarily many executions (of the
+/// same or different plans) can run concurrently against shared data.
 ///
 /// # Panics
-/// Panics when the database no longer matches the plan (relations dropped
+/// Panics when the snapshot no longer matches the plan (relations dropped
 /// or re-shaped since planning); the engine re-plans on any statistics
 /// change, so this indicates misuse of the raw executor API.
-pub fn run_plan(plan: &Plan, database: &Database, seed: u64) -> RunOutcome {
+pub fn run_plan(plan: &Plan, snapshot: &Snapshot, seed: u64) -> RunOutcome {
+    let database = snapshot.database();
     let query = &plan.parsed.query;
     let start = Instant::now();
     let (raw, metrics) = match &plan.strategy {
@@ -132,7 +136,7 @@ mod tests {
         let parsed = parse_query("Q(z, x, y) :- R(x, y), S(y, z)").unwrap();
         let db = matching_db(&parsed.query, 300, 5);
         let plan = plan_query(&parsed, &db, 16).unwrap();
-        let run = run_plan(&plan, &db, 3);
+        let run = run_plan(&plan, &Snapshot::new(db.clone()), 3);
         assert_eq!(run.output.schema().attributes(), &["z", "x", "y"]);
         assert_eq!(run.output.canonicalized(), oracle(&plan, &db));
         assert_eq!(run.metrics.num_rounds(), 1);
@@ -152,7 +156,7 @@ mod tests {
             "got {}",
             plan.strategy.name()
         );
-        let run = run_plan(&plan, &db, 11);
+        let run = run_plan(&plan, &Snapshot::new(db.clone()), 11);
         assert_eq!(run.output.canonicalized(), oracle(&plan, &db));
         assert_eq!(run.metrics.num_rounds(), 1);
     }
@@ -167,7 +171,7 @@ mod tests {
         }
         let plan = plan_query(&parsed, &db, 16).unwrap();
         assert!(matches!(plan.strategy, Strategy::SkewAwareStar { .. }));
-        let run = run_plan(&plan, &db, 17);
+        let run = run_plan(&plan, &Snapshot::new(db.clone()), 17);
         assert_eq!(run.output.canonicalized(), oracle(&plan, &db));
     }
 
@@ -177,7 +181,7 @@ mod tests {
         let db = matching_db(&parsed.query, 1_500, 21);
         let plan = plan_query(&parsed, &db, 64).unwrap();
         assert!(matches!(plan.strategy, Strategy::MultiRound { .. }));
-        let run = run_plan(&plan, &db, 23);
+        let run = run_plan(&plan, &Snapshot::new(db.clone()), 23);
         assert_eq!(run.output.canonicalized(), oracle(&plan, &db));
         assert_eq!(run.metrics.num_rounds(), 2);
     }
@@ -195,7 +199,7 @@ mod tests {
             vec![vec![7], vec![8], vec![9]],
         ));
         let plan = plan_query(&parsed, &db, 4).unwrap();
-        let run = run_plan(&plan, &db, 1);
+        let run = run_plan(&plan, &Snapshot::new(db.clone()), 1);
         assert_eq!(run.output.len(), 6);
     }
 }

@@ -1,32 +1,42 @@
-//! # pq-engine — an end-to-end query engine over the MPC simulator
+//! # pq-engine — a concurrent, end-to-end query engine over the MPC simulator
 //!
 //! Everything below this crate simulates the *algorithms* of Beame, Koutris
 //! and Suciu's "Communication Cost in Parallel Query Processing"; this crate
 //! turns them into a *system*: from "a query and a database" to "an answer",
 //! with the strategy chosen by inspecting the query's structure and the
-//! data's statistics rather than hard-coded per experiment.
+//! data's statistics rather than hard-coded per experiment — and served to
+//! arbitrarily many concurrent clients from one loaded database.
 //!
-//! The four layers:
+//! The layers:
 //!
 //! * [`parser`] — Datalog-style text syntax for full conjunctive queries
 //!   (`Q(x, z) :- R(x, y), S(y, z)`), with spans and caret diagnostics;
-//! * [`planner`] — a cost-based planner: relation statistics, the
-//!   share-exponent LP (Eq. 10) and its fractional-edge-packing dual,
-//!   heavy-hitter detection against the paper's `m/p` skew threshold, and
-//!   an explainable [`Plan`] choosing between one-round HyperCube, the
-//!   skew-aware star/triangle algorithms of §4.2, and multi-round bushy
-//!   plans of §5;
+//! * [`snapshot`] — an immutable [`Snapshot`]: the database plus its
+//!   statistics catalogue ([`pq_relation::DatabaseStatistics`]) analysed in
+//!   **one** pass, shared behind `Arc` by every concurrent reader;
+//! * [`planner`] — a cost-based planner: the share-exponent LP (Eq. 10) and
+//!   its fractional-edge-packing dual, heavy-hitter detection against the
+//!   paper's `m/p` threshold (read from the snapshot's degree maps, no
+//!   re-scan), and an explainable [`Plan`] choosing between one-round
+//!   HyperCube, the skew-aware star/triangle algorithms of §4.2, and
+//!   multi-round bushy plans of §5;
 //! * [`cache`] — an LRU plan cache keyed by (query signature, statistics
-//!   fingerprint, `p`), so repeated queries over unchanged data skip
-//!   planning and data changes invalidate stale plans automatically;
-//! * [`executor`] — runs the chosen plan's rounds on the MPC simulator,
-//!   with per-server local joins fanned out over real OS threads via
-//!   [`pq_mpc::map_servers_parallel`], returning the answer plus
-//!   [`pq_mpc::RunMetrics`] and wall-clock time.
+//!   fingerprint, `p`), shared by all sessions under one lock, so repeated
+//!   queries over unchanged data skip planning and data changes invalidate
+//!   stale plans automatically;
+//! * [`executor`] — runs the chosen plan's rounds on the MPC simulator
+//!   against a `&Snapshot`, with per-server local joins fanned out over
+//!   real OS threads via [`pq_mpc::map_servers_parallel`];
+//! * [`engine`] / [`session`] / [`prepared`] — the concurrent façade:
+//!   [`Engine`] is a cheap, cloneable handle over the shared snapshot and
+//!   plan cache; [`Session`] carries per-client state (budget `p`, seed)
+//!   and exposes `plan`/`explain`/`run` as `&self`; [`PreparedQuery`] is a
+//!   parse-once/plan-once handle that survives copy-on-write
+//!   [`Engine::update`] snapshot swaps by re-planning lazily.
 //!
-//! The [`Engine`] façade wires the layers together, and the `pqsh` binary
-//! exposes them as a CLI that loads CSV/TSV relations and supports
-//! `explain` and `run`.
+//! Two binaries expose the stack: `pqsh`, the interactive shell / one-shot
+//! CLI, and `pqd`, a line-protocol TCP server that opens one [`Session`]
+//! per connection — many clients, one engine, one plan cache.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -36,11 +46,15 @@ pub mod engine;
 pub mod executor;
 pub mod parser;
 pub mod planner;
+pub mod prepared;
+pub mod session;
+pub mod snapshot;
 
 pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use engine::{Engine, EngineError, EngineRun};
 pub use executor::{run_plan, RunOutcome};
 pub use parser::{parse_query, ParseError, ParsedQuery, Span};
-pub use planner::{
-    plan_query, plan_query_with_fingerprint, HeavyReport, Plan, PlanError, Strategy,
-};
+pub use planner::{plan_query, plan_query_on, HeavyReport, Plan, PlanError, Strategy};
+pub use prepared::PreparedQuery;
+pub use session::Session;
+pub use snapshot::Snapshot;

@@ -1,10 +1,14 @@
 //! The cost-based planner.
 //!
-//! Given a parsed query, a database and a server budget `p`, the planner
-//! produces an explainable [`Plan`]:
+//! Given a parsed query, a database snapshot and a server budget `p`, the
+//! planner produces an explainable [`Plan`]:
 //!
-//! 1. it collects **statistics** (cardinalities, bit sizes, per-variable
-//!    distinct counts) and their [`pq_relation::database_fingerprint`];
+//! 1. it reads **statistics** (cardinalities, bit sizes, per-variable
+//!    distinct counts, degree maps) and their fingerprint from the
+//!    snapshot's shared [`pq_relation::DatabaseStatistics`] catalogue —
+//!    computed once per snapshot, so planning itself makes **no O(data)
+//!    pass** (the sole exception is an atom binding the same variable
+//!    twice, whose filtered statistics cannot be precomputed per column);
 //! 2. it solves the **share-exponent LP** (Eq. 10 of the paper) for the
 //!    one-round HyperCube shares, and independently the size-weighted
 //!    **fractional edge-packing LP** — the dual that yields the one-round
@@ -24,13 +28,14 @@
 //! (query signature, statistics fingerprint, `p`).
 
 use crate::parser::ParsedQuery;
+use crate::snapshot::Snapshot;
 use pq_core::multiround::plan::PlanNode;
 use pq_core::shares::{self, ShareExponents, ShareRounding};
 use pq_core::skew::heavy::heavy_hitters_of_variable;
 use pq_lp::{ConstraintOp, LinearProgram, Objective};
-use pq_query::{agm_bound, ConjunctiveQuery, Hypergraph};
-use pq_relation::{database_fingerprint, Database};
-use std::collections::{BTreeMap, HashSet};
+use pq_query::{agm_bound, Atom, ConjunctiveQuery, Hypergraph};
+use pq_relation::{Database, DatabaseStatistics, DegreeStatistics, Value};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
 
 /// Preference factor for the one-round strategy: a multi-round plan is
@@ -287,20 +292,31 @@ impl fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
-/// Build a plan for the query over the database on `p` servers.
+/// Build a plan for the query over a bare database on `p` servers.
+///
+/// Computes a throwaway statistics catalogue first; callers that plan more
+/// than once against the same data should build a [`Snapshot`] and use
+/// [`plan_query_on`], which shares the single statistics pass across the
+/// fingerprint, heavy-hitter detection and the selectivity estimator.
 pub fn plan_query(parsed: &ParsedQuery, database: &Database, p: usize) -> Result<Plan, PlanError> {
-    plan_query_with_fingerprint(parsed, database, p, database_fingerprint(database))
+    let statistics = DatabaseStatistics::compute(database);
+    plan_with_statistics(parsed, database, &statistics, p)
 }
 
-/// [`plan_query`] with a pre-computed statistics fingerprint — the engine
-/// already scans the database for its cache key, so passing the result in
-/// avoids a second full statistics pass on every cache miss.
-pub fn plan_query_with_fingerprint(
+/// Build a plan against an analysed [`Snapshot`] — the engine's path. All
+/// statistics (fingerprint, degree maps, distinct counts) come from the
+/// snapshot's catalogue, so no data is scanned here.
+pub fn plan_query_on(parsed: &ParsedQuery, snapshot: &Snapshot, p: usize) -> Result<Plan, PlanError> {
+    plan_with_statistics(parsed, snapshot.database(), snapshot.statistics(), p)
+}
+
+fn plan_with_statistics(
     parsed: &ParsedQuery,
     database: &Database,
+    statistics: &DatabaseStatistics,
     p: usize,
-    fingerprint: u64,
 ) -> Result<Plan, PlanError> {
+    let fingerprint = statistics.fingerprint;
     if p < 2 {
         return Err(PlanError::TooFewServers { p });
     }
@@ -328,14 +344,14 @@ pub fn plan_query_with_fingerprint(
         .relation_names()
         .into_iter()
         .map(|r| {
-            let bits = database.relation_size_bits(&r);
+            let bits = statistics.relation(&r).expect("validated above").size_bits;
             (r, bits)
         })
         .collect();
     let input_tuples: usize = query
         .relation_names()
         .iter()
-        .map(|r| database.expect_relation(r).len())
+        .map(|r| statistics.relation(r).expect("validated above").cardinality)
         .sum();
 
     // Share-exponent LP and its integerisation (the one-round candidate).
@@ -344,26 +360,15 @@ pub fn plan_query_with_fingerprint(
     let one_round_load = exponents.upper_bound_load();
     let packing_lambda = packing_dual_lambda(query, &sizes, p);
 
-    // Heavy hitters on every join variable, at the paper's m/p threshold.
+    // Heavy hitters on every join variable, at the paper's m/p threshold,
+    // read from the precomputed degree maps (no data scan).
     let mut heavy = Vec::new();
     for variable in query.variables() {
         if query.atoms_of(&variable).len() < 2 {
             continue;
         }
-        let hitters = heavy_hitters_of_variable(query, database, &variable, p as f64);
-        if !hitters.values.is_empty() {
-            let max_frequency = hitters
-                .frequencies
-                .values()
-                .flat_map(|m| m.values())
-                .copied()
-                .max()
-                .unwrap_or(0);
-            heavy.push(HeavyReport {
-                variable,
-                num_values: hitters.values.len(),
-                max_frequency,
-            });
+        if let Some(report) = heavy_report(query, database, statistics, &variable, p) {
+            heavy.push(report);
         }
     }
 
@@ -430,7 +435,7 @@ pub fn plan_query_with_fingerprint(
     let mut estimated_load_bits = one_round_load;
     if query.num_atoms() >= 3 && Hypergraph::of(query).is_connected() {
         let plan_node = bushy_plan(query);
-        if let Some(estimate) = estimate_multiround(&plan_node, query, database, p) {
+        if let Some(estimate) = estimate_multiround(&plan_node, query, database, statistics, p) {
             notes.push(format!(
                 "multi-round candidate: {} rounds, estimated total {:.0} bits/server vs \
                  one-round {:.0}",
@@ -459,6 +464,98 @@ pub fn plan_query_with_fingerprint(
         fingerprint,
         input_tuples,
         notes,
+    })
+}
+
+/// Heavy-hitter report of one join variable, read from the precomputed
+/// degree maps. Semantics match
+/// [`pq_core::skew::heavy::heavy_hitters_of_variable`] with divisor `p`: a
+/// value is heavy when its frequency in some relation binding the variable
+/// strictly exceeds that relation's `m_j / p`, and the reported maximum
+/// frequency ranges over every heavy value in every relation binding the
+/// variable (a value heavy in one relation may be light in another). An
+/// atom repeating the variable (`R(x, x)`) filters the relation before
+/// counting — per-column statistics cannot express that, so such variables
+/// fall back to the scanning implementation.
+fn heavy_report(
+    query: &ConjunctiveQuery,
+    database: &Database,
+    statistics: &DatabaseStatistics,
+    variable: &str,
+    p: usize,
+) -> Option<HeavyReport> {
+    fn degrees_of<'a>(
+        database: &Database,
+        statistics: &'a DatabaseStatistics,
+        atom: &Atom,
+        variable: &str,
+    ) -> &'a DegreeStatistics {
+        let pos = atom
+            .variables()
+            .iter()
+            .position(|w| w == variable)
+            .expect("atom contains the variable");
+        let attribute = &database
+            .expect_relation(atom.relation())
+            .schema()
+            .attributes()[pos];
+        &statistics
+            .relation(atom.relation())
+            .expect("validated by the planner")
+            .degrees[attribute]
+    }
+
+    let atoms: Vec<&Atom> = query
+        .atoms()
+        .iter()
+        .filter(|a| a.contains(variable))
+        .collect();
+    if atoms.iter().any(|a| a.distinct_variables().len() != a.arity()) {
+        let hitters = heavy_hitters_of_variable(query, database, variable, p as f64);
+        if hitters.values.is_empty() {
+            return None;
+        }
+        let max_frequency = hitters
+            .frequencies
+            .values()
+            .flat_map(|m| m.values())
+            .copied()
+            .max()
+            .unwrap_or(0);
+        return Some(HeavyReport {
+            variable: variable.to_string(),
+            num_values: hitters.values.len(),
+            max_frequency,
+        });
+    }
+    let mut values: BTreeSet<Value> = BTreeSet::new();
+    for atom in &atoms {
+        let cardinality = statistics
+            .relation(atom.relation())
+            .expect("validated by the planner")
+            .cardinality;
+        let threshold = cardinality as f64 / p as f64;
+        let degrees = degrees_of(database, statistics, atom, variable);
+        for (&value, &count) in &degrees.frequencies {
+            if count as f64 > threshold {
+                values.insert(value);
+            }
+        }
+    }
+    if values.is_empty() {
+        return None;
+    }
+    let mut max_frequency = 0usize;
+    for atom in &atoms {
+        let degrees = degrees_of(database, statistics, atom, variable);
+        for &value in &values {
+            max_frequency = max_frequency.max(degrees.frequency(value));
+        }
+    }
+    Some(HeavyReport {
+        variable: variable.to_string(),
+        num_values: values.len(),
+        max_frequency,
     })
 }
 
@@ -639,15 +736,21 @@ pub(crate) fn estimate_multiround(
     plan: &PlanNode,
     query: &ConjunctiveQuery,
     database: &Database,
+    statistics: &DatabaseStatistics,
     p: usize,
 ) -> Option<MultiRoundEstimate> {
     let bits_per_value = database.bits_per_value() as f64;
 
-    // Base estimates from the actual data: cardinality and per-variable
-    // distinct counts of every atom's relation.
+    // Base estimates from the statistics catalogue: cardinality and
+    // per-variable distinct counts of every atom's relation (the distinct
+    // count of a variable is that of the stored column it first binds,
+    // exactly what the previous direct scan computed).
     let mut estimates: BTreeMap<String, NodeEstimate> = BTreeMap::new();
     for atom in query.atoms() {
         let stored = database.expect_relation(atom.relation());
+        let stats = statistics
+            .relation(atom.relation())
+            .expect("validated by the planner");
         let variables = atom.distinct_variables();
         let mut distinct = BTreeMap::new();
         for v in &variables {
@@ -656,14 +759,11 @@ pub(crate) fn estimate_multiround(
                 .iter()
                 .position(|w| w == v)
                 .expect("variable occurs in its atom");
-            let count = stored
-                .iter()
-                .map(|t| t.get(pos))
-                .collect::<HashSet<_>>()
-                .len();
+            let attribute = &stored.schema().attributes()[pos];
+            let count = stats.degrees[attribute].distinct();
             distinct.insert(v.clone(), (count as f64).max(1.0));
         }
-        let cardinality = stored.len().max(1) as f64;
+        let cardinality = stats.cardinality.max(1) as f64;
         estimates.insert(
             atom.relation().to_string(),
             NodeEstimate {

@@ -1,0 +1,165 @@
+//! Prepared queries: parse once, plan once, run many times.
+//!
+//! A [`PreparedQuery`] is the serving-path optimisation of the classic
+//! prepare/execute split: the query text is parsed exactly once, the plan
+//! is memoized inside the handle, and every [`PreparedQuery::run`] skips
+//! the parser *and* the shared cache lock as long as the engine's snapshot
+//! is unchanged. When a writer installs new data via `Engine::update`, the
+//! next `run` notices the fingerprint mismatch and re-plans — through the
+//! shared plan cache, so sibling prepared queries (or sessions) with the
+//! same rename-invariant signature pay for the new plan only once between
+//! them. The handle is `Sync`: one prepared query can be hammered from
+//! many threads at once.
+
+use crate::engine::{lock_unpoisoned, Engine, EngineError, EngineRun};
+use crate::executor::run_plan;
+use crate::parser::{parse_query, ParsedQuery};
+use crate::planner::Plan;
+use crate::session::Session;
+use std::sync::Mutex;
+
+/// A parse-once / plan-once query handle, bound to the session's server
+/// budget and seed at [`Session::prepare`] time.
+#[derive(Debug)]
+pub struct PreparedQuery {
+    engine: Engine,
+    parsed: ParsedQuery,
+    p: usize,
+    seed: u64,
+    /// The memoized plan; its embedded statistics fingerprint says which
+    /// snapshot it was planned against.
+    plan: Mutex<Plan>,
+}
+
+impl PreparedQuery {
+    pub(crate) fn new(session: &Session, text: &str) -> Result<Self, EngineError> {
+        let parsed = parse_query(text)?;
+        let engine = session.engine().clone();
+        let snapshot = engine.snapshot();
+        let (plan, _) = engine.plan_parsed(&snapshot, &parsed, session.servers())?;
+        Ok(PreparedQuery {
+            engine,
+            parsed,
+            p: session.servers(),
+            seed: session.seed(),
+            plan: Mutex::new(plan),
+        })
+    }
+
+    /// The parsed query this handle will run.
+    pub fn parsed(&self) -> &ParsedQuery {
+        &self.parsed
+    }
+
+    /// The rename-invariant signature — the plan-cache key this handle
+    /// shares with every alpha-equivalent query.
+    pub fn signature(&self) -> String {
+        self.parsed.signature()
+    }
+
+    /// The server budget the handle was prepared with.
+    pub fn servers(&self) -> usize {
+        self.p
+    }
+
+    /// The currently memoized plan (a clone; re-planning may replace it on
+    /// the next [`PreparedQuery::run`] after a snapshot change).
+    pub fn plan(&self) -> Plan {
+        lock_unpoisoned(&self.plan).clone()
+    }
+
+    /// Execute against the current snapshot. Reuses the memoized plan when
+    /// the snapshot is unchanged (`cache_hit` is then true); otherwise
+    /// re-plans through the shared plan cache and memoizes the result. The
+    /// handle keeps working across any number of `Engine::update` calls.
+    pub fn run(&self) -> Result<EngineRun, EngineError> {
+        let snapshot = self.engine.snapshot();
+        let (plan, cache_hit) = {
+            let mut memo = lock_unpoisoned(&self.plan);
+            if memo.fingerprint == snapshot.fingerprint() {
+                (memo.clone(), true)
+            } else {
+                let (fresh, hit) = self.engine.plan_parsed(&snapshot, &self.parsed, self.p)?;
+                *memo = fresh.clone();
+                (fresh, hit)
+            }
+        };
+        let outcome = run_plan(&plan, &snapshot, self.seed);
+        Ok(EngineRun {
+            plan,
+            cache_hit,
+            outcome,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_relation::{Database, Relation, Schema, Tuple};
+
+    fn engine() -> Engine {
+        let mut db = Database::new(1 << 10);
+        db.insert(Relation::from_rows(
+            Schema::from_strs("R", &["a", "b"]),
+            (0..30).map(|i| vec![i, i + 1]).collect(),
+        ));
+        db.insert(Relation::from_rows(
+            Schema::from_strs("S", &["a", "b"]),
+            (0..30).map(|i| vec![i + 1, i + 2]).collect(),
+        ));
+        Engine::new(db, 8)
+    }
+
+    #[test]
+    fn prepared_query_reuses_its_plan_without_touching_the_cache() {
+        let e = engine();
+        let prepared = e.session().prepare("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let misses_after_prepare = e.cache_stats().misses;
+        let hits_after_prepare = e.cache_stats().hits;
+        for _ in 0..5 {
+            let run = prepared.run().unwrap();
+            assert!(run.cache_hit);
+            assert_eq!(run.outcome.output.len(), 30);
+        }
+        let stats = e.cache_stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (hits_after_prepare, misses_after_prepare),
+            "steady-state prepared runs bypass the shared cache entirely"
+        );
+    }
+
+    #[test]
+    fn prepared_query_survives_a_snapshot_swap_by_replanning() {
+        let e = engine();
+        let prepared = e.session().prepare("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        assert_eq!(prepared.run().unwrap().outcome.output.len(), 30);
+        let old_fingerprint = prepared.plan().fingerprint;
+        e.update(|db| {
+            db.relation_mut("R").unwrap().push(Tuple::from([100, 200]));
+            db.relation_mut("S").unwrap().push(Tuple::from([200, 300]));
+        });
+        let run = prepared.run().unwrap();
+        assert_eq!(run.outcome.output.len(), 31, "answers reflect the new data");
+        assert_ne!(prepared.plan().fingerprint, old_fingerprint, "re-planned");
+        // And the re-plan is memoized again: the next run is a local hit.
+        assert!(prepared.run().unwrap().cache_hit);
+    }
+
+    #[test]
+    fn prepared_queries_with_equal_signatures_share_replanning_work() {
+        let e = engine();
+        let s = e.session();
+        let a = s.prepare("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let b = s.prepare("P(u, v, w) :- R(u, v), S(v, w)").unwrap();
+        assert_eq!(a.signature(), b.signature());
+        e.update(|db| {
+            db.relation_mut("R").unwrap().push(Tuple::from([500, 501]));
+        });
+        let misses_before = e.cache_stats().misses;
+        assert!(!a.run().unwrap().cache_hit, "first re-plan is fresh work");
+        assert!(b.run().unwrap().cache_hit, "second rides the shared cache");
+        assert_eq!(e.cache_stats().misses, misses_before + 1);
+    }
+}

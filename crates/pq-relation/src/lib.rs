@@ -44,7 +44,9 @@ pub use hash::{BucketHasher, HashFamily, MultiplyShiftHash, TabulationHash};
 pub use join::{natural_join, natural_join_all, project};
 pub use relation::Relation;
 pub use schema::Schema;
-pub use statistics::{database_fingerprint, DegreeStatistics, HeavyHitter, RelationStatistics};
+pub use statistics::{
+    database_fingerprint, DatabaseStatistics, DegreeStatistics, HeavyHitter, RelationStatistics,
+};
 pub use tuple::{Tuple, Value};
 
 /// Number of bits needed to represent one value from a domain of size `n`

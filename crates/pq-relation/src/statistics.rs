@@ -163,19 +163,56 @@ impl RelationStatistics {
     }
 }
 
+/// Statistics of a whole database, computed in **one pass** over the data:
+/// per-relation [`RelationStatistics`] (cardinalities, bit sizes, full
+/// per-attribute degree maps) plus the combined fingerprint. Every consumer
+/// that used to re-scan the data independently — fingerprint for the plan
+/// cache, heavy-hitter detection per join variable, per-column distinct
+/// counts for selectivity estimation — reads from this catalogue instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatabaseStatistics {
+    /// Per-relation statistics, keyed by relation name.
+    pub relations: BTreeMap<String, RelationStatistics>,
+    /// The combined fingerprint (equals [`database_fingerprint`]).
+    pub fingerprint: u64,
+}
+
+impl DatabaseStatistics {
+    /// Scan every relation of `database` once and build the catalogue.
+    pub fn compute(database: &crate::database::Database) -> Self {
+        let bpv = database.bits_per_value();
+        let relations: BTreeMap<String, RelationStatistics> = database
+            .relations()
+            .map(|r| (r.name().to_string(), RelationStatistics::compute(r, bpv)))
+            .collect();
+        let mut h = Fnv1a::new();
+        h.write_u64(database.domain_size());
+        for stats in relations.values() {
+            h.write_u64(stats.fingerprint());
+        }
+        DatabaseStatistics {
+            relations,
+            fingerprint: h.finish(),
+        }
+    }
+
+    /// Statistics of one relation (None when it is not in the catalogue).
+    pub fn relation(&self, name: &str) -> Option<&RelationStatistics> {
+        self.relations.get(name)
+    }
+}
+
 /// A 64-bit fingerprint of a whole database's planner-relevant statistics:
 /// the domain size combined with every relation's
 /// [`RelationStatistics::fingerprint`]. Plan caches key on this value — any
 /// change of cardinality, size or skew profile changes the fingerprint and
 /// invalidates the cached plan.
+///
+/// Convenience wrapper over [`DatabaseStatistics::compute`]; callers that
+/// also need degree or distinct-count statistics should compute the full
+/// catalogue once and read the fingerprint from it.
 pub fn database_fingerprint(database: &crate::database::Database) -> u64 {
-    let bpv = database.bits_per_value();
-    let mut h = Fnv1a::new();
-    h.write_u64(database.domain_size());
-    for relation in database.relations() {
-        h.write_u64(RelationStatistics::compute(relation, bpv).fingerprint());
-    }
-    h.finish()
+    DatabaseStatistics::compute(database).fingerprint
 }
 
 /// Minimal FNV-1a hasher (the workspace is offline, so no hashing crates).

@@ -52,8 +52,8 @@ fn database_for(query: &ConjunctiveQuery, m: usize, seed: u64, skew: bool) -> Da
 /// Engine answer == sequential oracle, for one query/database/p.
 fn assert_matches_oracle(query: &ConjunctiveQuery, db: &Database, p: usize) {
     let oracle = evaluate_sequential(query, db).canonicalized();
-    let mut engine = Engine::new(db.clone(), p);
-    let run = engine
+    let session = Engine::new(db.clone(), p).session();
+    let run = session
         .run(&query.to_string())
         .unwrap_or_else(|e| panic!("{} failed to run: {e}", query.name()));
     assert_eq!(
@@ -78,8 +78,8 @@ proptest! {
         for query in query_suite() {
             let db = database_for(&query, m, seed, skew);
             let oracle = evaluate_sequential(&query, &db).canonicalized();
-            let mut engine = Engine::new(db, p);
-            let run = engine.run(&query.to_string()).expect("engine runs");
+            let session = Engine::new(db, p).session();
+            let run = session.run(&query.to_string()).expect("engine runs");
             prop_assert!(
                 run.outcome.output.canonicalized() == oracle,
                 "strategy {} disagrees with the oracle on {} (seed {seed}, m {m}, p {p}, skew {skew})",
@@ -94,8 +94,8 @@ proptest! {
 fn skewed_triangle_routes_to_the_skew_aware_algorithm_and_is_correct() {
     let query = ConjunctiveQuery::triangle();
     let db = database_for(&query, 300, 41, true);
-    let mut engine = Engine::new(db.clone(), 16);
-    let run = engine.run(&query.to_string()).expect("runs");
+    let session = Engine::new(db.clone(), 16).session();
+    let run = session.run(&query.to_string()).expect("runs");
     assert!(
         matches!(run.plan.strategy, Strategy::SkewAwareTriangle { .. }),
         "expected the skew split, got {}",
@@ -108,8 +108,8 @@ fn skewed_triangle_routes_to_the_skew_aware_algorithm_and_is_correct() {
 fn skewed_star_routes_to_the_skew_aware_algorithm_and_is_correct() {
     let query = ConjunctiveQuery::star(3);
     let db = database_for(&query, 300, 43, true);
-    let mut engine = Engine::new(db.clone(), 16);
-    let run = engine.run(&query.to_string()).expect("runs");
+    let session = Engine::new(db.clone(), 16).session();
+    let run = session.run(&query.to_string()).expect("runs");
     assert!(
         matches!(run.plan.strategy, Strategy::SkewAwareStar { .. }),
         "expected the skew-aware star, got {}",
@@ -122,8 +122,8 @@ fn skewed_star_routes_to_the_skew_aware_algorithm_and_is_correct() {
 fn large_path_goes_multi_round_and_is_correct() {
     let query = ConjunctiveQuery::chain(3);
     let db = database_for(&query, 1_200, 47, false);
-    let mut engine = Engine::new(db.clone(), 64);
-    let run = engine.run(&query.to_string()).expect("runs");
+    let session = Engine::new(db.clone(), 64).session();
+    let run = session.run(&query.to_string()).expect("runs");
     assert!(
         matches!(run.plan.strategy, Strategy::MultiRound { rounds: 2, .. }),
         "expected a 2-round plan, got {}",
@@ -136,10 +136,11 @@ fn large_path_goes_multi_round_and_is_correct() {
 fn repeated_queries_hit_the_plan_cache_with_identical_answers() {
     let query = ConjunctiveQuery::triangle();
     let db = database_for(&query, 200, 53, false);
-    let mut engine = Engine::new(db, 27);
-    let first = engine.run(&query.to_string()).expect("runs");
+    let engine = Engine::new(db, 27);
+    let session = engine.session();
+    let first = session.run(&query.to_string()).expect("runs");
     assert!(!first.cache_hit);
-    let second = engine.run(&query.to_string()).expect("runs");
+    let second = session.run(&query.to_string()).expect("runs");
     assert!(second.cache_hit, "second run must reuse the cached plan");
     assert_eq!(
         first.outcome.output.canonicalized(),
@@ -161,8 +162,8 @@ fn every_strategy_family_appears_across_the_matrix() {
     ];
     for (query, m, skew, p) in cases {
         let db = database_for(&query, m, 59, skew);
-        let mut engine = Engine::new(db, p);
-        let run = engine.run(&query.to_string()).expect("runs");
+        let session = Engine::new(db, p).session();
+        let run = session.run(&query.to_string()).expect("runs");
         seen.insert(run.plan.strategy.name());
     }
     assert_eq!(
