@@ -1,0 +1,62 @@
+//! Criterion microbenchmark for the storage layer in isolation: binary and
+//! 3-way natural joins and hash partitioning over matching relations at
+//! m ∈ {10k, 100k}. Baselines live in `BENCH_relation.json`, so regressions
+//! in `pq-relation`'s flat row storage or the join/shuffle hot path show up
+//! independently of planning and the end-to-end engine pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pq_mpc::partition_by_hash;
+use pq_relation::{natural_join, natural_join_all, DataGenerator, MultiplyShiftHash, Relation, Schema};
+
+/// A chain of `k` identity matchings S1(x0,x1), …, Sk(x{k-1},xk) of `m`
+/// rows each: every join step matches 1:1, so intermediate sizes stay `m`
+/// and the benchmark isolates per-row costs rather than output explosion.
+fn identity_chain(k: usize, m: usize) -> Vec<Relation> {
+    (1..=k)
+        .map(|j| {
+            Relation::from_rows(
+                Schema::from_strs(
+                    &format!("S{j}"),
+                    &[&format!("x{}", j - 1), &format!("x{j}")],
+                ),
+                (0..m as u64).map(|i| vec![i, i]).collect(),
+            )
+        })
+        .collect()
+}
+
+fn bench_relation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relation");
+    group.sample_size(10);
+    for m in [10_000usize, 100_000] {
+        let chain = identity_chain(3, m);
+
+        group.bench_with_input(BenchmarkId::new("binary_join", m), &chain, |b, chain| {
+            b.iter(|| natural_join(&chain[0], &chain[1]).len())
+        });
+
+        group.bench_with_input(BenchmarkId::new("three_way_join", m), &chain, |b, chain| {
+            b.iter(|| natural_join_all(chain).len())
+        });
+
+        let mut gen = DataGenerator::new(11, (m as u64) * 16);
+        let skewless = gen.matching_relation(Schema::from_strs("R", &["x", "y"]), m);
+        let family = MultiplyShiftHash::new(5);
+        group.bench_with_input(
+            BenchmarkId::new("hash_partition_p16", m),
+            &skewless,
+            |b, rel| {
+                b.iter(|| {
+                    partition_by_hash(rel, "x", 16, &family, 0)
+                        .iter()
+                        .map(Relation::len)
+                        .sum::<usize>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relation);
+criterion_main!(benches);

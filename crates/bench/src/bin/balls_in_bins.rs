@@ -71,7 +71,7 @@ fn main() {
         let h2 = family.hasher(2000 + p2, p2);
         let mut cells = vec![0usize; p1 * p2];
         for t in rel.iter() {
-            cells[h1.bucket(t.get(0)) * p2 + h2.bucket(t.get(1))] += 1;
+            cells[h1.bucket(t[0]) * p2 + h2.bucket(t[1])] += 1;
         }
         let max = *cells.iter().max().expect("non-empty");
         let mean = m as f64 / (p1 * p2) as f64;

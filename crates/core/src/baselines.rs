@@ -79,8 +79,8 @@ pub fn broadcast_join(query: &ConjunctiveQuery, database: &Database, p: usize) -
 
     let outputs = map_servers_parallel(cluster.servers(), |_, s| local_join(query, s));
     let mut output = Relation::empty(Schema::new(query.name(), query.variables()));
-    for o in outputs {
-        output.extend(o.tuples().iter().cloned());
+    for o in &outputs {
+        output.append(o);
     }
     output.dedup();
     BaselineRun {
@@ -170,15 +170,17 @@ fn shuffle_binary_join(
                 .iter()
                 .map(|a| original.schema().position(a).expect("common attribute"))
                 .collect();
-            let mut parts: Vec<Relation> =
-                (0..p).map(|_| Relation::empty(tagged.schema().clone())).collect();
+            let per_part = original.len() / p + 1;
+            let mut parts: Vec<Relation> = (0..p)
+                .map(|_| Relation::with_capacity(tagged.schema().clone(), per_part))
+                .collect();
             for t in original.iter() {
                 // Hash the concatenation of the join-key values.
                 let mut key = 0u64;
                 for &pos in &positions {
-                    key = key.wrapping_mul(0x100000001B3).wrapping_add(t.get(pos));
+                    key = key.wrapping_mul(0x100000001B3).wrapping_add(t[pos]);
                 }
-                parts[hasher.bucket(key)].push(t.clone());
+                parts[hasher.bucket(key)].push_row(t);
             }
             for (s, part) in parts.into_iter().enumerate() {
                 if !part.is_empty() {
@@ -202,8 +204,8 @@ fn shuffle_binary_join(
         }
     });
     let mut acc = Relation::empty(outputs[0].schema().clone());
-    for o in outputs {
-        acc.extend(o.tuples().iter().cloned());
+    for o in &outputs {
+        acc.append(o);
     }
     acc.dedup();
     acc

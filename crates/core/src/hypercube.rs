@@ -16,7 +16,7 @@
 use crate::shares::{self, ShareRounding};
 use pq_mpc::{map_servers_parallel, Cluster, Message, RunMetrics, Server};
 use pq_query::{evaluate_bound, instantiate, ConjunctiveQuery};
-use pq_relation::{BucketHasher, HashFamily, MultiplyShiftHash, Relation, Tuple};
+use pq_relation::{BucketHasher, HashFamily, MultiplyShiftHash, Relation, Value};
 use std::collections::BTreeMap;
 
 /// A configured HyperCube router: the grid layout (shares per variable), the
@@ -30,6 +30,9 @@ use std::collections::BTreeMap;
 pub struct HyperCubeRouter {
     variables: Vec<String>,
     shares: Vec<usize>,
+    /// `strides[d]` = Π_{d' > d} shares[d']: the weight of dimension `d` in
+    /// the row-major linearisation of the grid.
+    strides: Vec<usize>,
     hashers: Vec<<MultiplyShiftHash as HashFamily>::Hasher>,
     server_offset: usize,
 }
@@ -58,9 +61,14 @@ impl HyperCubeRouter {
             .enumerate()
             .map(|(i, _)| family.hasher(hash_index_base + i, share_vec[i]))
             .collect();
+        let mut strides = vec![1usize; share_vec.len()];
+        for d in (0..share_vec.len().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * share_vec[d + 1];
+        }
         HyperCubeRouter {
             variables,
             shares: share_vec,
+            strides,
             hashers,
             server_offset,
         }
@@ -84,7 +92,7 @@ impl HyperCubeRouter {
     /// Physical server of a full variable assignment (the unique server that
     /// sees an output tuple with these values).
     pub fn server_of_assignment(&self, values: &BTreeMap<String, u64>) -> usize {
-        let coords: Vec<usize> = self
+        let idx: usize = self
             .variables
             .iter()
             .enumerate()
@@ -93,81 +101,94 @@ impl HyperCubeRouter {
                     .get(v)
                     .map(|&val| self.hashers[i].bucket(val))
                     .unwrap_or(0)
+                    * self.strides[i]
             })
-            .collect();
-        self.server_offset + self.linear_index(&coords)
+            .sum();
+        self.server_offset + idx
     }
 
-    fn linear_index(&self, coords: &[usize]) -> usize {
-        let mut idx = 0usize;
-        for (c, s) in coords.iter().zip(self.shares.iter()) {
-            idx = idx * s + c;
-        }
-        idx
-    }
-
-    /// The destination subcube of a tuple of the given bound relation
-    /// (schema attributes = query variables): every physical server whose
-    /// grid coordinates agree with the hashes of the tuple's values.
-    pub fn destinations(&self, bound_schema_vars: &[String], tuple: &Tuple) -> Vec<usize> {
-        // Fixed coordinate per dimension, or None if free.
-        let mut fixed: Vec<Option<usize>> = vec![None; self.variables.len()];
+    /// Resolve a bound relation's schema against the grid once: which grid
+    /// dimension each schema position pins (`bound`), and the linear-index
+    /// offsets of every combination of the remaining free dimensions
+    /// (`free_offsets`). Per-row routing is then one hash and one add per
+    /// bound dimension plus one add per destination — no string comparison,
+    /// no recursion, no allocation.
+    fn route_plan(&self, bound_schema_vars: &[String]) -> (Vec<(usize, usize)>, Vec<usize>) {
+        let mut bound: Vec<(usize, usize)> = Vec::new();
+        let mut dim_is_bound = vec![false; self.variables.len()];
         for (pos, var) in bound_schema_vars.iter().enumerate() {
             if let Some(dim) = self.variables.iter().position(|v| v == var) {
-                fixed[dim] = Some(self.hashers[dim].bucket(tuple.get(pos)));
+                bound.push((dim, pos));
+                dim_is_bound[dim] = true;
             }
         }
-        // Enumerate the free dimensions.
-        let mut dests = Vec::new();
-        let mut coords = vec![0usize; self.variables.len()];
-        self.enumerate(&fixed, &mut coords, 0, &mut dests);
-        dests
+        let mut free_offsets = vec![0usize];
+        for dim in (0..self.variables.len()).rev() {
+            if dim_is_bound[dim] {
+                continue;
+            }
+            let mut next = Vec::with_capacity(free_offsets.len() * self.shares[dim]);
+            for c in 0..self.shares[dim] {
+                let base = c * self.strides[dim];
+                next.extend(free_offsets.iter().map(|&o| base + o));
+            }
+            free_offsets = next;
+        }
+        (bound, free_offsets)
     }
 
-    fn enumerate(
-        &self,
-        fixed: &[Option<usize>],
-        coords: &mut Vec<usize>,
-        dim: usize,
-        out: &mut Vec<usize>,
-    ) {
-        if dim == self.variables.len() {
-            out.push(self.server_offset + self.linear_index(coords));
-            return;
-        }
-        match fixed[dim] {
-            Some(c) => {
-                coords[dim] = c;
-                self.enumerate(fixed, coords, dim + 1, out);
+    /// The destination subcube of a row of the given bound relation
+    /// (schema attributes = query variables): every physical server whose
+    /// grid coordinates agree with the hashes of the row's values.
+    pub fn destinations(&self, bound_schema_vars: &[String], row: &[Value]) -> Vec<usize> {
+        let (bound, free_offsets) = self.route_plan(bound_schema_vars);
+        let base = self.server_offset + self.base_index(&bound, row);
+        free_offsets.iter().map(|&o| base + o).collect()
+    }
+
+    #[inline]
+    fn base_index(&self, bound: &[(usize, usize)], row: &[Value]) -> usize {
+        bound
+            .iter()
+            .map(|&(dim, pos)| self.hashers[dim].bucket(row[pos]) * self.strides[dim])
+            .sum()
+    }
+
+    /// Route one bound relation (schema attributes = query variables):
+    /// copies every row view into pre-sized per-destination fragments and
+    /// returns one message per non-empty fragment. The per-row work is
+    /// allocation-free — rows land in the flat fragment buffers by
+    /// `extend_from_slice`.
+    pub fn route_relation(&self, relation: &Relation) -> Vec<Message> {
+        let (bound, free_offsets) = self.route_plan(relation.schema().attributes());
+        let grid = self.grid_size();
+        // Expected fragment size under balanced hashing: every row goes to
+        // |free_offsets| of the `grid` destinations.
+        let per_dest = relation.len() * free_offsets.len() / grid.max(1) + 1;
+        let mut fragments: Vec<Relation> = (0..grid)
+            .map(|_| Relation::with_capacity(relation.schema().clone(), per_dest))
+            .collect();
+        for row in relation.iter() {
+            let base = self.base_index(&bound, row);
+            for &off in &free_offsets {
+                fragments[base + off].push_row(row);
             }
-            None => {
-                for c in 0..self.shares[dim] {
-                    coords[dim] = c;
-                    self.enumerate(fixed, coords, dim + 1, out);
-                }
-            }
         }
+        fragments
+            .into_iter()
+            .enumerate()
+            .filter(|(_, fragment)| !fragment.is_empty())
+            .map(|(idx, fragment)| Message::tuples(self.server_offset + idx, fragment))
+            .collect()
     }
 
     /// Route a set of bound relations (one per atom, attributes named by
     /// query variables): returns one message per (destination server,
     /// relation) pair carrying that server's fragment.
     pub fn route_bound(&self, bound: &[Relation]) -> Vec<Message> {
-        let mut buffers: BTreeMap<(usize, String), Relation> = BTreeMap::new();
-        for relation in bound {
-            let vars: Vec<String> = relation.schema().attributes().to_vec();
-            for tuple in relation.iter() {
-                for dest in self.destinations(&vars, tuple) {
-                    buffers
-                        .entry((dest, relation.name().to_string()))
-                        .or_insert_with(|| Relation::empty(relation.schema().clone()))
-                        .push(tuple.clone());
-                }
-            }
-        }
-        buffers
-            .into_iter()
-            .map(|((server, _), fragment)| Message::tuples(server, fragment))
+        bound
+            .iter()
+            .flat_map(|relation| self.route_relation(relation))
             .collect()
     }
 }
@@ -224,8 +245,8 @@ pub fn run_hypercube_with_shares(
 
     let outputs = map_servers_parallel(cluster.servers(), |_, server| local_join(query, server));
     let mut output = Relation::empty(pq_relation::Schema::new(query.name(), query.variables()));
-    for o in outputs {
-        output.extend(o.tuples().iter().cloned());
+    for o in &outputs {
+        output.append(o);
     }
     output.dedup();
 
@@ -292,13 +313,13 @@ mod tests {
         let router = HyperCubeRouter::new(&q, &shares, 1, 0, 0);
         assert_eq!(router.grid_size(), 8);
         // A binary atom fixes two of three dimensions: |destinations| = 2.
-        let dests = router.destinations(&["x1".to_string(), "x2".to_string()], &Tuple::from([5, 9]));
+        let dests = router.destinations(&["x1".to_string(), "x2".to_string()], &[5, 9]);
         assert_eq!(dests.len(), 2);
         for d in &dests {
             assert!(*d < 8);
         }
         // Unary binding fixes one dimension: 4 destinations.
-        let dests = router.destinations(&["x2".to_string()], &Tuple::from([9]));
+        let dests = router.destinations(&["x2".to_string()], &[9]);
         assert_eq!(dests.len(), 4);
     }
 
@@ -308,7 +329,7 @@ mod tests {
         let shares: BTreeMap<String, usize> =
             [("z", 4usize)].iter().map(|(v, s)| (v.to_string(), *s)).collect();
         let router = HyperCubeRouter::new(&q, &shares, 1, 0, 10);
-        let dests = router.destinations(&["z".to_string(), "x1".to_string()], &Tuple::from([3, 7]));
+        let dests = router.destinations(&["z".to_string(), "x1".to_string()], &[3, 7]);
         assert_eq!(dests.len(), 1);
         assert!(dests[0] >= 10 && dests[0] < 14);
     }
@@ -326,12 +347,12 @@ mod tests {
             [("x1", 11u64), ("x2", 22), ("x3", 33)].iter().map(|(v, s)| (v.to_string(), *s)).collect();
         let target = router.server_of_assignment(&assignment);
         // Each atom's projection of the assignment must route through target.
-        for (vars, tuple) in [
-            (vec!["x1".to_string(), "x2".to_string()], Tuple::from([11, 22])),
-            (vec!["x2".to_string(), "x3".to_string()], Tuple::from([22, 33])),
-            (vec!["x3".to_string(), "x1".to_string()], Tuple::from([33, 11])),
+        for (vars, row) in [
+            (vec!["x1".to_string(), "x2".to_string()], [11u64, 22]),
+            (vec!["x2".to_string(), "x3".to_string()], [22, 33]),
+            (vec!["x3".to_string(), "x1".to_string()], [33, 11]),
         ] {
-            let dests = router.destinations(&vars, &tuple);
+            let dests = router.destinations(&vars, &row);
             assert!(dests.contains(&target));
         }
     }

@@ -19,7 +19,7 @@
 //! report both the round count and the per-round load (`O(M/p)` w.h.p.).
 
 use pq_mpc::{map_servers_parallel, Cluster, Message, RunMetrics};
-use pq_relation::{BucketHasher, HashFamily, MultiplyShiftHash, Relation, Schema, Tuple, Value};
+use pq_relation::{BucketHasher, HashFamily, MultiplyShiftHash, Relation, Schema, Value};
 use std::collections::BTreeMap;
 
 /// Result of a connected-components run.
@@ -57,11 +57,7 @@ pub fn connected_components(
     assert_eq!(edges.arity(), 2, "edge relation must be binary");
     let family = MultiplyShiftHash::new(seed);
     // Domain: max vertex id + 1.
-    let max_vertex = edges
-        .iter()
-        .flat_map(|t| t.values().iter().copied())
-        .max()
-        .unwrap_or(0);
+    let max_vertex = edges.values().iter().copied().max().unwrap_or(0);
     let bits = pq_relation::bits_per_value(max_vertex + 2);
     let mut cluster = Cluster::new(p, bits);
     cluster.set_input_bits(edges.size_bits(bits));
@@ -69,8 +65,8 @@ pub fn connected_components(
     // Symmetrise the edges.
     let mut sym = Vec::with_capacity(edges.len() * 2);
     for t in edges.iter() {
-        sym.push((t.get(0), t.get(1)));
-        sym.push((t.get(1), t.get(0)));
+        sym.push((t[0], t[1]));
+        sym.push((t[1], t[0]));
     }
     // Initial labels: every vertex labels itself.
     let mut labels: BTreeMap<Value, Value> = BTreeMap::new();
@@ -123,11 +119,11 @@ fn propagate_round(
     // Round A: partition edges and labels by u.
     let mut edge_parts: Vec<Relation> = (0..p).map(|_| Relation::empty(edge_schema.clone())).collect();
     for &(u, v) in sym_edges {
-        edge_parts[h.bucket(u)].push(Tuple::from([u, v]));
+        edge_parts[h.bucket(u)].push_row(&[u, v]);
     }
     let mut lab_parts: Vec<Relation> = (0..p).map(|_| Relation::empty(lab_schema.clone())).collect();
     for (&v, &l) in labels.iter() {
-        lab_parts[h.bucket(v)].push(Tuple::from([v, l]));
+        lab_parts[h.bucket(v)].push_row(&[v, l]);
     }
     let mut messages = Vec::new();
     for (s, part) in edge_parts.into_iter().enumerate() {
@@ -152,11 +148,11 @@ fn propagate_round(
         };
         let mut local: BTreeMap<Value, Value> = BTreeMap::new();
         for t in lab.iter() {
-            local.insert(t.get(0), t.get(1));
+            local.insert(t[0], t[1]);
         }
         for t in e.iter() {
-            if let Some(&lu) = local.get(&t.get(0)) {
-                out.push((t.get(1), lu));
+            if let Some(&lu) = local.get(&t[0]) {
+                out.push((t[1], lu));
             }
         }
         out
@@ -168,12 +164,12 @@ fn propagate_round(
     let mut cand_parts: Vec<Relation> = (0..p).map(|_| Relation::empty(cand_schema.clone())).collect();
     for list in candidate_lists {
         for (v, l) in list {
-            cand_parts[h.bucket(v)].push(Tuple::from([v, l]));
+            cand_parts[h.bucket(v)].push_row(&[v, l]);
         }
     }
     let mut labv_parts: Vec<Relation> = (0..p).map(|_| Relation::empty(labv_schema.clone())).collect();
     for (&v, &l) in labels.iter() {
-        labv_parts[h.bucket(v)].push(Tuple::from([v, l]));
+        labv_parts[h.bucket(v)].push_row(&[v, l]);
     }
     let mut messages = Vec::new();
     for (s, part) in cand_parts.into_iter().enumerate() {
@@ -195,13 +191,13 @@ fn propagate_round(
         let mut mins: BTreeMap<Value, Value> = BTreeMap::new();
         if let Some(lab) = server.fragment(&vname) {
             for t in lab.iter() {
-                mins.insert(t.get(0), t.get(1));
+                mins.insert(t[0], t[1]);
             }
         }
         if let Some(cand) = server.fragment(&cname) {
             for t in cand.iter() {
-                let entry = mins.entry(t.get(0)).or_insert(t.get(1));
-                *entry = (*entry).min(t.get(1));
+                let entry = mins.entry(t[0]).or_insert(t[1]);
+                *entry = (*entry).min(t[1]);
             }
         }
         mins
@@ -231,8 +227,8 @@ fn jump_round(
     let mut by_label: Vec<Relation> = (0..p).map(|_| Relation::empty(by_label_schema.clone())).collect();
     let mut by_vertex: Vec<Relation> = (0..p).map(|_| Relation::empty(by_vertex_schema.clone())).collect();
     for (&v, &l) in labels.iter() {
-        by_label[h.bucket(l)].push(Tuple::from([v, l]));
-        by_vertex[h.bucket(v)].push(Tuple::from([v, l]));
+        by_label[h.bucket(l)].push_row(&[v, l]);
+        by_vertex[h.bucket(v)].push_row(&[v, l]);
     }
     let mut messages = Vec::new();
     for (s, part) in by_label.into_iter().enumerate() {
@@ -257,11 +253,11 @@ fn jump_round(
         // label -> its own label (lab(l) = l2), from the by-vertex copy.
         let mut lab_of: BTreeMap<Value, Value> = BTreeMap::new();
         for t in by_ver.iter() {
-            lab_of.insert(t.get(0), t.get(1));
+            lab_of.insert(t[0], t[1]);
         }
         for t in by_lab.iter() {
-            if let Some(&l2) = lab_of.get(&t.get(1)) {
-                out.push((t.get(0), l2));
+            if let Some(&l2) = lab_of.get(&t[1]) {
+                out.push((t[0], l2));
             }
         }
         out
@@ -288,7 +284,7 @@ pub fn connected_components_oracle(edges: &Relation) -> BTreeMap<Value, Value> {
         root
     }
     for t in edges.iter() {
-        let (u, v) = (t.get(0), t.get(1));
+        let (u, v) = (t[0], t[1]);
         parent.entry(u).or_insert(u);
         parent.entry(v).or_insert(v);
         let ru = find(&mut parent, u);
@@ -314,7 +310,7 @@ mod tests {
     use pq_relation::DataGenerator;
 
     fn labels_as_map(rel: &Relation) -> BTreeMap<Value, Value> {
-        rel.iter().map(|t| (t.get(0), t.get(1))).collect()
+        rel.iter().map(|t| (t[0], t[1])).collect()
     }
 
     fn same_partition(a: &BTreeMap<Value, Value>, b: &BTreeMap<Value, Value>) -> bool {

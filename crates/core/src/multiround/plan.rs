@@ -254,8 +254,8 @@ pub fn execute_plan(
                 evaluate_bound(&induced, &bound)
             });
             let mut view = Relation::empty(Schema::new(view_name.clone(), induced.variables()));
-            for o in outputs {
-                view.extend(o.tuples().iter().cloned());
+            for o in &outputs {
+                view.append(o);
             }
             view.dedup();
             views.insert(view_name.clone(), view);

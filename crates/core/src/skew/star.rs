@@ -100,7 +100,7 @@ pub fn run_star_skew_aware(
     let light: Vec<Relation> = bound
         .iter()
         .zip(z_positions.iter())
-        .map(|(r, &pos)| r.filter(|t| !hitters.is_heavy(t.get(pos))))
+        .map(|(r, &pos)| r.filter(|t| !hitters.is_heavy(t[pos])))
         .collect();
     messages.extend(light_router.route_bound(&light));
 
@@ -134,7 +134,7 @@ pub fn run_star_skew_aware(
         let selected: Vec<Relation> = bound
             .iter()
             .zip(z_positions.iter())
-            .map(|(r, &pos)| r.filter(|t| t.get(pos) == h))
+            .map(|(r, &pos)| r.filter(|t| t[pos] == h))
             .collect();
         let offset = next_offset;
         next_offset = (next_offset + p_h) % p;
@@ -148,8 +148,8 @@ pub fn run_star_skew_aware(
 
     let outputs = map_servers_parallel(cluster.servers(), |_, server| local_join(query, server));
     let mut output = Relation::empty(Schema::new(query.name(), query.variables()));
-    for o in outputs {
-        output.extend(o.tuples().iter().cloned());
+    for o in &outputs {
+        output.append(o);
     }
     output.dedup();
 

@@ -94,7 +94,7 @@ pub fn run_triangle_skew_aware(database: &Database, p: usize, seed: u64) -> Skew
                 r.filter(|t| {
                     positions
                         .iter()
-                        .all(|(var, pos)| !is_heavy(&heavy_cube, var, t.get(*pos)))
+                        .all(|(var, pos)| !is_heavy(&heavy_cube, var, t[*pos]))
                 })
             })
             .collect();
@@ -117,7 +117,7 @@ pub fn run_triangle_skew_aware(database: &Database, p: usize, seed: u64) -> Skew
         let heavy_heavy = shared.filter(|t| {
             positions.iter().all(|(var, pos)| {
                 let endpoint = var == va || var == vb;
-                !endpoint || is_heavy(&heavy_p, var, t.get(*pos))
+                !endpoint || is_heavy(&heavy_p, var, t[*pos])
             })
         });
         if heavy_heavy.is_empty() {
@@ -136,16 +136,10 @@ pub fn run_triangle_skew_aware(database: &Database, p: usize, seed: u64) -> Skew
                 .schema()
                 .position(pair_var)
                 .expect("relation contains its pair variable");
-            let restricted = rel.filter(|t| is_heavy(&heavy_p, pair_var, t.get(pos)));
-            let vars: Vec<String> = rel.schema().attributes().to_vec();
-            for tuple in restricted.iter() {
-                for dest in router.destinations(&vars, tuple) {
-                    messages.push(Message::tuples(
-                        dest,
-                        Relation::new(rel.schema().clone(), vec![tuple.clone()]),
-                    ));
-                }
-            }
+            let restricted = rel.filter(|t| is_heavy(&heavy_p, pair_var, t[pos]));
+            // One pre-sized fragment per destination instead of one
+            // single-tuple message per (row, destination) pair.
+            messages.extend(router.route_relation(&restricted));
         }
     }
 
@@ -196,9 +190,9 @@ pub fn run_triangle_skew_aware(database: &Database, p: usize, seed: u64) -> Skew
                 rel.filter(|t| {
                     positions.iter().all(|(var, pos)| {
                         if var == hv {
-                            t.get(*pos) == h
+                            t[*pos] == h
                         } else if var == exclude_var || var == var_y || var == var_z {
-                            !is_heavy(&heavy_p, var, t.get(*pos))
+                            !is_heavy(&heavy_p, var, t[*pos])
                         } else {
                             true
                         }
@@ -216,7 +210,7 @@ pub fn run_triangle_skew_aware(database: &Database, p: usize, seed: u64) -> Skew
                 rel.filter(|t| {
                     positions
                         .iter()
-                        .all(|(var, pos)| !is_heavy(&heavy_p, var, t.get(*pos)))
+                        .all(|(var, pos)| !is_heavy(&heavy_p, var, t[*pos]))
                 })
             };
 
@@ -256,8 +250,8 @@ pub fn run_triangle_skew_aware(database: &Database, p: usize, seed: u64) -> Skew
 
     let outputs = map_servers_parallel(cluster.servers(), |_, server| local_join(&query, server));
     let mut output = Relation::empty(Schema::new(query.name(), query.variables()));
-    for o in outputs {
-        output.extend(o.tuples().iter().cloned());
+    for o in &outputs {
+        output.append(o);
     }
     output.dedup();
 

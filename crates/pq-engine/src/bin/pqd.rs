@@ -123,7 +123,6 @@ fn serve(stream: TcpStream, mut session: Session, dictionary: Arc<ValueDictionar
                         // cells containing commas stay unambiguous:
                         // `\` → `\\`, `,` → `\,`.
                         let row: Vec<String> = tuple
-                            .values()
                             .iter()
                             .map(|&v| {
                                 dictionary

@@ -90,7 +90,6 @@ fn print_rows(output: &Relation, dictionary: &ValueDictionary, limit: usize) {
     println!("{}", "-".repeat(attrs.join(" | ").len().max(4)));
     for tuple in output.iter().take(limit) {
         let row: Vec<String> = tuple
-            .values()
             .iter()
             .map(|&v| dictionary.decode_or_number(v))
             .collect();

@@ -397,8 +397,8 @@ mod tests {
         };
         assert_eq!(canonical_vars, &["u".to_string(), "v".to_string(), "w".to_string()]);
         assert_eq!(
-            renamed.outcome.output.canonicalized().tuples(),
-            first.outcome.output.canonicalized().tuples()
+            renamed.outcome.output.canonicalized().to_tuples(),
+            first.outcome.output.canonicalized().to_tuples()
         );
     }
 

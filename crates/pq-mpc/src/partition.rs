@@ -16,11 +16,12 @@ use pq_relation::{BucketHasher, HashFamily, Relation};
 /// the model's initial data placement).
 pub fn partition_round_robin(relation: &Relation, p: usize) -> Vec<Relation> {
     assert!(p > 0, "cannot partition over zero servers");
+    let per_part = relation.len() / p + 1;
     let mut parts: Vec<Relation> = (0..p)
-        .map(|_| Relation::empty(relation.schema().clone()))
+        .map(|_| Relation::with_capacity(relation.schema().clone(), per_part))
         .collect();
-    for (i, t) in relation.iter().enumerate() {
-        parts[i % p].push(t.clone());
+    for (i, row) in relation.iter().enumerate() {
+        parts[i % p].push_row(row);
     }
     parts
 }
@@ -43,12 +44,16 @@ pub fn partition_by_hash<F: HashFamily>(
         .position(attribute)
         .unwrap_or_else(|| panic!("attribute `{attribute}` not in `{}`", relation.name()));
     let hasher = family.hasher(hash_index, p);
+    // Pre-size every fragment for the balanced case; row copies below are
+    // plain `extend_from_slice`s of borrowed row views — no per-row tuple is
+    // allocated or cloned.
+    let per_part = relation.len() / p + 1;
     let mut parts: Vec<Relation> = (0..p)
-        .map(|_| Relation::empty(relation.schema().clone()))
+        .map(|_| Relation::with_capacity(relation.schema().clone(), per_part))
         .collect();
-    for t in relation.iter() {
-        let dest: ServerId = hasher.bucket(t.get(pos));
-        parts[dest].push(t.clone());
+    for row in relation.iter() {
+        let dest: ServerId = hasher.bucket(row[pos]);
+        parts[dest].push_row(row);
     }
     parts
 }
@@ -90,7 +95,7 @@ mod tests {
         use pq_relation::BucketHasher;
         for (s, part) in parts.iter().enumerate() {
             for t in part.iter() {
-                assert_eq!(hasher.bucket(t.get(0)), s);
+                assert_eq!(hasher.bucket(t[0]), s);
             }
         }
     }

@@ -41,7 +41,8 @@ impl Server {
     pub fn receive(&mut self, payload: Payload) {
         match payload {
             Payload::Tuples(rel) => match self.fragments.get_mut(rel.name()) {
-                Some(existing) => existing.extend(rel.tuples().iter().cloned()),
+                // Merging fragments is one flat-buffer copy.
+                Some(existing) => existing.append(&rel),
                 None => {
                     self.fragments.insert(rel.name().to_string(), rel);
                 }

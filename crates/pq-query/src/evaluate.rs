@@ -31,7 +31,15 @@ pub fn bind_atom(atom: &Atom, stored: &Relation) -> Relation {
         atom.arity()
     );
     let distinct = atom.distinct_variables();
-    // Position of the first occurrence of each distinct variable.
+    let schema = Schema::new(atom.relation(), distinct.clone());
+    if distinct.len() == atom.arity() {
+        // No repeated variables: binding is a pure column rename, one flat
+        // buffer copy.
+        return stored.with_schema(schema);
+    }
+    // Position of the first occurrence of each distinct variable, and the
+    // equality checks repeated variables induce — both resolved once, before
+    // the scan.
     let first_positions: Vec<usize> = distinct
         .iter()
         .map(|v| {
@@ -41,17 +49,20 @@ pub fn bind_atom(atom: &Atom, stored: &Relation) -> Relation {
                 .expect("distinct variable occurs in atom")
         })
         .collect();
-    let schema = Schema::new(atom.relation(), distinct.clone());
-    let mut out = Relation::empty(schema);
-    'tuples: for t in stored.iter() {
-        // Enforce equality of repeated variables.
-        for (i, v) in atom.variables().iter().enumerate() {
+    let equality_checks: Vec<(usize, usize)> = atom
+        .variables()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| {
             let first = atom.variables().iter().position(|w| w == v).expect("occurs");
-            if t.get(i) != t.get(first) {
-                continue 'tuples;
-            }
+            (first != i).then_some((i, first))
+        })
+        .collect();
+    let mut out = Relation::empty(schema);
+    for row in stored.iter() {
+        if equality_checks.iter().all(|&(i, first)| row[i] == row[first]) {
+            out.push_row_projected(row, &first_positions);
         }
-        out.push(t.project(&first_positions));
     }
     out
 }
@@ -125,7 +136,7 @@ mod tests {
             bound.schema().attributes(),
             &["x".to_string(), "y".to_string()]
         );
-        assert_eq!(bound.tuples()[0], Tuple::from([1, 2]));
+        assert_eq!(bound.row(0), &[1, 2]);
     }
 
     #[test]
@@ -139,7 +150,7 @@ mod tests {
         assert_eq!(bound.arity(), 1);
         assert_eq!(bound.len(), 2);
         let c = bound.canonicalized();
-        assert_eq!(c.tuples(), &[Tuple::from([1]), Tuple::from([4])]);
+        assert_eq!(c.to_tuples(), vec![Tuple::from([1]), Tuple::from([4])]);
     }
 
     #[test]
@@ -157,8 +168,8 @@ mod tests {
         let out = out.canonicalized();
         assert_eq!(out.len(), 2);
         assert_eq!(
-            out.tuples(),
-            &[Tuple::from([1, 2, 3]), Tuple::from([4, 5, 6])]
+            out.to_tuples(),
+            vec![Tuple::from([1, 2, 3]), Tuple::from([4, 5, 6])]
         );
         assert_eq!(
             out.schema().attributes(),

@@ -14,7 +14,7 @@
 use crate::database::Database;
 use crate::relation::Relation;
 use crate::schema::Schema;
-use crate::tuple::{Tuple, Value};
+use crate::tuple::Value;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -162,16 +162,23 @@ pub fn parse_relation_text(
     let schema = Schema::new(name, columns);
     let arity = schema.arity();
     let mut relation = Relation::empty(schema);
+    let mut row: Vec<Value> = Vec::with_capacity(arity);
     for (line_no, line) in lines {
-        let fields: Vec<&str> = line.split(delimiter).map(str::trim).collect();
-        if fields.len() != arity {
+        row.clear();
+        let mut fields = 0usize;
+        for field in line.split(delimiter) {
+            fields += 1;
+            if fields <= arity {
+                row.push(dictionary.encode(field.trim()));
+            }
+        }
+        if fields != arity {
             return Err(malformed(
                 line_no,
-                format!("expected {arity} fields, found {}", fields.len()),
+                format!("expected {arity} fields, found {fields}"),
             ));
         }
-        let values: Vec<Value> = fields.iter().map(|f| dictionary.encode(f)).collect();
-        relation.push(Tuple::new(values));
+        relation.push_row(&row);
     }
     relation.dedup();
     Ok(relation)
@@ -296,8 +303,8 @@ mod tests {
         let s = parse("S", "y,z\nbob,carl\n", &mut dict);
         let j = crate::join::natural_join(&r, &s);
         assert_eq!(j.len(), 1);
-        let decoded: Vec<String> = j.tuples()[0]
-            .values()
+        let decoded: Vec<String> = j
+            .row(0)
             .iter()
             .map(|&v| dict.decode_or_number(v))
             .collect();
@@ -354,7 +361,7 @@ mod tests {
         // `2` is shared between R.y and S.y through the dictionary.
         let r = db.expect_relation("R");
         let s = db.expect_relation("S");
-        assert_eq!(r.tuples()[0].get(1), s.tuples()[0].get(0));
+        assert_eq!(r.row(0)[1], s.row(0)[0]);
         assert_eq!(dict.len(), 3);
         assert!(db.domain_size() >= dict.len() as u64);
     }

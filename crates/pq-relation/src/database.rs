@@ -110,8 +110,7 @@ impl Database {
     pub fn from_relations(relations: Vec<Relation>) -> Self {
         let max_value: Value = relations
             .iter()
-            .flat_map(|r| r.iter())
-            .flat_map(|t| t.values().iter().copied())
+            .flat_map(|r| r.values().iter().copied())
             .max()
             .unwrap_or(1);
         let mut db = Database::new((max_value + 1).max(2));

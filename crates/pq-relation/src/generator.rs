@@ -11,7 +11,7 @@
 
 use crate::relation::Relation;
 use crate::schema::Schema;
-use crate::tuple::{Tuple, Value};
+use crate::tuple::Value;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -67,20 +67,26 @@ impl DataGenerator {
         let columns: Vec<Vec<Value>> = (0..arity)
             .map(|_| self.distinct_values(m))
             .collect();
-        let tuples = (0..m)
-            .map(|i| Tuple::new(columns.iter().map(|c| c[i]).collect()))
-            .collect();
-        Relation::new(schema, tuples)
+        let mut rel = Relation::with_capacity(schema, m);
+        let mut row: Vec<Value> = Vec::with_capacity(arity);
+        for i in 0..m {
+            row.clear();
+            row.extend(columns.iter().map(|c| c[i]));
+            rel.push_row(&row);
+        }
+        rel
     }
 
     /// A uniformly random relation: every value of every tuple drawn
     /// independently and uniformly from the domain (duplicates removed).
     pub fn uniform_relation(&mut self, schema: Schema, m: usize) -> Relation {
         let arity = schema.arity();
-        let mut rel = Relation::empty(schema);
+        let mut rel = Relation::with_capacity(schema, m);
+        let mut row: Vec<Value> = Vec::with_capacity(arity);
         for _ in 0..m {
-            let values = (0..arity).map(|_| self.rng.gen_range(0..self.domain_size)).collect();
-            rel.push(Tuple::new(values));
+            row.clear();
+            row.extend((0..arity).map(|_| self.rng.gen_range(0..self.domain_size)));
+            rel.push_row(&row);
         }
         rel.dedup();
         rel
@@ -108,16 +114,17 @@ impl DataGenerator {
             cdf.push(acc);
         }
         let arity = schema.arity();
-        let mut rel = Relation::empty(schema);
+        let mut rel = Relation::with_capacity(schema, m);
+        let mut row: Vec<Value> = Vec::with_capacity(arity);
         for _ in 0..m {
             let u: f64 = self.rng.gen();
             let rank = cdf.partition_point(|&c| c < u).min(distinct - 1);
-            let mut values = Vec::with_capacity(arity);
-            values.push(rank as Value);
+            row.clear();
+            row.push(rank as Value);
             for _ in 1..arity {
-                values.push(self.rng.gen_range(0..self.domain_size));
+                row.push(self.rng.gen_range(0..self.domain_size));
             }
-            rel.push(Tuple::new(values));
+            rel.push_row(&row);
         }
         rel
     }
@@ -150,18 +157,19 @@ impl DataGenerator {
         // from the top of the domain to avoid accidental collisions with the
         // light part.
         let mut next_fresh = self.domain_size;
+        let mut row: Vec<Value> = Vec::with_capacity(arity);
         for spec in skews {
             for _ in 0..spec.count {
-                let mut values = Vec::with_capacity(arity);
+                row.clear();
                 for col in 0..arity {
                     if col == spec.attribute_index {
-                        values.push(spec.value);
+                        row.push(spec.value);
                     } else {
                         next_fresh -= 1;
-                        values.push(next_fresh);
+                        row.push(next_fresh);
                     }
                 }
-                relation.push(Tuple::new(values));
+                relation.push_row(&row);
             }
         }
         relation
@@ -192,7 +200,7 @@ impl DataGenerator {
             let mut perm: Vec<usize> = (0..group).collect();
             perm.shuffle(&mut self.rng);
             for (j, &pj) in perm.iter().enumerate() {
-                rel.push(Tuple::from([vid(layer, j), vid(layer + 1, pj)]));
+                rel.push_row(&[vid(layer, j), vid(layer + 1, pj)]);
             }
         }
         rel
@@ -305,7 +313,7 @@ mod tests {
         let r = g.uniform_relation(Schema::from_strs("R", &["a", "b"]), 100);
         assert!(r.len() <= 100);
         for t in r.iter() {
-            assert!(t.get(0) < 50 && t.get(1) < 50);
+            assert!(t[0] < 50 && t[1] < 50);
         }
     }
 

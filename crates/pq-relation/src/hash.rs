@@ -143,6 +143,80 @@ impl BucketHasher for TabulationHasher {
     }
 }
 
+/// Finalizing 64-bit mixer (the splitmix64 finalizer): diffuses every input
+/// bit over the whole output word. Used to turn accumulated row state into a
+/// well-distributed hash.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Hash a row (or key) slice of values with an FxHash-style multiply-rotate
+/// accumulator followed by [`mix64`]. This is the hash of the join/shuffle
+/// hot path: it reads the values in place — no key tuple is materialised —
+/// and costs one multiply and one rotate per value.
+#[inline]
+pub fn hash_values(values: &[Value]) -> u64 {
+    let mut h: u64 = 0x51_7C_C1_B7_27_22_0A_95;
+    for &v in values {
+        h = (h.rotate_left(5) ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    mix64(h ^ values.len() as u64)
+}
+
+/// Hash the values of `row` at the given positions (a join key) without
+/// materialising the key: the projection happens inside the accumulator.
+#[inline]
+pub fn hash_key(row: &[Value], positions: &[usize]) -> u64 {
+    let mut h: u64 = 0x51_7C_C1_B7_27_22_0A_95;
+    for &p in positions {
+        h = (h.rotate_left(5) ^ row[p]).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    mix64(h ^ positions.len() as u64)
+}
+
+/// A `BuildHasher` for `HashMap`s keyed by **already-mixed** `u64` hashes
+/// (the outputs of [`hash_values`]/[`hash_key`]): the hasher passes the key
+/// through unchanged, so map operations cost no additional hashing. Do not
+/// use it with keys that are not themselves hash outputs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrehashedBuild;
+
+/// The [`std::hash::Hasher`] produced by [`PrehashedBuild`]: records the
+/// single `u64` written to it and returns it verbatim.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrehashedHasher(u64);
+
+impl std::hash::Hasher for PrehashedHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 keys (never taken on the hot paths).
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(8) ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.0 = value;
+    }
+}
+
+impl std::hash::BuildHasher for PrehashedBuild {
+    type Hasher = PrehashedHasher;
+
+    fn build_hasher(&self) -> PrehashedHasher {
+        PrehashedHasher(0)
+    }
+}
+
 /// Convenience: build the `k` independent hashers `h_1, …, h_k` with bucket
 /// counts `shares[i]`, as the HyperCube algorithm requires (one hash per
 /// query variable with range equal to that variable's share).
@@ -249,6 +323,31 @@ mod tests {
         let h2 = f2.hasher(0, 1024);
         let differing = (0..1000u64).filter(|&v| h1.bucket(v) != h2.bucket(v)).count();
         assert!(differing > 900);
+    }
+
+    #[test]
+    fn row_hash_is_deterministic_and_length_sensitive() {
+        assert_eq!(hash_values(&[1, 2, 3]), hash_values(&[1, 2, 3]));
+        assert_ne!(hash_values(&[1, 2]), hash_values(&[2, 1]));
+        assert_ne!(hash_values(&[0]), hash_values(&[0, 0]));
+        assert_ne!(hash_values(&[]), hash_values(&[0]));
+    }
+
+    #[test]
+    fn hash_key_matches_hash_of_projected_values() {
+        let row = [10u64, 20, 30, 40];
+        assert_eq!(hash_key(&row, &[2, 0]), hash_values(&[30, 10]));
+        assert_eq!(hash_key(&row, &[]), hash_values(&[]));
+    }
+
+    #[test]
+    fn prehashed_map_roundtrips() {
+        let mut map: HashMap<u64, usize, PrehashedBuild> = HashMap::default();
+        for v in 0..1000u64 {
+            map.insert(hash_values(&[v]), v as usize);
+        }
+        assert_eq!(map.len(), 1000);
+        assert_eq!(map[&hash_values(&[7])], 7);
     }
 
     #[test]

@@ -13,11 +13,19 @@
 //! Attribute names double as query-variable names, so the natural join over
 //! shared attribute names is exactly conjunctive-query evaluation for the
 //! instantiated atoms.
+//!
+//! The build/probe loops are **allocation-free per row**: attribute
+//! positions are resolved to position vectors once per join (no `String`
+//! comparison inside loops), the build-side index hashes key slices in place
+//! with the seeded mixer of [`crate::hash`] (no key tuple, no SipHash), the
+//! output is pre-sized from the build-side match counts, and output rows are
+//! emitted by `extend_from_slice` into the flat buffer.
 
+use crate::hash::hash_key;
 use crate::relation::Relation;
+use crate::rowindex::RowKeyIndex;
 use crate::schema::Schema;
-use crate::tuple::Tuple;
-use std::collections::HashMap;
+use crate::tuple::Value;
 
 /// Natural join of two relations over their shared attribute names.
 ///
@@ -34,60 +42,106 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Relation {
         .iter()
         .map(|a| right.schema().position(a).expect("common attr in right"))
         .collect();
-    // Right attributes not in common, with their positions.
-    let right_extra: Vec<(String, usize)> = right
-        .schema()
-        .attributes()
-        .iter()
-        .enumerate()
-        .filter(|(_, a)| !common.contains(a))
-        .map(|(i, a)| (a.clone(), i))
+    // Right attributes not in common, found by a position-set lookup (one
+    // boolean mask) instead of scanning `common` per attribute.
+    let mut right_is_common = vec![false; right.arity()];
+    for &p in &right_positions {
+        right_is_common[p] = true;
+    }
+    let right_extra: Vec<usize> = (0..right.arity())
+        .filter(|&p| !right_is_common[p])
         .collect();
 
     let mut out_attrs: Vec<String> = left.schema().attributes().to_vec();
-    out_attrs.extend(right_extra.iter().map(|(a, _)| a.clone()));
-    let out_schema = Schema::new(
-        format!("{}⋈{}", left.name(), right.name()),
-        out_attrs,
+    out_attrs.extend(
+        right_extra
+            .iter()
+            .map(|&p| right.schema().attributes()[p].clone()),
     );
+    let out_schema = Schema::new(format!("{}⋈{}", left.name(), right.name()), out_attrs);
     let mut out = Relation::empty(out_schema);
+    if left.is_empty() || right.is_empty() {
+        return out;
+    }
+
+    if common.is_empty() {
+        // Cartesian product, exactly pre-sized.
+        out.reserve_rows(left.len() * right.len());
+        for lrow in left.iter() {
+            for rrow in right.iter() {
+                push_joined(&mut out, lrow, rrow, &right_extra);
+            }
+        }
+        return out;
+    }
 
     // Build a hash index on the smaller side keyed by the join attributes,
     // and stream the larger side over it. The output row format is the same
-    // either way (left tuple followed by the extra right attributes), so the
+    // either way (left row followed by the extra right attributes), so the
     // choice of build side never changes the output schema or contents.
     if right.len() <= left.len() {
-        let mut index: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
-        for t in right.iter() {
-            index.entry(t.project(&right_positions)).or_default().push(t);
+        let index = RowKeyIndex::build(right, &right_positions);
+        // First pass: hash every probe key once and sum the build-side match
+        // counts to pre-size the output buffer.
+        let mut probe_hashes: Vec<u64> = Vec::with_capacity(left.len());
+        let mut expected = 0usize;
+        for lrow in left.iter() {
+            let h = hash_key(lrow, &left_positions);
+            expected += index.count_for_hash(h);
+            probe_hashes.push(h);
         }
-        for lt in left.iter() {
-            let key = lt.project(&left_positions);
-            if let Some(matches) = index.get(&key) {
-                for rt in matches {
-                    let extra: Vec<u64> =
-                        right_extra.iter().map(|&(_, pos)| rt.get(pos)).collect();
-                    out.push(lt.concat(&Tuple::new(extra)));
+        out.reserve_rows(expected);
+        for (lrow, &h) in left.iter().zip(&probe_hashes) {
+            for i in index.candidates(h) {
+                let rrow = right.row(i);
+                if keys_match(lrow, &left_positions, rrow, &right_positions) {
+                    push_joined(&mut out, lrow, rrow, &right_extra);
                 }
             }
         }
     } else {
-        let mut index: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
-        for t in left.iter() {
-            index.entry(t.project(&left_positions)).or_default().push(t);
+        let index = RowKeyIndex::build(left, &left_positions);
+        let mut probe_hashes: Vec<u64> = Vec::with_capacity(right.len());
+        let mut expected = 0usize;
+        for rrow in right.iter() {
+            let h = hash_key(rrow, &right_positions);
+            expected += index.count_for_hash(h);
+            probe_hashes.push(h);
         }
-        for rt in right.iter() {
-            let key = rt.project(&right_positions);
-            if let Some(matches) = index.get(&key) {
-                let extra: Vec<u64> = right_extra.iter().map(|&(_, pos)| rt.get(pos)).collect();
-                let extra = Tuple::new(extra);
-                for lt in matches {
-                    out.push(lt.concat(&extra));
+        out.reserve_rows(expected);
+        for (rrow, &h) in right.iter().zip(&probe_hashes) {
+            for i in index.candidates(h) {
+                let lrow = left.row(i);
+                if keys_match(lrow, &left_positions, rrow, &right_positions) {
+                    push_joined(&mut out, lrow, rrow, &right_extra);
                 }
             }
         }
     }
     out
+}
+
+/// Do two rows agree on their respective key positions?
+#[inline]
+fn keys_match(
+    lrow: &[Value],
+    left_positions: &[usize],
+    rrow: &[Value],
+    right_positions: &[usize],
+) -> bool {
+    left_positions
+        .iter()
+        .zip(right_positions.iter())
+        .all(|(&lp, &rp)| lrow[lp] == rrow[rp])
+}
+
+/// Emit one output row — the left row followed by the extra right columns —
+/// straight into the flat buffer.
+#[inline]
+fn push_joined(out: &mut Relation, lrow: &[Value], rrow: &[Value], right_extra: &[usize]) {
+    out.values.extend_from_slice(lrow);
+    out.values.extend(right_extra.iter().map(|&p| rrow[p]));
+    out.rows += 1;
 }
 
 /// Natural join of a list of relations, using a greedy ordering that always
@@ -114,14 +168,23 @@ pub fn natural_join_all(relations: &[Relation]) -> Relation {
     let mut acc = remaining.remove(start).clone();
     let mut joined = 1usize;
     while !remaining.is_empty() {
-        // Prefer a relation sharing attributes with the accumulator.
+        // Prefer a relation sharing attributes with the accumulator; for
+        // disconnected queries (no such relation) the Cartesian step picks
+        // the smallest remaining relation, like the connected case.
         let next = remaining
             .iter()
             .enumerate()
             .filter(|(_, r)| !acc.schema().common_attributes(r.schema()).is_empty())
             .min_by_key(|(_, r)| r.len())
             .map(|(i, _)| i)
-            .unwrap_or(0);
+            .unwrap_or_else(|| {
+                remaining
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, r)| r.len())
+                    .map(|(i, _)| i)
+                    .expect("non-empty remaining")
+            });
         let r = remaining.remove(next);
         acc = natural_join(&acc, r);
         joined += 1;
@@ -141,7 +204,7 @@ pub fn project(relation: &Relation, attributes: &[String], name: &str) -> Relati
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Schema;
+    use crate::{Schema, Tuple};
 
     fn r(name: &str, attrs: &[&str], rows: Vec<Vec<u64>>) -> Relation {
         Relation::from_rows(Schema::from_strs(name, attrs), rows)
@@ -157,8 +220,8 @@ mod tests {
             &["x".to_string(), "y".to_string(), "z".to_string()]
         );
         assert_eq!(
-            j.tuples(),
-            &[
+            j.to_tuples(),
+            vec![
                 Tuple::from([1, 10, 100]),
                 Tuple::from([2, 20, 200]),
                 Tuple::from([3, 10, 100]),
@@ -182,8 +245,8 @@ mod tests {
             &["x".to_string(), "y".to_string(), "z".to_string()]
         );
         assert_eq!(
-            forward.tuples(),
-            &[
+            forward.to_tuples(),
+            vec![
                 Tuple::from([1, 10, 100]),
                 Tuple::from([1, 10, 101]),
                 Tuple::from([2, 20, 200]),
@@ -202,7 +265,7 @@ mod tests {
                 "j",
             )
             .canonicalized();
-        assert_eq!(reordered.tuples(), forward.tuples());
+        assert_eq!(reordered.to_tuples(), forward.to_tuples());
     }
 
     #[test]
@@ -243,7 +306,7 @@ mod tests {
         let right = r("S", &["x", "y"], vec![vec![1, 2], vec![3, 5]]);
         let j = natural_join(&left, &right);
         assert_eq!(j.len(), 1);
-        assert_eq!(j.tuples()[0], Tuple::from([1, 2]));
+        assert_eq!(j.row(0), &[1, 2]);
     }
 
     #[test]
@@ -254,11 +317,11 @@ mod tests {
         let s3 = r("S3", &["z", "x"], vec![vec![3, 1], vec![7, 5]]);
         let out = natural_join_all(&[s1, s2, s3]).canonicalized();
         assert_eq!(out.len(), 1);
-        let t = &out.tuples()[0];
+        let t = out.row(0).to_vec();
         let sch = out.schema().clone();
-        let x = t.get(sch.position("x").unwrap());
-        let y = t.get(sch.position("y").unwrap());
-        let z = t.get(sch.position("z").unwrap());
+        let x = t[sch.position("x").unwrap()];
+        let y = t[sch.position("y").unwrap()];
+        let z = t[sch.position("z").unwrap()];
         assert_eq!((x, y, z), (1, 2, 3));
     }
 
@@ -266,7 +329,7 @@ mod tests {
     fn join_all_of_single_relation_is_identity() {
         let only = r("R", &["x"], vec![vec![1], vec![2]]);
         let out = natural_join_all(std::slice::from_ref(&only));
-        assert_eq!(out.canonicalized().tuples(), only.canonicalized().tuples());
+        assert_eq!(out.canonicalized().to_tuples(), only.canonicalized().to_tuples());
     }
 
     #[test]
@@ -284,6 +347,24 @@ mod tests {
         let b = r("S", &["y"], vec![vec![7]]);
         let out = natural_join_all(&[a, b]);
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn disconnected_fallback_picks_the_smallest_remaining_relation() {
+        // Accumulator starts from the smallest relation (T, 1 row). Both R
+        // and S are disconnected from T; the Cartesian step must absorb the
+        // *smaller* of the two first, keeping the intermediate at 1·2 = 2
+        // rows instead of 1·3 = 3. Output size is invariant either way, so
+        // we check order via the schema: T's attr, then S's, then R's.
+        let big = r("R", &["x"], vec![vec![1], vec![2], vec![3]]);
+        let small = r("S", &["y"], vec![vec![7], vec![8]]);
+        let tiny = r("T", &["w"], vec![vec![0]]);
+        let out = natural_join_all(&[big, small, tiny]);
+        assert_eq!(out.len(), 6);
+        assert_eq!(
+            out.schema().attributes(),
+            &["w".to_string(), "y".to_string(), "x".to_string()]
+        );
     }
 
     #[test]

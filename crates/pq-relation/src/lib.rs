@@ -4,9 +4,13 @@
 //! drawn from a finite domain `[n]`. This crate provides everything the
 //! algorithms and the simulator need to manipulate such data:
 //!
-//! * [`tuple`](mod@tuple) — values and tuples (`u64` domain elements),
-//! * [`schema`] / [`relation`] — named relations with attribute schemas,
-//!   projections, selections and degree computations `d_J(R)`,
+//! * [`tuple`](mod@tuple) — values and owned tuples (`u64` domain
+//!   elements); since the flat-storage refactor [`Tuple`] is a boundary
+//!   type only,
+//! * [`schema`] / [`relation`] — named relations storing rows row-major in
+//!   one flat `Vec<Value>` (arity as stride, iteration yields borrowed
+//!   `&[Value]` row views), with projections, selections and degree
+//!   computations `d_J(R)`,
 //! * [`database`] — instances mapping relation names to relations, with the
 //!   bit-size accounting (`M_j = a_j · m_j · log n`) the MPC model charges,
 //! * [`csv`](mod@csv) — loading relations from delimited text files through
@@ -31,6 +35,7 @@ pub mod generator;
 pub mod hash;
 pub mod join;
 pub mod relation;
+mod rowindex;
 pub mod schema;
 pub mod statistics;
 pub mod tuple;
@@ -40,9 +45,12 @@ pub use csv::{
 };
 pub use database::Database;
 pub use generator::{DataGenerator, SkewSpec};
-pub use hash::{BucketHasher, HashFamily, MultiplyShiftHash, TabulationHash};
+pub use hash::{
+    hash_key, hash_values, mix64, BucketHasher, HashFamily, MultiplyShiftHash, PrehashedBuild,
+    TabulationHash,
+};
 pub use join::{natural_join, natural_join_all, project};
-pub use relation::Relation;
+pub use relation::{Relation, Rows};
 pub use schema::Schema;
 pub use statistics::{
     database_fingerprint, DatabaseStatistics, DegreeStatistics, HeavyHitter, RelationStatistics,

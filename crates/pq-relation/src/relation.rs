@@ -1,25 +1,53 @@
-//! Relations: a schema plus a multiset of tuples.
+//! Relations: a schema plus a multiset of rows in flat columnar storage.
 //!
 //! Relations support the operations the paper's analysis needs: projection,
 //! selection, semijoin/antijoin (used in the multi-round machinery of
 //! Section 5.2), frequency ("degree") computation `d_J(R)` from the
 //! HyperCube load analysis, and bit-size accounting.
+//!
+//! # Storage layout
+//!
+//! Rows are stored **row-major in a single flat `Vec<Value>`** with the
+//! arity as stride: row `i` occupies `values[i * arity .. (i + 1) * arity]`.
+//! There is no per-row allocation anywhere — pushing a row is an
+//! `extend_from_slice`, merging two relations is one `memcpy`, and scanning
+//! is a linear walk over one contiguous buffer. The owned [`Tuple`] type
+//! survives only at API boundaries that genuinely need owned rows (serde
+//! payloads, `pqd` output, degree-map keys); everything on the execution hot
+//! path works with borrowed `&[Value]` row views.
 
+use crate::hash::{hash_values, PrehashedBuild};
+use crate::rowindex::RowKeyIndex;
 use crate::schema::Schema;
 use crate::tuple::{Tuple, Value};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
-/// A relation instance: a schema plus a list of tuples.
+/// A relation instance: a schema plus a flat row-major buffer of rows.
 ///
-/// Tuples are stored as a `Vec`, so a relation is a bag; [`Relation::dedup`]
+/// Rows are stored contiguously, so a relation is a bag; [`Relation::dedup`]
 /// converts it to a set. All algorithms in this workspace produce and expect
 /// set semantics, but intermediate routing states may briefly hold
 /// duplicates.
+///
+/// # Iteration and borrowing contract
+///
+/// [`Relation::iter`] (and `&Relation as IntoIterator`) yields **borrowed
+/// row views** `&[Value]` of length [`Relation::arity`], valid for as long
+/// as the relation is not mutated; no row is copied or allocated during
+/// iteration. [`Relation::row`] returns the same view by index. Callers that
+/// need an owned row (to store it beyond the borrow, or to use it as an
+/// owned map key) convert explicitly via [`Relation::tuple_at`] or
+/// [`Relation::to_tuples`] — those are the only places a [`Tuple`] is
+/// materialised.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Relation {
     schema: Schema,
-    tuples: Vec<Tuple>,
+    /// Row-major values; `values.len() == rows * schema.arity()`.
+    pub(crate) values: Vec<Value>,
+    /// Number of rows. Kept explicitly so nullary relations (arity 0) can
+    /// still hold tuples — the empty tuple has no values to store.
+    pub(crate) rows: usize,
 }
 
 impl Relation {
@@ -27,31 +55,45 @@ impl Relation {
     pub fn empty(schema: Schema) -> Self {
         Relation {
             schema,
-            tuples: Vec::new(),
+            values: Vec::new(),
+            rows: 0,
         }
     }
 
-    /// Create a relation from a schema and tuples.
+    /// Create an empty relation with pre-allocated space for `rows` rows
+    /// (the shuffle/partition paths size their fragments up front).
+    pub fn with_capacity(schema: Schema, rows: usize) -> Self {
+        let capacity = rows * schema.arity();
+        Relation {
+            schema,
+            values: Vec::with_capacity(capacity),
+            rows: 0,
+        }
+    }
+
+    /// Create a relation from a schema and owned tuples (boundary
+    /// constructor; the tuples are flattened into the row buffer).
     ///
     /// # Panics
     /// Panics when a tuple's arity does not match the schema.
     pub fn new(schema: Schema, tuples: Vec<Tuple>) -> Self {
+        let mut rel = Relation::with_capacity(schema, tuples.len());
         for t in &tuples {
-            assert_eq!(
-                t.arity(),
-                schema.arity(),
-                "tuple arity {} does not match schema `{}` of arity {}",
-                t.arity(),
-                schema.name(),
-                schema.arity()
-            );
+            rel.push_row(t.values());
         }
-        Relation { schema, tuples }
+        rel
     }
 
     /// Create a relation from raw value rows.
+    ///
+    /// # Panics
+    /// Panics when a row's length does not match the schema arity.
     pub fn from_rows(schema: Schema, rows: Vec<Vec<Value>>) -> Self {
-        Relation::new(schema, rows.into_iter().map(Tuple::new).collect())
+        let mut rel = Relation::with_capacity(schema, rows.len());
+        for r in &rows {
+            rel.push_row(r);
+        }
+        rel
     }
 
     /// The relation's schema.
@@ -71,43 +113,120 @@ impl Relation {
 
     /// Number of tuples (cardinality `m_j`).
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.rows
     }
 
     /// True when the relation holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.rows == 0
     }
 
-    /// The tuples of the relation.
-    pub fn tuples(&self) -> &[Tuple] {
-        &self.tuples
+    /// The raw row-major value buffer (`len() * arity()` values).
+    pub fn values(&self) -> &[Value] {
+        &self.values
     }
 
-    /// Iterate over tuples.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.tuples.iter()
+    /// Borrowed view of row `i` (length [`Relation::arity`]).
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    pub fn row(&self, i: usize) -> &[Value] {
+        assert!(i < self.rows, "row {i} out of bounds (len {})", self.rows);
+        let a = self.schema.arity();
+        &self.values[i * a..(i + 1) * a]
     }
 
-    /// Add a tuple.
+    /// Iterate over borrowed row views (see the type-level borrowing
+    /// contract).
+    pub fn iter(&self) -> Rows<'_> {
+        Rows {
+            values: &self.values,
+            arity: self.schema.arity(),
+            front: 0,
+            back: self.rows,
+        }
+    }
+
+    /// Owned copy of row `i` (boundary use only).
+    pub fn tuple_at(&self, i: usize) -> Tuple {
+        Tuple::new(self.row(i).to_vec())
+    }
+
+    /// Owned copies of all rows (boundary use: serde payloads, assertions in
+    /// tests). Never called on the execution hot path.
+    pub fn to_tuples(&self) -> Vec<Tuple> {
+        self.iter().map(|r| Tuple::new(r.to_vec())).collect()
+    }
+
+    /// Append a row view (the hot-path insertion: one `extend_from_slice`).
+    ///
+    /// # Panics
+    /// Panics when the row length does not match the schema arity.
+    pub fn push_row(&mut self, row: &[Value]) {
+        assert_eq!(
+            row.len(),
+            self.schema.arity(),
+            "row arity mismatch for relation `{}`",
+            self.schema.name()
+        );
+        self.values.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Append `row[positions[0]], row[positions[1]], …` as a new row —
+    /// projection without an intermediate allocation.
+    ///
+    /// # Panics
+    /// Panics when `positions.len()` does not match the schema arity or a
+    /// position is out of bounds for `row`.
+    pub fn push_row_projected(&mut self, row: &[Value], positions: &[usize]) {
+        assert_eq!(
+            positions.len(),
+            self.schema.arity(),
+            "projected row arity mismatch for relation `{}`",
+            self.schema.name()
+        );
+        self.values.extend(positions.iter().map(|&p| row[p]));
+        self.rows += 1;
+    }
+
+    /// Add an owned tuple (boundary convenience; flattened on insert).
     ///
     /// # Panics
     /// Panics when the tuple arity does not match the schema.
     pub fn push(&mut self, tuple: Tuple) {
-        assert_eq!(
-            tuple.arity(),
-            self.schema.arity(),
-            "tuple arity mismatch for relation `{}`",
-            self.schema.name()
-        );
-        self.tuples.push(tuple);
+        self.push_row(tuple.values());
     }
 
-    /// Extend with many tuples.
+    /// Extend with many owned tuples.
     pub fn extend(&mut self, tuples: impl IntoIterator<Item = Tuple>) {
         for t in tuples {
             self.push(t);
         }
+    }
+
+    /// Append every row of `other` (one buffer copy; the fragment-merge path
+    /// of the simulated servers).
+    ///
+    /// # Panics
+    /// Panics when the arities differ.
+    pub fn append(&mut self, other: &Relation) {
+        assert_eq!(
+            self.schema.arity(),
+            other.schema.arity(),
+            "cannot append `{}` (arity {}) to `{}` (arity {})",
+            other.name(),
+            other.arity(),
+            self.name(),
+            self.arity()
+        );
+        self.values.extend_from_slice(&other.values);
+        self.rows += other.rows;
+    }
+
+    /// Reserve space for `additional` more rows.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.values.reserve(additional * self.schema.arity());
     }
 
     /// Size of the relation in bits: `arity * len * bits_per_value`
@@ -117,15 +236,73 @@ impl Relation {
     }
 
     /// Remove duplicate tuples (set semantics). Preserves first occurrence
-    /// order.
+    /// order. Uses the seeded row hash of [`crate::hash`] with full-row
+    /// verification on equal hashes — no per-row key allocation.
     pub fn dedup(&mut self) {
-        let mut seen = HashSet::with_capacity(self.tuples.len());
-        self.tuples.retain(|t| seen.insert(t.clone()));
+        if self.rows <= 1 {
+            return;
+        }
+        let arity = self.schema.arity();
+        if arity == 0 {
+            // All nullary rows are the empty tuple.
+            self.rows = 1;
+            return;
+        }
+        // `map` takes each row hash to the first *kept* row with that hash;
+        // `next` chains further kept rows sharing the hash. Slice equality
+        // against the kept prefix of `out` resolves hash collisions exactly.
+        const NONE: u32 = u32::MAX;
+        assert!(
+            self.rows < NONE as usize,
+            "dedup supports at most {NONE} rows, relation `{}` has {}",
+            self.name(),
+            self.rows
+        );
+        let mut map: HashMap<u64, u32, PrehashedBuild> =
+            HashMap::with_capacity_and_hasher(self.rows, PrehashedBuild);
+        let mut next: Vec<u32> = Vec::new();
+        let mut out: Vec<Value> = Vec::with_capacity(self.values.len());
+        let mut kept = 0u32;
+        for r in 0..self.rows {
+            let row = &self.values[r * arity..(r + 1) * arity];
+            let h = hash_values(row);
+            let mut candidate = *map.get(&h).unwrap_or(&NONE);
+            let mut duplicate = false;
+            while candidate != NONE {
+                let c = candidate as usize;
+                if &out[c * arity..(c + 1) * arity] == row {
+                    duplicate = true;
+                    break;
+                }
+                candidate = next[c];
+            }
+            if !duplicate {
+                out.extend_from_slice(row);
+                let prev = map.insert(h, kept).unwrap_or(NONE);
+                next.push(prev);
+                kept += 1;
+            }
+        }
+        self.values = out;
+        self.rows = kept as usize;
     }
 
     /// Sort tuples lexicographically (useful for comparisons in tests).
     pub fn sort(&mut self) {
-        self.tuples.sort();
+        let arity = self.schema.arity();
+        if arity == 0 || self.rows <= 1 {
+            return;
+        }
+        let mut order: Vec<usize> = (0..self.rows).collect();
+        order.sort_unstable_by(|&a, &b| {
+            self.values[a * arity..(a + 1) * arity]
+                .cmp(&self.values[b * arity..(b + 1) * arity])
+        });
+        let mut sorted = Vec::with_capacity(self.values.len());
+        for &i in &order {
+            sorted.extend_from_slice(&self.values[i * arity..(i + 1) * arity]);
+        }
+        self.values = sorted;
     }
 
     /// Return a sorted, deduplicated copy (canonical form for equality
@@ -147,7 +324,29 @@ impl Relation {
     pub fn renamed(&self, name: impl Into<String>) -> Relation {
         Relation {
             schema: self.schema.renamed(name),
-            tuples: self.tuples.clone(),
+            values: self.values.clone(),
+            rows: self.rows,
+        }
+    }
+
+    /// Return a copy of this relation under a different schema of the same
+    /// arity (one buffer copy; used to bind stored relations to query atoms
+    /// without touching any row).
+    ///
+    /// # Panics
+    /// Panics when the arities differ.
+    pub fn with_schema(&self, schema: Schema) -> Relation {
+        assert_eq!(
+            schema.arity(),
+            self.schema.arity(),
+            "schema `{schema}` does not fit relation `{}` of arity {}",
+            self.name(),
+            self.arity()
+        );
+        Relation {
+            schema,
+            values: self.values.clone(),
+            rows: self.rows,
         }
     }
 
@@ -163,12 +362,15 @@ impl Relation {
             .collect();
         Relation {
             schema: Schema::new(self.schema.name(), attrs),
-            tuples: self.tuples.clone(),
+            values: self.values.clone(),
+            rows: self.rows,
         }
     }
 
     /// Project onto the given attributes (set semantics is *not* enforced;
-    /// call [`Relation::dedup`] afterwards if needed).
+    /// call [`Relation::dedup`] afterwards if needed). When the requested
+    /// attributes are exactly this relation's columns in order, the buffer
+    /// is copied wholesale instead of row by row.
     ///
     /// # Panics
     /// Panics when an attribute is missing from the schema.
@@ -182,37 +384,49 @@ impl Relation {
             })
             .collect();
         let schema = Schema::new(name, attributes.to_vec());
-        let tuples = self.tuples.iter().map(|t| t.project(&positions)).collect();
-        Relation { schema, tuples }
+        if positions.len() == self.schema.arity()
+            && positions.iter().enumerate().all(|(i, &p)| i == p)
+        {
+            return Relation {
+                schema,
+                values: self.values.clone(),
+                rows: self.rows,
+            };
+        }
+        let mut out = Relation::with_capacity(schema, self.rows);
+        for row in self.iter() {
+            out.push_row_projected(row, &positions);
+        }
+        out
     }
 
     /// Select tuples where `attribute == value`.
+    ///
+    /// # Panics
+    /// Panics when the attribute is missing from the schema.
     pub fn select_eq(&self, attribute: &str, value: Value) -> Relation {
         let pos = self
             .schema
             .position(attribute)
             .unwrap_or_else(|| panic!("attribute `{attribute}` not in `{}`", self.schema.name()));
-        Relation {
-            schema: self.schema.clone(),
-            tuples: self
-                .tuples
-                .iter()
-                .filter(|t| t.get(pos) == value)
-                .cloned()
-                .collect(),
-        }
+        self.filter(|row| row[pos] == value)
     }
 
-    /// Select tuples satisfying an arbitrary predicate.
-    pub fn filter(&self, predicate: impl Fn(&Tuple) -> bool) -> Relation {
-        Relation {
-            schema: self.schema.clone(),
-            tuples: self.tuples.iter().filter(|t| predicate(t)).cloned().collect(),
+    /// Select tuples satisfying an arbitrary predicate over the row view.
+    pub fn filter(&self, predicate: impl Fn(&[Value]) -> bool) -> Relation {
+        let mut out = Relation::empty(self.schema.clone());
+        for row in self.iter() {
+            if predicate(row) {
+                out.push_row(row);
+            }
         }
+        out
     }
 
     /// Frequency map over a subset of attributes: for every distinct
-    /// projection value `J`, the degree `d_J(R) = |σ_J(R)|`.
+    /// projection value `J`, the degree `d_J(R) = |σ_J(R)|`. The keys are
+    /// owned [`Tuple`]s (one allocation per *distinct* key, not per row) —
+    /// this is a statistics-time API, not an execution-time one.
     ///
     /// # Panics
     /// Panics when an attribute is missing from the schema.
@@ -226,8 +440,17 @@ impl Relation {
             })
             .collect();
         let mut map: HashMap<Tuple, usize> = HashMap::new();
-        for t in &self.tuples {
-            *map.entry(t.project(&positions)).or_insert(0) += 1;
+        let mut key: Vec<Value> = Vec::with_capacity(positions.len());
+        for row in self.iter() {
+            key.clear();
+            key.extend(positions.iter().map(|&p| row[p]));
+            // Borrow-based lookup: a Tuple is allocated only for new keys.
+            match map.get_mut(key.as_slice()) {
+                Some(count) => *count += 1,
+                None => {
+                    map.insert(Tuple::new(key.clone()), 1);
+                }
+            }
         }
         map
     }
@@ -259,55 +482,89 @@ impl Relation {
     /// attributes this is `self` when `other` is non-empty, and empty
     /// otherwise.
     pub fn semijoin(&self, other: &Relation) -> Relation {
-        let common = self.schema.common_attributes(other.schema());
-        if common.is_empty() {
-            return if other.is_empty() {
-                Relation::empty(self.schema.clone())
-            } else {
-                self.clone()
-            };
-        }
-        let keys: HashSet<Tuple> = other
-            .project(&common, "__keys")
-            .tuples
-            .into_iter()
-            .collect();
-        let positions: Vec<usize> = common
-            .iter()
-            .map(|a| self.schema.position(a).expect("common attribute"))
-            .collect();
-        self.filter(|t| keys.contains(&t.project(&positions)))
+        self.semijoin_filter(other, true)
     }
 
     /// Antijoin `self ▷ other`: tuples of `self` with *no* matching tuple in
     /// `other` on the common attributes.
     pub fn antijoin(&self, other: &Relation) -> Relation {
+        self.semijoin_filter(other, false)
+    }
+
+    fn semijoin_filter(&self, other: &Relation, keep_matching: bool) -> Relation {
         let common = self.schema.common_attributes(other.schema());
         if common.is_empty() {
-            return if other.is_empty() {
+            return if other.is_empty() != keep_matching {
                 self.clone()
             } else {
                 Relation::empty(self.schema.clone())
             };
         }
-        let keys: HashSet<Tuple> = other
-            .project(&common, "__keys")
-            .tuples
-            .into_iter()
-            .collect();
-        let positions: Vec<usize> = common
+        let self_positions: Vec<usize> = common
             .iter()
             .map(|a| self.schema.position(a).expect("common attribute"))
             .collect();
-        self.filter(|t| !keys.contains(&t.project(&positions)))
+        let other_positions: Vec<usize> = common
+            .iter()
+            .map(|a| other.schema().position(a).expect("common attribute"))
+            .collect();
+        let index = RowKeyIndex::build(other, &other_positions);
+        let mut out = Relation::empty(self.schema.clone());
+        for row in self.iter() {
+            if index.contains(other, &other_positions, row, &self_positions) == keep_matching {
+                out.push_row(row);
+            }
+        }
+        out
     }
 }
 
+/// Iterator over the borrowed row views of a [`Relation`].
+#[derive(Debug, Clone)]
+pub struct Rows<'a> {
+    values: &'a [Value],
+    arity: usize,
+    front: usize,
+    back: usize,
+}
+
+impl<'a> Iterator for Rows<'a> {
+    type Item = &'a [Value];
+
+    fn next(&mut self) -> Option<&'a [Value]> {
+        if self.front == self.back {
+            return None;
+        }
+        let i = self.front;
+        self.front += 1;
+        Some(&self.values[i * self.arity..(i + 1) * self.arity])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.back - self.front;
+        (n, Some(n))
+    }
+}
+
+impl DoubleEndedIterator for Rows<'_> {
+    fn next_back(&mut self) -> Option<Self::Item> {
+        if self.front == self.back {
+            return None;
+        }
+        self.back -= 1;
+        let i = self.back;
+        Some(&self.values[i * self.arity..(i + 1) * self.arity])
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
+impl std::iter::FusedIterator for Rows<'_> {}
+
 impl<'a> IntoIterator for &'a Relation {
-    type Item = &'a Tuple;
-    type IntoIter = std::slice::Iter<'a, Tuple>;
+    type Item = &'a [Value];
+    type IntoIter = Rows<'a>;
     fn into_iter(self) -> Self::IntoIter {
-        self.tuples.iter()
+        self.iter()
     }
 }
 
@@ -330,6 +587,7 @@ mod tests {
         assert!(!r.is_empty());
         assert_eq!(r.size_bits(8), 4 * 2 * 8);
         assert_eq!(r.name(), "R");
+        assert_eq!(r.values().len(), 8);
     }
 
     #[test]
@@ -339,17 +597,80 @@ mod tests {
     }
 
     #[test]
+    fn row_views_and_iteration() {
+        let r = sample();
+        assert_eq!(r.row(0), &[1, 10]);
+        assert_eq!(r.row(3), &[1, 10]);
+        let rows: Vec<&[Value]> = r.iter().collect();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[1], &[2, 20]);
+        // Reverse iteration and exact size.
+        assert_eq!(r.iter().len(), 4);
+        assert_eq!(r.iter().next_back().unwrap(), &[1, 10]);
+        assert_eq!(r.tuple_at(1), Tuple::from([2, 20]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        sample().row(4);
+    }
+
+    #[test]
     fn dedup_and_sort() {
         let r = sample().canonicalized();
         assert_eq!(r.len(), 3);
         assert_eq!(
-            r.tuples(),
-            &[
+            r.to_tuples(),
+            vec![
                 Tuple::from([1, 10]),
                 Tuple::from([2, 20]),
                 Tuple::from([3, 10])
             ]
         );
+    }
+
+    #[test]
+    fn dedup_preserves_first_occurrence_order() {
+        let mut r = Relation::from_rows(
+            Schema::from_strs("R", &["x"]),
+            vec![vec![5], vec![3], vec![5], vec![9], vec![3]],
+        );
+        r.dedup();
+        assert_eq!(r.values(), &[5, 3, 9]);
+    }
+
+    #[test]
+    fn nullary_relation_roundtrip() {
+        let mut r = Relation::empty(Schema::new("N", vec![]));
+        assert_eq!(r.arity(), 0);
+        r.push_row(&[]);
+        r.push_row(&[]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.iter().count(), 2);
+        for row in r.iter() {
+            assert!(row.is_empty());
+        }
+        r.dedup();
+        assert_eq!(r.len(), 1);
+        r.sort();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn append_merges_buffers() {
+        let mut r = sample();
+        let s = Relation::from_rows(Schema::from_strs("S", &["a", "b"]), vec![vec![7, 8]]);
+        r.append(&s);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.row(4), &[7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot append")]
+    fn append_arity_mismatch_panics() {
+        let mut r = sample();
+        r.append(&Relation::empty(Schema::from_strs("S", &["a"])));
     }
 
     #[test]
@@ -359,7 +680,25 @@ mod tests {
         assert_eq!(p.arity(), 1);
         assert_eq!(p.len(), 4);
         let p = p.canonicalized();
-        assert_eq!(p.tuples(), &[Tuple::from([10]), Tuple::from([20])]);
+        assert_eq!(p.to_tuples(), vec![Tuple::from([10]), Tuple::from([20])]);
+        // Identity projection takes the fast path but must stay equivalent.
+        let id = r.project(&["x".to_string(), "y".to_string()], "Q");
+        assert_eq!(id.values(), r.values());
+        assert_eq!(id.name(), "Q");
+    }
+
+    #[test]
+    fn projection_reorders_and_repeats() {
+        let r = sample();
+        let p = r.project(&["y".to_string(), "x".to_string()], "P");
+        assert_eq!(p.row(0), &[10, 1]);
+    }
+
+    #[test]
+    fn push_row_projected_projects_in_place() {
+        let mut out = Relation::empty(Schema::from_strs("P", &["b", "a"]));
+        out.push_row_projected(&[1, 2, 3], &[2, 0]);
+        assert_eq!(out.row(0), &[3, 1]);
     }
 
     #[test]
@@ -399,7 +738,7 @@ mod tests {
         assert_eq!(semi.len(), 3);
         let anti = r.antijoin(&s);
         assert_eq!(anti.len(), 1);
-        assert_eq!(anti.tuples()[0], Tuple::from([2, 20]));
+        assert_eq!(anti.row(0), &[2, 20]);
         // Disjoint attributes: semijoin keeps everything iff other non-empty.
         let t = Relation::from_rows(Schema::from_strs("T", &["w"]), vec![vec![7]]);
         assert_eq!(r.semijoin(&t).len(), r.len());
@@ -419,14 +758,28 @@ mod tests {
             renamed.schema().attributes(),
             &["a".to_string(), "y".to_string()]
         );
-        assert_eq!(renamed.tuples(), r.tuples());
+        assert_eq!(renamed.values(), r.values());
+    }
+
+    #[test]
+    fn with_schema_rebinds_columns() {
+        let r = sample();
+        let bound = r.with_schema(Schema::from_strs("R", &["u", "v"]));
+        assert_eq!(bound.schema().attributes(), &["u".to_string(), "v".to_string()]);
+        assert_eq!(bound.values(), r.values());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn with_schema_arity_mismatch_panics() {
+        sample().with_schema(Schema::from_strs("R", &["u"]));
     }
 
     #[test]
     fn filter_with_predicate() {
         let r = sample();
-        let f = r.filter(|t| t.get(0) + t.get(1) > 20);
+        let f = r.filter(|t| t[0] + t[1] > 20);
         assert_eq!(f.len(), 1);
-        assert_eq!(f.tuples()[0], Tuple::from([2, 20]));
+        assert_eq!(f.row(0), &[2, 20]);
     }
 }

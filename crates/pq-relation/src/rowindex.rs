@@ -1,0 +1,127 @@
+//! Crate-internal hash index over the rows of a flat [`Relation`], keyed by
+//! a subset of column positions. This is the build side of the hash join and
+//! the key set of semijoin/antijoin: no key tuple is ever materialised —
+//! keys are hashed in place with [`crate::hash::hash_key`] and equal hashes
+//! are verified by comparing the key positions of the stored rows.
+
+use crate::hash::{hash_key, PrehashedBuild};
+use crate::relation::Relation;
+use crate::tuple::Value;
+use std::collections::HashMap;
+
+const NONE: u32 = u32::MAX;
+
+/// A chained hash index: `map` takes a key hash to the most recent row with
+/// that hash plus the number of rows sharing it; `next` chains the earlier
+/// rows. Row ids index into the indexed relation.
+pub(crate) struct RowKeyIndex {
+    map: HashMap<u64, (u32, u32), PrehashedBuild>,
+    next: Vec<u32>,
+}
+
+impl RowKeyIndex {
+    /// Index every row of `relation` by the values at `key_positions`.
+    pub(crate) fn build(relation: &Relation, key_positions: &[usize]) -> Self {
+        assert!(
+            relation.len() < NONE as usize,
+            "RowKeyIndex supports at most {} rows, relation `{}` has {}",
+            NONE,
+            relation.name(),
+            relation.len()
+        );
+        let mut map: HashMap<u64, (u32, u32), PrehashedBuild> =
+            HashMap::with_capacity_and_hasher(relation.len(), PrehashedBuild);
+        let mut next = vec![NONE; relation.len()];
+        for (i, row) in relation.iter().enumerate() {
+            let h = hash_key(row, key_positions);
+            match map.entry(h) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let (head, count) = *e.get();
+                    next[i] = head;
+                    *e.get_mut() = (i as u32, count + 1);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((i as u32, 1));
+                }
+            }
+        }
+        RowKeyIndex { map, next }
+    }
+
+    /// Number of indexed rows whose key hash equals `hash` (an upper bound
+    /// on the true match count, exact except on 64-bit hash collisions).
+    /// Used to pre-size join outputs.
+    pub(crate) fn count_for_hash(&self, hash: u64) -> usize {
+        self.map.get(&hash).map(|&(_, c)| c as usize).unwrap_or(0)
+    }
+
+    /// Iterate the row ids whose key hash equals `hash` (callers verify the
+    /// actual key values).
+    pub(crate) fn candidates(&self, hash: u64) -> Candidates<'_> {
+        Candidates {
+            next: &self.next,
+            current: self.map.get(&hash).map(|&(head, _)| head).unwrap_or(NONE),
+        }
+    }
+
+    /// True when some indexed row agrees with `probe_row` on the key: the
+    /// indexed relation's `key_positions` against the probe's
+    /// `probe_positions` (both in the same key order).
+    pub(crate) fn contains(
+        &self,
+        indexed: &Relation,
+        key_positions: &[usize],
+        probe_row: &[Value],
+        probe_positions: &[usize],
+    ) -> bool {
+        let h = hash_key(probe_row, probe_positions);
+        self.candidates(h).any(|i| {
+            let row = indexed.row(i);
+            key_positions
+                .iter()
+                .zip(probe_positions.iter())
+                .all(|(&kp, &pp)| row[kp] == probe_row[pp])
+        })
+    }
+}
+
+/// Iterator over the chained row ids of one hash bucket.
+pub(crate) struct Candidates<'a> {
+    next: &'a [u32],
+    current: u32,
+}
+
+impl Iterator for Candidates<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.current == NONE {
+            return None;
+        }
+        let i = self.current as usize;
+        self.current = self.next[i];
+        Some(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    #[test]
+    fn index_finds_all_rows_for_a_key() {
+        let r = Relation::from_rows(
+            Schema::from_strs("R", &["x", "y"]),
+            vec![vec![1, 10], vec![2, 20], vec![1, 30]],
+        );
+        let idx = RowKeyIndex::build(&r, &[0]);
+        let h = crate::hash::hash_values(&[1]);
+        assert_eq!(idx.count_for_hash(h), 2);
+        let mut rows: Vec<usize> = idx.candidates(h).collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![0, 2]);
+        assert!(idx.contains(&r, &[0], &[99, 1], &[1]));
+        assert!(!idx.contains(&r, &[0], &[99, 5], &[1]));
+    }
+}

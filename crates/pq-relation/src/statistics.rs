@@ -46,8 +46,8 @@ impl DegreeStatistics {
             .position(attribute)
             .unwrap_or_else(|| panic!("attribute `{attribute}` not in `{}`", relation.name()));
         let mut frequencies: BTreeMap<Value, usize> = BTreeMap::new();
-        for t in relation.iter() {
-            *frequencies.entry(t.get(pos)).or_insert(0) += 1;
+        for row in relation.iter() {
+            *frequencies.entry(row[pos]).or_insert(0) += 1;
         }
         DegreeStatistics {
             relation: relation.name().to_string(),

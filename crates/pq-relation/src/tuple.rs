@@ -3,6 +3,12 @@
 //! Domain elements are `u64` integers (the paper's domain `[n]`). A tuple is
 //! an ordered vector of values; its positions are interpreted through the
 //! relation's [`crate::Schema`].
+//!
+//! Since the flat-storage refactor, [`Tuple`] is a **boundary type**: the
+//! execution hot paths work with borrowed `&[Value]` row views into a
+//! relation's flat buffer, and owned tuples appear only where an owned row
+//! is genuinely needed (serde payloads, `pqd`/`pqsh` output, degree-map
+//! keys, test assertions).
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -76,6 +82,16 @@ impl From<Vec<Value>> for Tuple {
 impl<const N: usize> From<[Value; N]> for Tuple {
     fn from(values: [Value; N]) -> Self {
         Tuple(values.to_vec())
+    }
+}
+
+impl std::borrow::Borrow<[Value]> for Tuple {
+    /// Borrow the tuple as a row slice, so maps keyed by `Tuple` support
+    /// allocation-free lookups with `&[Value]` keys (derived `Hash`/`Eq` on
+    /// `Tuple` delegate to the `Vec`, which hashes and compares exactly like
+    /// the slice).
+    fn borrow(&self) -> &[Value] {
+        &self.0
     }
 }
 

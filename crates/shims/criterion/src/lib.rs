@@ -9,6 +9,11 @@
 //! median, no HTML reports; enough for the A/B comparisons the experiment
 //! harness makes. Swap the workspace dependency to the registry crate for
 //! the real analysis pipeline.
+//!
+//! Setting the `PQ_BENCH_FAST` environment variable skips the warm-up and
+//! runs every routine exactly once — the timings are meaningless, but a CI
+//! smoke step can execute every bench body (catching panics and API drift)
+//! in seconds.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -120,6 +125,13 @@ impl Bencher {
     /// Time `routine`: warm up briefly, then take several timed batches and
     /// record the median per-iteration duration.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if std::env::var_os("PQ_BENCH_FAST").is_some() {
+            // Smoke mode: one untimed-quality run, just to execute the body.
+            let t = Instant::now();
+            black_box(routine());
+            self.median = Some(t.elapsed());
+            return;
+        }
         // Warm-up: run for ~20ms or at least once.
         let warmup_deadline = Instant::now() + Duration::from_millis(20);
         let one = loop {

@@ -38,7 +38,7 @@ fn concurrent_sessions_equal_the_oracle_and_share_one_plan_cache() {
         .iter()
         .map(|text| {
             let parsed = parse_query(text).expect("parses");
-            evaluate_sequential(&parsed.query, &db).canonicalized().tuples().to_vec()
+            evaluate_sequential(&parsed.query, &db).canonicalized().to_tuples()
         })
         .collect();
 
@@ -62,7 +62,7 @@ fn concurrent_sessions_equal_the_oracle_and_share_one_plan_cache() {
                     for (text, oracle) in queries.iter().zip(oracles) {
                         let run = session.run(text).expect("concurrent run");
                         assert_eq!(
-                            run.outcome.output.canonicalized().tuples(),
+                            run.outcome.output.canonicalized().to_tuples(),
                             &oracle[..],
                             "thread answer diverged from the oracle on {text}"
                         );

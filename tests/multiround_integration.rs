@@ -141,7 +141,7 @@ fn connected_components_round_growth_matches_theorem_5_20_shape() {
         let prop = connected_components(&edges, p, 7, CcStrategy::Propagation);
         // Correctness against the union-find oracle.
         let oracle = connected_components_oracle(&edges);
-        let got: BTreeMap<_, _> = jump.labels.iter().map(|t| (t.get(0), t.get(1))).collect();
+        let got: BTreeMap<_, _> = jump.labels.iter().map(|t| (t[0], t[1])).collect();
         assert_eq!(got.len(), oracle.len());
         assert!(prop.iterations >= layers, "propagation must walk the diameter");
         assert!(
