@@ -5,10 +5,17 @@
 //! server) versus warm runs (plan served from the shared LRU cache). Both
 //! share one engine, so the gap between the two is exactly the planning
 //! cost the cache amortises; baselines are recorded in `BENCH_engine.json`.
+//!
+//! The `engine_update` group measures the mutation paths of the
+//! append-heavy workload (one single-row insert per iteration at m=4000):
+//! the typed `Engine::apply` delta path (statistics maintained
+//! incrementally, untouched relations shared) against the closure-based
+//! `Engine::update` fallback (touched relations re-analysed from scratch),
+//! each alone and interleaved with a warm query.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pq_bench::matching_database_for_query;
-use pq_engine::Engine;
+use pq_engine::{Delta, Engine};
 use pq_query::ConjunctiveQuery;
 
 fn bench_engine(c: &mut Criterion) {
@@ -49,5 +56,59 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+fn bench_engine_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_update");
+    group.sample_size(10);
+    let query = ConjunctiveQuery::chain(3);
+    let text = query.to_string();
+    let m = 4_000usize;
+    let db = matching_database_for_query(&query, m, 7);
+    // A value far outside the generated domain: the inserted row joins
+    // nothing, so interleaved query outputs stay comparable as the
+    // relation grows across iterations.
+    let row = vec![1u64 << 40, (1u64 << 40) + 1];
+
+    // The typed O(delta) path: one single-row insert per iteration.
+    let apply_engine = Engine::new(db.clone(), 16);
+    group.bench_with_input(BenchmarkId::new("apply_insert", m), &row, |b, row| {
+        b.iter(|| {
+            apply_engine
+                .apply(Delta::insert("S1", vec![row.clone()]))
+                .expect("valid delta")
+                .fingerprint()
+        })
+    });
+
+    // The closure fallback: same single-row insert, but the touched
+    // relation's statistics are rebuilt by re-scanning it.
+    let update_engine = Engine::new(db.clone(), 16);
+    group.bench_with_input(BenchmarkId::new("update_recompute", m), &row, |b, row| {
+        b.iter(|| {
+            update_engine
+                .update(|db| db.relation_mut("S1").unwrap().push_row(row))
+                .fingerprint()
+        })
+    });
+
+    // The append-heavy serving mix the ROADMAP targets: one insert, one
+    // (plan-cached) query per iteration.
+    let mixed_engine = Engine::new(db.clone(), 16);
+    let mixed = mixed_engine.session();
+    mixed.run(&text).expect("warm-up run");
+    group.bench_with_input(
+        BenchmarkId::new("apply_insert_then_query", m),
+        &row,
+        |b, row| {
+            b.iter(|| {
+                mixed_engine
+                    .apply(Delta::insert("S1", vec![row.clone()]))
+                    .expect("valid delta");
+                mixed.run(&text).expect("runs").outcome.output.len()
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_engine_update);
 criterion_main!(benches);

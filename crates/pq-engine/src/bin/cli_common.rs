@@ -1,10 +1,14 @@
-//! Flag-parsing plumbing shared by the `pqsh` and `pqd` binaries (pulled in
-//! via `#[path] mod`, not compiled as a binary — see `autobins = false`).
+//! Flag-parsing and command plumbing shared by the `pqsh` and `pqd`
+//! binaries (pulled in via `#[path] mod`, not compiled as a binary — see
+//! `autobins = false`).
 //!
-//! Both front-ends load the same data and construct the same engine, so the
-//! `--data`/`--servers`/`--seed` flags live here once: same validation, same
-//! error style, one place to extend.
+//! Both front-ends load the same data, construct the same engine and
+//! expose the same insert command, so the `--data`/`--servers`/`--seed`
+//! flags and the validate/encode/apply insert pipeline live here once:
+//! same validation, same error style, one place to extend.
 
+use pq_engine::{Delta, Session};
+use pq_relation::Value;
 use std::path::PathBuf;
 use std::str::FromStr;
 
@@ -83,4 +87,88 @@ pub fn parse_number<T: FromStr>(flag: &str, value: &str) -> Result<T, String> {
     value
         .parse()
         .map_err(|_| format!("{flag}: `{value}` is not a valid number for this flag"))
+}
+
+/// Split a `v1,...,vk` value list on unescaped commas, resolving the wire
+/// escapes `\\` → `\` and `\,` → `,` — the inverse of the escaping `pqd`
+/// applies to ROW output, shared by the `INSERT`/`insert` commands of both
+/// front-ends. Empty input is zero values (a nullary row); empty tokens
+/// between commas are legal (the empty string is a value like any other).
+pub fn split_values(input: &str) -> Vec<String> {
+    if input.is_empty() {
+        return Vec::new();
+    }
+    let mut values = vec![String::new()];
+    let mut chars = input.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => values
+                .last_mut()
+                .expect("never empty")
+                .push(chars.next().unwrap_or('\\')),
+            ',' => values.push(String::new()),
+            other => values.last_mut().expect("never empty").push(other),
+        }
+    }
+    values
+}
+
+/// One `insert <relation> <v1,...,vk>` request, shared by `pqd`'s `INSERT`
+/// and `pqsh`'s `insert`: validate against the current snapshot **before**
+/// encoding (so typos don't grow the dictionary), then apply a one-row
+/// [`Delta`]. `usage` is the front-end's syntax hint for an empty relation
+/// name; `encode` maps the split tokens to domain values under whatever
+/// locking the front-end uses around its dictionary.
+pub fn insert_row(
+    session: &Session,
+    rest: &str,
+    usage: &str,
+    encode: impl FnOnce(&[String]) -> Vec<Value>,
+) -> Result<String, String> {
+    let (relation, values_text) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+    if relation.is_empty() {
+        return Err(usage.to_string());
+    }
+    let tokens = split_values(values_text.trim());
+    let snapshot = session.engine().snapshot();
+    match snapshot.database().relation(relation) {
+        None => {
+            return Err(format!(
+                "relation `{relation}` is not loaded (available: {})",
+                snapshot.database().relation_names().join(", ")
+            ))
+        }
+        Some(stored) if stored.arity() != tokens.len() => {
+            return Err(format!(
+                "relation `{relation}` has {} column(s) but {} value(s) were given",
+                stored.arity(),
+                tokens.len()
+            ))
+        }
+        Some(_) => {}
+    }
+    let row = encode(&tokens);
+    match session.engine().apply(Delta::insert(relation, vec![row])) {
+        Ok(next) => Ok(format!(
+            "inserted 1 row into {relation} ({} rows)",
+            next.database().expect_relation(relation).len()
+        )),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::split_values;
+
+    #[test]
+    fn splits_on_unescaped_commas_only() {
+        assert_eq!(split_values("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(split_values(r"a\,b,c"), vec!["a,b", "c"]);
+        assert_eq!(split_values(r"a\\,b"), vec![r"a\", "b"]);
+        assert_eq!(split_values("a,,b"), vec!["a", "", "b"]);
+        assert_eq!(split_values(""), Vec::<String>::new());
+        // A trailing lone backslash survives as a literal.
+        assert_eq!(split_values(r"a\"), vec![r"a\"]);
+    }
 }

@@ -4,7 +4,9 @@
 //! API end to end: the process loads one database into one [`Engine`]
 //! (one snapshot, one shared plan cache) and serves every connection from
 //! its own thread with its own [`Session`] — so N clients plan and execute
-//! concurrently, and a plan cached for one client is a HIT for all others.
+//! concurrently, a plan cached for one client is a HIT for all others, and
+//! a delta INSERTed by one client lands copy-on-write: readers mid-query
+//! finish on their old snapshot while the next RUN sees the new rows.
 //!
 //! Protocol (one request line, one response block ending in `OK …`/`ERR …`):
 //!
@@ -13,6 +15,9 @@
 //! ← ROW a,b,c                    (one line per answer tuple; inside a
 //!                                 value, `\` is `\\` and `,` is `\,`)
 //! ← OK 200 rows strategy=one-round HyperCube cache=MISS
+//! → INSERT E1 a,b                (same value escaping as ROW; new tokens
+//!                                 extend the shared dictionary)
+//! ← OK inserted 1 row into E1 (201 rows)
 //! → EXPLAIN Q(x, y) :- R(x, y)
 //! ← …plan text…
 //! ← OK
@@ -23,17 +28,23 @@
 //! ```
 //!
 //! Errors never kill the connection: `ERR <message>` (newlines folded) and
-//! the session keeps listening.
+//! the session keeps listening. Two knobs bound the damage misbehaving or
+//! idle clients can do (the first slice of the async front-end roadmap
+//! item): `--read-timeout` closes connections that stay silent too long,
+//! and `--max-connections` refuses connections over the cap with a clean
+//! `ERR busy` instead of letting threads pile up.
 
 use pq_engine::{Engine, Session};
 use pq_relation::{load_database_files, ValueDictionary};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+use std::time::Duration;
 
 #[path = "cli_common.rs"]
 mod cli_common;
-use cli_common::{parse_number, value_of, CommonArgs};
+use cli_common::{insert_row, parse_number, value_of, CommonArgs};
 
 const USAGE: &str = "\
 pqd — parallel-query daemon (one engine, one plan cache, N client sessions)
@@ -42,27 +53,34 @@ USAGE:
     pqd [OPTIONS] --data PATH...
 
 OPTIONS:
-    --data PATH      CSV/TSV file, or directory of .csv/.tsv files (repeatable)
-    --servers P      default simulated servers per session (default 64)
-    --seed S         default router hash seed per session (default 7)
-    --port PORT      TCP port to listen on (default 0 = ephemeral, printed)
-    --host HOST      address to bind (default 127.0.0.1)
-    -h, --help       this text
+    --data PATH            CSV/TSV file, or directory of .csv/.tsv files (repeatable)
+    --servers P            default simulated servers per session (default 64)
+    --seed S               default router hash seed per session (default 7)
+    --port PORT            TCP port to listen on (default 0 = ephemeral, printed)
+    --host HOST            address to bind (default 127.0.0.1)
+    --read-timeout SECS    close connections idle for SECS seconds (default 0 = never)
+    --max-connections N    refuse connections over N with `ERR busy` (default 1024)
+    -h, --help             this text
 
-PROTOCOL: one command per line — RUN <query>, EXPLAIN <query>, SERVERS <p>,
-SEED <n>, STATS, QUIT; each response block ends with an OK or ERR line.
+PROTOCOL: one command per line — RUN <query>, EXPLAIN <query>,
+INSERT <relation> <v1,...,vk>, SERVERS <p>, SEED <n>, STATS, QUIT; each
+response block ends with an OK or ERR line.
 ";
 
 struct Options {
     common: CommonArgs,
     port: u16,
     host: String,
+    read_timeout: u64,
+    max_connections: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut common = CommonArgs::new();
     let mut port = 0u16;
     let mut host = "127.0.0.1".to_string();
+    let mut read_timeout = 0u64;
+    let mut max_connections = 1024usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if common.consume(&arg, &mut args)? {
@@ -72,6 +90,19 @@ fn parse_args() -> Result<Options, String> {
             // parse_number::<u16> rejects (not truncates) ports above 65535.
             "--port" => port = parse_number("--port", &value_of("--port", &mut args)?)?,
             "--host" => host = value_of("--host", &mut args)?,
+            "--read-timeout" => {
+                read_timeout =
+                    parse_number("--read-timeout", &value_of("--read-timeout", &mut args)?)?
+            }
+            "--max-connections" => {
+                max_connections = parse_number(
+                    "--max-connections",
+                    &value_of("--max-connections", &mut args)?,
+                )?;
+                if max_connections == 0 {
+                    return Err("--max-connections must be at least 1".into());
+                }
+            }
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -83,12 +114,37 @@ fn parse_args() -> Result<Options, String> {
         common: common.finish()?,
         port,
         host,
+        read_timeout,
+        max_connections,
     })
+}
+
+/// The shared token dictionary: RUN decodes under a read lock, INSERT
+/// encodes new tokens under a write lock.
+type SharedDictionary = Arc<RwLock<ValueDictionary>>;
+
+/// Handle one `INSERT <relation> <v1,...,vk>` request: the shared
+/// validate/encode/apply pipeline, encoding under the dictionary write
+/// lock.
+fn handle_insert(
+    session: &Session,
+    dictionary: &SharedDictionary,
+    rest: &str,
+) -> Result<String, String> {
+    insert_row(
+        session,
+        rest,
+        "INSERT needs: INSERT <relation> <v1,...,vk>",
+        |tokens| {
+            let mut dictionary = dictionary.write().unwrap_or_else(PoisonError::into_inner);
+            tokens.iter().map(|t| dictionary.encode(t)).collect()
+        },
+    )
 }
 
 /// Serve one connection: its own session, its own budget/seed, shared
 /// engine. Any I/O error simply ends the connection.
-fn serve(stream: TcpStream, mut session: Session, dictionary: Arc<ValueDictionary>) {
+fn serve(stream: TcpStream, mut session: Session, dictionary: SharedDictionary) {
     let peer = stream
         .peer_addr()
         .map(|a| a.to_string())
@@ -108,7 +164,17 @@ fn serve(stream: TcpStream, mut session: Session, dictionary: Arc<ValueDictionar
     );
     let _ = writer.flush();
     for line in reader.lines() {
-        let Ok(line) = line else { break };
+        let line = match line {
+            Ok(line) => line,
+            // The per-connection read timeout surfaces as WouldBlock (unix)
+            // or TimedOut; tell the client why it is being dropped.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                let _ = writeln!(writer, "ERR idle timeout, closing");
+                let _ = writer.flush();
+                break;
+            }
+            Err(_) => break,
+        };
         let line = line.trim();
         if line.is_empty() {
             continue;
@@ -118,20 +184,35 @@ fn serve(stream: TcpStream, mut session: Session, dictionary: Arc<ValueDictionar
         let result = match command.to_ascii_uppercase().as_str() {
             "RUN" => match session.run(rest) {
                 Ok(run) => {
-                    for tuple in run.outcome.output.iter() {
-                        // Backslash-escape the delimiter so string-valued
-                        // cells containing commas stay unambiguous:
-                        // `\` → `\\`, `,` → `\,`.
-                        let row: Vec<String> = tuple
+                    // Decode everything first, then write: socket writes can
+                    // block on a slow client's backpressure, and holding the
+                    // dictionary read lock across them would wedge every
+                    // INSERT (and with it all other decoding) server-wide.
+                    let rows: Vec<String> = {
+                        let dictionary =
+                            dictionary.read().unwrap_or_else(PoisonError::into_inner);
+                        run.outcome
+                            .output
                             .iter()
-                            .map(|&v| {
-                                dictionary
-                                    .decode_or_number(v)
-                                    .replace('\\', "\\\\")
-                                    .replace(',', "\\,")
+                            .map(|tuple| {
+                                // Backslash-escape the delimiter so
+                                // string-valued cells containing commas stay
+                                // unambiguous: `\` → `\\`, `,` → `\,`.
+                                let row: Vec<String> = tuple
+                                    .iter()
+                                    .map(|&v| {
+                                        dictionary
+                                            .decode_or_number(v)
+                                            .replace('\\', "\\\\")
+                                            .replace(',', "\\,")
+                                    })
+                                    .collect();
+                                row.join(",")
                             })
-                            .collect();
-                        let _ = writeln!(writer, "ROW {}", row.join(","));
+                            .collect()
+                    };
+                    for row in rows {
+                        let _ = writeln!(writer, "ROW {row}");
                     }
                     writeln!(
                         writer,
@@ -149,6 +230,10 @@ fn serve(stream: TcpStream, mut session: Session, dictionary: Arc<ValueDictionar
                     writeln!(writer, "OK")
                 }
                 Err(e) => writeln!(writer, "ERR {}", fold(e.to_string())),
+            },
+            "INSERT" => match handle_insert(&session, &dictionary, rest) {
+                Ok(message) => writeln!(writer, "OK {message}"),
+                Err(e) => writeln!(writer, "ERR {}", fold(e)),
             },
             "SERVERS" => match rest.parse::<usize>() {
                 Ok(p) if p >= 2 => {
@@ -176,8 +261,8 @@ fn serve(stream: TcpStream, mut session: Session, dictionary: Arc<ValueDictionar
                 );
                 let _ = writeln!(
                     writer,
-                    "plan cache {} cached {} hit(s) {} miss(es)",
-                    cache.len, cache.hits, cache.misses
+                    "plan cache {} cached {} hit(s) {} miss(es) {} invalidated",
+                    cache.len, cache.hits, cache.misses, cache.invalidated
                 );
                 writeln!(writer, "OK")
             }
@@ -188,7 +273,7 @@ fn serve(stream: TcpStream, mut session: Session, dictionary: Arc<ValueDictionar
             }
             other => writeln!(
                 writer,
-                "ERR unknown command `{other}`; try RUN, EXPLAIN, SERVERS, SEED, STATS, QUIT"
+                "ERR unknown command `{other}`; try RUN, EXPLAIN, INSERT, SERVERS, SEED, STATS, QUIT"
             ),
         };
         if result.is_err() || writer.flush().is_err() {
@@ -196,6 +281,16 @@ fn serve(stream: TcpStream, mut session: Session, dictionary: Arc<ValueDictionar
         }
     }
     eprintln!("pqd: connection from {peer} closed");
+}
+
+/// RAII share of the connection budget: incremented on accept, given back
+/// when the serving thread (or the busy-rejection path) drops it.
+struct ConnectionPermit(Arc<AtomicUsize>);
+
+impl Drop for ConnectionPermit {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 fn main() {
@@ -214,7 +309,7 @@ fn main() {
         }
     };
     let engine = Engine::new(database, options.common.servers).with_seed(options.common.seed);
-    let dictionary = Arc::new(dictionary);
+    let dictionary: SharedDictionary = Arc::new(RwLock::new(dictionary));
     let listener = match TcpListener::bind((options.host.as_str(), options.port)) {
         Ok(l) => l,
         Err(e) => {
@@ -226,14 +321,33 @@ fn main() {
         Ok(addr) => println!("pqd: listening on {addr}"),
         Err(_) => println!("pqd: listening"),
     }
+    let active = Arc::new(AtomicUsize::new(0));
+    let read_timeout = (options.read_timeout > 0).then(|| Duration::from_secs(options.read_timeout));
     for stream in listener.incoming() {
         match stream {
             Ok(stream) => {
+                let permit = ConnectionPermit(Arc::clone(&active));
+                if permit.0.fetch_add(1, Ordering::SeqCst) >= options.max_connections {
+                    // Over the cap: one clean protocol line, then hang up
+                    // (dropping the permit releases the slot we took).
+                    let mut writer = BufWriter::new(stream);
+                    let _ = writeln!(writer, "ERR busy ({} connections)", options.max_connections);
+                    let _ = writer.flush();
+                    continue;
+                }
+                if let Some(timeout) = read_timeout {
+                    // A connection that stays silent past the timeout gets
+                    // its blocking read cancelled and is closed.
+                    let _ = stream.set_read_timeout(Some(timeout));
+                }
                 // One thread + one session per connection; the engine handle
                 // (snapshot + plan cache) is shared by all of them.
                 let session = engine.session();
                 let dictionary = Arc::clone(&dictionary);
-                std::thread::spawn(move || serve(stream, session, dictionary));
+                std::thread::spawn(move || {
+                    let _permit = permit;
+                    serve(stream, session, dictionary);
+                });
             }
             Err(e) => eprintln!("pqd: accept failed: {e}"),
         }

@@ -16,7 +16,7 @@ use std::io::{BufRead, IsTerminal, Write};
 
 #[path = "cli_common.rs"]
 mod cli_common;
-use cli_common::{parse_number, value_of, CommonArgs};
+use cli_common::{insert_row, parse_number, value_of, CommonArgs};
 
 const USAGE: &str = "\
 pqsh — parallel-query shell (parser → cost-based planner → threaded executor)
@@ -37,7 +37,10 @@ COMMAND (one-shot; omit to enter the interactive shell):
     run QUERY        parse + plan + execute, print rows and a summary
     stats            print the loaded relations and their statistics
 
-REPL-only commands (session-local, take effect immediately):
+REPL-only commands (take effect immediately):
+    insert R V1,...,Vk  append one row to relation R (O(delta): only R's
+                     statistics are refreshed, plans over other relations
+                     stay cached; `\\,` escapes a comma inside a value)
     servers P        change this session's server budget p
     seed S           change this session's router hash seed
     help             this text
@@ -146,10 +149,11 @@ fn print_stats(session: &Session, dictionary: &ValueDictionary) {
         .map(|(p, n)| format!("p={p}: {n}"))
         .collect();
     println!(
-        "plan cache: {} cached · {} hit(s) · {} miss(es){}",
+        "plan cache: {} cached · {} hit(s) · {} miss(es) · {} invalidated{}",
         cache.len,
         cache.hits,
         cache.misses,
+        cache.invalidated,
         if per_p.is_empty() {
             String::new()
         } else {
@@ -158,18 +162,43 @@ fn print_stats(session: &Session, dictionary: &ValueDictionary) {
     );
 }
 
+/// The REPL's `insert R v1,...,vk`: the shared validate/encode/apply
+/// pipeline over the locally-owned dictionary.
+fn dispatch_insert(
+    session: &Session,
+    dictionary: &mut ValueDictionary,
+    arguments: &str,
+) -> Result<String, String> {
+    insert_row(
+        session,
+        arguments,
+        "`insert` needs: insert RELATION V1,...,Vk",
+        |tokens| tokens.iter().map(|t| dictionary.encode(t)).collect(),
+    )
+}
+
 /// One command. Returns false on an engine/parse error (the REPL keeps
 /// going; one-shot mode exits non-zero). Errors are reported through
 /// `report`, which the REPL uses to prefix the input line number.
 fn dispatch(
     session: &mut Session,
-    dictionary: &ValueDictionary,
+    dictionary: &mut ValueDictionary,
     limit: usize,
     command: &str,
     query: &str,
     report: &dyn Fn(String),
 ) -> bool {
     match command {
+        "insert" => match dispatch_insert(session, dictionary, query) {
+            Ok(message) => {
+                println!("{message}");
+                true
+            }
+            Err(e) => {
+                report(e);
+                false
+            }
+        },
         "explain" => match session.explain(query) {
             Ok(text) => {
                 print!("{text}");
@@ -220,14 +249,14 @@ fn dispatch(
         },
         other => {
             report(format!(
-                "unknown command `{other}`; try explain, run, stats, servers, seed or help"
+                "unknown command `{other}`; try explain, run, insert, stats, servers, seed or help"
             ));
             false
         }
     }
 }
 
-fn repl(session: &mut Session, dictionary: &ValueDictionary, limit: usize) {
+fn repl(session: &mut Session, dictionary: &mut ValueDictionary, limit: usize) {
     let interactive = std::io::stdin().is_terminal();
     if interactive {
         println!(
@@ -274,7 +303,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let (database, dictionary) = match load_database_files(&options.common.data) {
+    let (database, mut dictionary) = match load_database_files(&options.common.data) {
         Ok(loaded) => loaded,
         Err(e) => {
             eprintln!("pqsh: {e}");
@@ -285,7 +314,7 @@ fn main() {
     let mut session = engine.session();
 
     match options.command.split_first() {
-        None => repl(&mut session, &dictionary, options.limit),
+        None => repl(&mut session, &mut dictionary, options.limit),
         Some((command, rest)) => {
             let query = rest.join(" ");
             if command == "help" {
@@ -296,6 +325,14 @@ fn main() {
                 eprintln!(
                     "pqsh: `{command}` is REPL-only (a one-shot session ends immediately, so \
                      it would have no effect); use the --{command} option instead"
+                );
+                std::process::exit(2);
+            }
+            if command == "insert" {
+                eprintln!(
+                    "pqsh: `insert` is REPL-only (the in-memory database dies with the \
+                     process, so a one-shot insert would be lost); use the shell, or pqd \
+                     for durable serving"
                 );
                 std::process::exit(2);
             }
@@ -314,7 +351,7 @@ fn main() {
             let report = |message: String| eprintln!("{message}");
             if !dispatch(
                 &mut session,
-                &dictionary,
+                &mut dictionary,
                 options.limit,
                 command,
                 &query,

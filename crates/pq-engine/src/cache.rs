@@ -7,11 +7,18 @@
 //! keyed by the **query signature** (structure up to variable renaming, see
 //! [`crate::parser::ParsedQuery::signature`]), the **statistics
 //! fingerprint** of the database ([`pq_relation::database_fingerprint`]),
-//! and the server budget `p`. Any data change flips the fingerprint and
-//! transparently invalidates every stale plan.
+//! and the server budget `p`.
+//!
+//! Data changes invalidate **per touched relation**, not wholesale: when a
+//! mutation installs a new snapshot, [`PlanCache::on_snapshot_change`]
+//! evicts exactly the plans that read a touched relation (plus any stale
+//! leftovers from even older snapshots, so dead entries never squeeze live
+//! ones out of the LRU) and re-keys every other entry to the new
+//! fingerprint — a plan for `Q(x,z) :- S(x,y), T(y,z)` keeps hitting across
+//! any number of inserts into `R`.
 
 use crate::planner::Plan;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Key of one cached plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +47,10 @@ pub struct CacheStats {
     /// across budgets — entries for a `p` nobody uses any more linger only
     /// until the LRU evicts them.
     pub per_p: BTreeMap<usize, usize>,
+    /// Plans evicted by data changes (cumulative): entries whose query read
+    /// a mutated relation, plus stale-fingerprint leftovers swept eagerly
+    /// on every `Engine::apply`/`Engine::update`.
+    pub invalidated: u64,
 }
 
 /// A least-recently-used plan cache.
@@ -54,6 +65,7 @@ pub struct PlanCache {
     capacity: usize,
     hits: u64,
     misses: u64,
+    invalidated: u64,
 }
 
 impl PlanCache {
@@ -64,6 +76,7 @@ impl PlanCache {
             capacity: capacity.max(1),
             hits: 0,
             misses: 0,
+            invalidated: 0,
         }
     }
 
@@ -95,6 +108,53 @@ impl PlanCache {
         }
     }
 
+    /// Maintain the cache across a snapshot change installed by a mutation.
+    ///
+    /// Every entry is classified in one pass:
+    ///
+    /// * **stale leftovers** — entries keyed by a fingerprint other than
+    ///   `old_fingerprint` (from snapshots before the previous one; e.g.
+    ///   inserted by a session that raced a writer) are evicted eagerly
+    ///   instead of lingering until the LRU pushes live plans out;
+    /// * **touched plans** — entries whose query reads any relation in
+    ///   `touched` are evicted: their statistics changed, so the plan may
+    ///   no longer be the one the planner would pick;
+    /// * **unaffected plans** — everything else is *re-keyed* to
+    ///   `new_fingerprint` and keeps hitting: the planner's decision for a
+    ///   query depends only on the statistics of the relations it reads
+    ///   (plus `p`), and none of those changed.
+    ///
+    /// Returns the number of evicted entries (also added to the cumulative
+    /// [`CacheStats::invalidated`] counter).
+    pub fn on_snapshot_change(
+        &mut self,
+        old_fingerprint: u64,
+        new_fingerprint: u64,
+        touched: &BTreeSet<String>,
+    ) -> usize {
+        let before = self.entries.len();
+        self.entries.retain_mut(|(key, plan)| {
+            if key.fingerprint != old_fingerprint {
+                return false;
+            }
+            let reads_touched = plan
+                .parsed
+                .query
+                .relation_names()
+                .iter()
+                .any(|name| touched.contains(name));
+            if reads_touched {
+                return false;
+            }
+            key.fingerprint = new_fingerprint;
+            plan.fingerprint = new_fingerprint;
+            true
+        });
+        let evicted = before - self.entries.len();
+        self.invalidated += evicted as u64;
+        evicted
+    }
+
     /// Current counters and occupancy, including the per-`p` entry counts.
     pub fn stats(&self) -> CacheStats {
         let mut per_p: BTreeMap<usize, usize> = BTreeMap::new();
@@ -107,15 +167,17 @@ impl PlanCache {
             len: self.entries.len(),
             capacity: self.capacity,
             per_p,
+            invalidated: self.invalidated,
         }
     }
 
-    /// Drop every cached plan **and** reset the hit/miss counters — the
-    /// cache looks freshly constructed afterwards.
+    /// Drop every cached plan **and** reset the hit/miss/invalidated
+    /// counters — the cache looks freshly constructed afterwards.
     pub fn clear(&mut self) {
         self.entries.clear();
         self.hits = 0;
         self.misses = 0;
+        self.invalidated = 0;
     }
 
     /// Drop every cached plan but keep the hit/miss counters. Benchmarks
@@ -230,6 +292,81 @@ mod tests {
         assert_eq!(stats.len, 0);
         assert_eq!((stats.hits, stats.misses), (0, 0), "clear resets counters");
         assert!(stats.per_p.is_empty());
+    }
+
+    /// Three single-relation plans over **one** database, so their cache
+    /// keys share a fingerprint (what `on_snapshot_change` expects of live
+    /// entries).
+    fn plans_on_shared_db() -> Vec<(PlanKey, Plan)> {
+        let mut db = Database::new(64);
+        for name in ["A", "B", "C"] {
+            db.insert(Relation::from_rows(
+                Schema::from_strs(name, &["a", "b"]),
+                vec![vec![1, 2], vec![3, 4]],
+            ));
+        }
+        ["A", "B", "C"]
+            .iter()
+            .map(|name| {
+                let parsed = parse_query(&format!("Q(x, y) :- {name}(x, y)")).unwrap();
+                let plan = plan_query(&parsed, &db, 4).unwrap();
+                (
+                    PlanKey {
+                        signature: parsed.signature(),
+                        fingerprint: plan.fingerprint,
+                        p: 4,
+                    },
+                    plan,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_change_evicts_touched_and_stale_entries_and_rekeys_the_rest() {
+        let mut cache = PlanCache::new(8);
+        let plans = plans_on_shared_db();
+        let old_fp = plans[0].0.fingerprint;
+        for (key, plan) in &plans {
+            cache.insert(key.clone(), plan.clone());
+        }
+        // A leftover from an even older snapshot (e.g. a racing reader).
+        let stale_key = PlanKey {
+            fingerprint: old_fp.wrapping_add(99),
+            ..plans[0].0.clone()
+        };
+        cache.insert(stale_key, plans[0].1.clone());
+        assert_eq!(cache.stats().len, 4);
+
+        let new_fp = old_fp.wrapping_add(1);
+        let touched: BTreeSet<String> = ["A".to_string()].into();
+        let evicted = cache.on_snapshot_change(old_fp, new_fp, &touched);
+        assert_eq!(evicted, 2, "the plan over A and the stale leftover");
+        assert_eq!(cache.stats().invalidated, 2);
+        assert_eq!(cache.stats().len, 2);
+
+        // The survivors answer under the *new* fingerprint only, with their
+        // embedded plan fingerprint rewritten to match.
+        for (key, _) in &plans[1..] {
+            assert!(cache.get(key).is_none(), "old key must not resolve");
+            let rekeyed = PlanKey {
+                fingerprint: new_fp,
+                ..key.clone()
+            };
+            let plan = cache.get(&rekeyed).expect("rekeyed entry hits");
+            assert_eq!(plan.fingerprint, new_fp);
+        }
+        let rekeyed_a = PlanKey {
+            fingerprint: new_fp,
+            ..plans[0].0.clone()
+        };
+        assert!(cache.get(&rekeyed_a).is_none(), "touched plan was evicted");
+
+        // `clear` resets the cumulative counter, `clear_keep_stats` keeps it.
+        cache.clear_keep_stats();
+        assert_eq!(cache.stats().invalidated, 2);
+        cache.clear();
+        assert_eq!(cache.stats().invalidated, 0);
     }
 
     #[test]

@@ -13,20 +13,26 @@
 //! Cloning an `Engine` clones the handle, not the data. All query entry
 //! points live on [`Session`] (and [`crate::PreparedQuery`]) and take
 //! `&self`, so arbitrarily many sessions run concurrently on real threads
-//! against one engine. Mutation is copy-on-write: [`Engine::update`] builds
-//! a **new** snapshot and atomically installs it — sessions mid-query keep
-//! the `Arc` to the old snapshot and finish on it, while the statistics
-//! fingerprint in every plan-cache key makes stale plans stop matching
-//! without any explicit invalidation.
+//! against one engine. Mutation is copy-on-write and per relation: the
+//! typed [`Engine::apply`] folds an insert-only [`Delta`] into the next
+//! snapshot in O(delta) (touched relations' buffers and statistics rebuilt,
+//! everything else shared), while the closure-based [`Engine::update`]
+//! remains the recompute fallback for arbitrary edits. Either way the new
+//! snapshot is atomically installed — sessions mid-query keep the `Arc` to
+//! the old snapshot and finish on it — and the plan cache is maintained
+//! per touched relation: plans reading mutated relations are evicted,
+//! every other plan is re-keyed to the new statistics fingerprint and
+//! keeps hitting.
 
 use crate::cache::{CacheStats, PlanCache, PlanKey};
+use crate::delta::{Delta, DeltaError};
 use crate::executor::RunOutcome;
 use crate::parser::{ParseError, ParsedQuery};
 use crate::planner::{plan_query_on, Plan, PlanError, Strategy};
 use crate::session::Session;
 use crate::snapshot::Snapshot;
-use pq_relation::Database;
-use std::collections::HashMap;
+use pq_relation::{Database, DatabaseStatistics, Relation};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
@@ -197,21 +203,124 @@ impl Engine {
         self.shared.default_p
     }
 
-    /// Copy-on-write mutation: clone the current database, apply `mutate`,
-    /// analyse the result into a fresh [`Snapshot`] and atomically install
-    /// it. Returns the new snapshot.
+    /// Apply a typed, insert-only [`Delta`]: the O(delta) mutation path.
+    ///
+    /// Builds the next snapshot copy-on-write from the current one:
+    ///
+    /// * only the touched relations' row buffers are copied (one memcpy
+    ///   each, thanks to the flat storage) and extended — untouched
+    ///   relations keep sharing their buffers with the previous snapshot;
+    /// * statistics are maintained incrementally
+    ///   ([`DatabaseStatistics::apply_inserts`]): degree maps,
+    ///   cardinalities, bit sizes and fingerprints of touched relations are
+    ///   updated in place of a rebuild, untouched relations' statistics are
+    ///   shared untouched;
+    /// * the plan cache is maintained per touched relation
+    ///   ([`PlanCache::on_snapshot_change`]): plans reading a touched
+    ///   relation (and stale leftovers) are evicted, every other plan is
+    ///   re-keyed to the new fingerprint and keeps hitting.
+    ///
+    /// The delta is validated up front (every relation loaded, every row of
+    /// matching arity) — a rejected delta leaves the engine untouched.
+    /// Values are not range-checked against the domain: like
+    /// [`Engine::update`], the snapshot's domain (and with it the
+    /// bits-per-value accounting) is fixed at load time. Readers are never
+    /// blocked; sessions holding the previous snapshot finish on it.
+    /// Concurrent `apply`/`update` calls are serialised, so no mutation is
+    /// lost. An empty delta is a no-op returning the current snapshot.
+    pub fn apply(&self, delta: Delta) -> Result<Arc<Snapshot>, DeltaError> {
+        let _serialised = lock_unpoisoned(&self.shared.update_lock);
+        let prev = self.snapshot();
+        for (name, rows) in delta.inserts() {
+            let Some(stored) = prev.database().relation(name) else {
+                return Err(DeltaError::UnknownRelation {
+                    relation: name.clone(),
+                    available: prev.database().relation_names(),
+                });
+            };
+            if let Some(bad) = rows.iter().find(|row| row.len() != stored.arity()) {
+                return Err(DeltaError::ArityMismatch {
+                    relation: name.clone(),
+                    stored: stored.arity(),
+                    given: bad.len(),
+                });
+            }
+        }
+        if delta.is_empty() {
+            return Ok(prev);
+        }
+        let old_fingerprint = prev.fingerprint();
+        let mut database = prev.database().clone();
+        let mut statistics = prev.statistics().clone();
+        for (name, rows) in delta.inserts() {
+            if rows.is_empty() {
+                continue;
+            }
+            // Build the extended relation in one allocation sized for old +
+            // new rows: `relation_mut` would `Arc::make_mut`-clone at exact
+            // capacity and then reallocate (a second full-buffer copy) on
+            // the first push.
+            let stored = prev.database().relation(name).expect("validated above");
+            let mut relation =
+                Relation::with_capacity(stored.schema().clone(), stored.len() + rows.len());
+            relation.append(stored);
+            for row in rows {
+                relation.push_row(row);
+            }
+            database.insert_arc(Arc::new(relation));
+            statistics.apply_inserts(stored.schema(), rows.iter().map(Vec::as_slice));
+        }
+        let touched: BTreeSet<String> = delta.relations().map(str::to_string).collect();
+        let next = Arc::new(Snapshot::from_parts(database, statistics));
+        lock_unpoisoned(&self.shared.cache).on_snapshot_change(
+            old_fingerprint,
+            next.fingerprint(),
+            &touched,
+        );
+        *self
+            .shared
+            .snapshot
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = next.clone();
+        Ok(next)
+    }
+
+    /// Copy-on-write mutation for **arbitrary** edits: clone the current
+    /// database (cheap — relations are shared per [`Arc`] until touched),
+    /// apply `mutate`, analyse the result into a fresh [`Snapshot`] and
+    /// atomically install it. Returns the new snapshot.
+    ///
+    /// This is the recompute fallback behind the typed [`Engine::apply`]
+    /// path: statistics are rebuilt for every relation the closure touched,
+    /// while relations whose shared row buffer is provably unchanged
+    /// (pointer-equal to the previous snapshot's) keep their statistics
+    /// without a re-scan ([`DatabaseStatistics::compute_reusing`]). For
+    /// insert-only changes prefer `apply`, which also skips the rebuild of
+    /// the touched relations themselves.
     ///
     /// Readers are never blocked: sessions that already fetched the old
     /// snapshot finish their queries on it, and the old `Arc` stays alive
-    /// for as long as anyone holds it. The statistics fingerprint changes
-    /// with the data, so cached plans for the old snapshot simply stop
-    /// matching (they age out of the LRU). Concurrent `update` calls are
-    /// serialised, so no mutation is lost.
+    /// for as long as anyone holds it. The plan cache is maintained per
+    /// changed relation, exactly as for `apply` — plans over unchanged
+    /// relations keep hitting. Concurrent `update` calls are serialised,
+    /// so no mutation is lost.
     pub fn update<F: FnOnce(&mut Database)>(&self, mutate: F) -> Arc<Snapshot> {
         let _serialised = lock_unpoisoned(&self.shared.update_lock);
-        let mut database = self.snapshot().database().clone();
+        // `prev` must outlive `mutate`: it pins every shared relation's
+        // refcount above 1, so the closure can only mutate via
+        // `Arc::make_mut` copies and pointer equality implies "unchanged".
+        let prev = self.snapshot();
+        let mut database = prev.database().clone();
         mutate(&mut database);
-        let next = Arc::new(Snapshot::new(database));
+        let statistics =
+            DatabaseStatistics::compute_reusing(&database, prev.database(), prev.statistics());
+        let touched = changed_relations(prev.statistics(), &statistics);
+        let next = Arc::new(Snapshot::from_parts(database, statistics));
+        lock_unpoisoned(&self.shared.cache).on_snapshot_change(
+            prev.fingerprint(),
+            next.fingerprint(),
+            &touched,
+        );
         *self
             .shared
             .snapshot
@@ -263,6 +372,31 @@ impl Engine {
         lock_unpoisoned(&self.shared.cache).insert(key, plan.clone());
         Ok((plan, false))
     }
+}
+
+/// Relations whose planner-relevant statistics differ between two
+/// catalogues (changed, added or removed) — the "touched" set handed to
+/// [`PlanCache::on_snapshot_change`] by the recompute path, where no typed
+/// delta says what moved.
+fn changed_relations(
+    previous: &DatabaseStatistics,
+    next: &DatabaseStatistics,
+) -> BTreeSet<String> {
+    let mut touched = BTreeSet::new();
+    for (name, stats) in &next.relations {
+        match previous.relations.get(name) {
+            Some(old) if old.fingerprint() == stats.fingerprint() => {}
+            _ => {
+                touched.insert(name.clone());
+            }
+        }
+    }
+    for name in previous.relations.keys() {
+        if !next.relations.contains_key(name) {
+            touched.insert(name.clone());
+        }
+    }
+    touched
 }
 
 /// Re-point a cached plan at the user's current query. Signatures are
@@ -435,6 +569,84 @@ mod tests {
         assert_ne!(before.fingerprint(), after.fingerprint());
         let rerun = session.run("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
         assert!(!rerun.cache_hit, "stale plan must not be reused");
+    }
+
+    /// R → S → T chain: two 2-atom queries sharing only S.
+    fn chain_engine() -> Engine {
+        let mut db = Database::new(1 << 10);
+        for (name, offset) in [("R", 0u64), ("S", 1), ("T", 2)] {
+            db.insert(Relation::from_rows(
+                Schema::from_strs(name, &["a", "b"]),
+                (0..50).map(|i| vec![i + offset, i + offset + 1]).collect(),
+            ));
+        }
+        Engine::new(db, 8)
+    }
+
+    #[test]
+    fn apply_validates_before_touching_anything_and_nops_on_empty() {
+        let e = chain_engine();
+        let before = e.snapshot();
+        let err = e.apply(Delta::insert("X", vec![vec![1, 2]])).unwrap_err();
+        assert!(matches!(err, DeltaError::UnknownRelation { .. }));
+        let err = e.apply(Delta::insert("R", vec![vec![1, 2, 3]])).unwrap_err();
+        assert!(matches!(
+            err,
+            DeltaError::ArityMismatch {
+                stored: 2,
+                given: 3,
+                ..
+            }
+        ));
+        // A mixed delta with one bad row must not land its good rows.
+        let err = e
+            .apply(Delta::insert("R", vec![vec![900, 901]]).and_insert("S", vec![vec![1]]))
+            .unwrap_err();
+        assert!(matches!(err, DeltaError::ArityMismatch { .. }));
+        assert!(Arc::ptr_eq(&before, &e.snapshot()), "engine untouched");
+        // Empty deltas return the current snapshot unchanged.
+        let same = e.apply(Delta::new()).unwrap();
+        assert!(Arc::ptr_eq(&before, &same));
+        let same = e.apply(Delta::insert("R", vec![])).unwrap();
+        assert!(Arc::ptr_eq(&before, &same));
+    }
+
+    #[test]
+    fn apply_invalidates_only_plans_reading_touched_relations() {
+        let e = chain_engine();
+        let session = e.session();
+        let q_rs = "Q(x, y, z) :- R(x, y), S(y, z)";
+        let q_st = "Q(x, y, z) :- S(x, y), T(y, z)";
+        session.run(q_rs).unwrap();
+        session.run(q_st).unwrap();
+        assert_eq!(e.cache_stats().misses, 2);
+
+        // R(900, 1) joins S(1, 2): exactly one new answer for the RS query.
+        e.apply(Delta::insert("R", vec![vec![900, 1]])).unwrap();
+        assert_eq!(e.cache_stats().invalidated, 1, "only the R-reading plan");
+        let st = session.run(q_st).unwrap();
+        assert!(st.cache_hit, "plan over untouched S, T was re-keyed");
+        let rs = session.run(q_rs).unwrap();
+        assert!(!rs.cache_hit, "plan over touched R was evicted");
+        assert_eq!(rs.outcome.output.len(), 51, "answers see the new data");
+    }
+
+    #[test]
+    fn update_keeps_plans_over_unchanged_relations_hot() {
+        let e = chain_engine();
+        let session = e.session();
+        let q_rs = "Q(x, y, z) :- R(x, y), S(y, z)";
+        let q_st = "Q(x, y, z) :- S(x, y), T(y, z)";
+        session.run(q_rs).unwrap();
+        session.run(q_st).unwrap();
+        // The recompute fallback diffs per-relation fingerprints, so it
+        // reaches the same per-relation invalidation as `apply`.
+        e.update(|db| {
+            db.relation_mut("R").unwrap().push(Tuple::from([900, 901]));
+        });
+        assert!(session.run(q_st).unwrap().cache_hit);
+        assert!(!session.run(q_rs).unwrap().cache_hit);
+        assert_eq!(e.cache_stats().invalidated, 1);
     }
 
     #[test]

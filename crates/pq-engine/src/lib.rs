@@ -22,8 +22,12 @@
 //!   multi-round bushy plans of §5;
 //! * [`cache`] — an LRU plan cache keyed by (query signature, statistics
 //!   fingerprint, `p`), shared by all sessions under one lock, so repeated
-//!   queries over unchanged data skip planning and data changes invalidate
-//!   stale plans automatically;
+//!   queries over unchanged data skip planning; data changes invalidate
+//!   **per touched relation** (plans over unchanged relations are re-keyed
+//!   and keep hitting);
+//! * [`delta`] — typed, insert-only mutation batches ([`Delta`]): the
+//!   O(delta) write path behind [`Engine::apply`], which maintains
+//!   statistics incrementally instead of re-scanning the database;
 //! * [`executor`] — runs the chosen plan's rounds on the MPC simulator
 //!   against a `&Snapshot`, with per-server local joins fanned out over
 //!   real OS threads via [`pq_mpc::map_servers_parallel`];
@@ -42,6 +46,7 @@
 #![deny(unsafe_code)]
 
 pub mod cache;
+pub mod delta;
 pub mod engine;
 pub mod executor;
 pub mod parser;
@@ -51,6 +56,7 @@ pub mod session;
 pub mod snapshot;
 
 pub use cache::{CacheStats, PlanCache, PlanKey};
+pub use delta::{Delta, DeltaError};
 pub use engine::{Engine, EngineError, EngineRun};
 pub use executor::{run_plan, RunOutcome};
 pub use parser::{parse_query, ParseError, ParsedQuery, Span};

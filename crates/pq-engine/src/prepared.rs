@@ -148,6 +148,32 @@ mod tests {
     }
 
     #[test]
+    fn prepared_query_over_untouched_relations_rides_the_rekeyed_cache() {
+        let mut db = Database::new(1 << 10);
+        for (name, offset) in [("R", 0u64), ("S", 1), ("T", 2)] {
+            db.insert(Relation::from_rows(
+                Schema::from_strs(name, &["a", "b"]),
+                (0..30).map(|i| vec![i + offset, i + offset + 1]).collect(),
+            ));
+        }
+        let e = Engine::new(db, 8);
+        let prepared = e.session().prepare("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        prepared.run().unwrap();
+        // A delta into T changes the snapshot fingerprint, so the memoized
+        // plan is refreshed — but through the re-keyed cache entry, not a
+        // re-plan: the plan reads only R and S.
+        let misses_before = e.cache_stats().misses;
+        e.apply(crate::Delta::insert("T", vec![vec![700, 701]]))
+            .unwrap();
+        let run = prepared.run().unwrap();
+        assert!(run.cache_hit, "refresh came from the re-keyed shared cache");
+        assert_eq!(e.cache_stats().misses, misses_before, "no fresh planning");
+        assert_eq!(run.plan.fingerprint, e.snapshot().fingerprint());
+        // And it is memoized again for steady-state runs.
+        assert!(prepared.run().unwrap().cache_hit);
+    }
+
+    #[test]
     fn prepared_queries_with_equal_signatures_share_replanning_work() {
         let e = engine();
         let s = e.session();

@@ -32,6 +32,25 @@ impl Snapshot {
         }
     }
 
+    /// Freeze a database together with an **already maintained** statistics
+    /// catalogue — the incremental-mutation path (`Engine::apply`,
+    /// `Engine::update`), where recomputing the catalogue from scratch is
+    /// exactly the O(data) cost being avoided.
+    ///
+    /// The caller guarantees `statistics` describes `database`; in debug
+    /// builds this is cross-checked against a fresh computation.
+    pub fn from_parts(database: Database, statistics: DatabaseStatistics) -> Self {
+        debug_assert_eq!(
+            DatabaseStatistics::compute(&database).fingerprint,
+            statistics.fingerprint,
+            "statistics handed to Snapshot::from_parts do not match the database"
+        );
+        Snapshot {
+            database,
+            statistics,
+        }
+    }
+
     /// The frozen database.
     pub fn database(&self) -> &Database {
         &self.database

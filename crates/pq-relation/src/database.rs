@@ -1,17 +1,24 @@
 //! Database instances: a collection of named relations over a common domain
 //! `[n]`, with the bit-size accounting used by the MPC cost model.
+//!
+//! Relations are stored behind [`Arc`], so **cloning a database is cheap**
+//! (one shallow map clone) and mutation is copy-on-write *per relation*: an
+//! insert into `R` copies only `R`'s row buffer, while `S` and `T` keep
+//! being shared with every other clone. This is what makes snapshot-style
+//! engines pay O(touched data), not O(database), per mutation.
 
 use crate::relation::Relation;
 use crate::tuple::Value;
 use crate::{bits_per_value, Schema};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A database instance over a fixed domain `[0, domain_size)`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Database {
     domain_size: u64,
-    relations: BTreeMap<String, Relation>,
+    relations: BTreeMap<String, Arc<Relation>>,
 }
 
 impl Database {
@@ -35,12 +42,27 @@ impl Database {
 
     /// Insert (or replace) a relation, keyed by its schema name.
     pub fn insert(&mut self, relation: Relation) {
+        self.insert_arc(Arc::new(relation));
+    }
+
+    /// Insert (or replace) an already-shared relation without copying its
+    /// rows — the copy-on-write path used when building the next version of
+    /// a database from a previous one.
+    pub fn insert_arc(&mut self, relation: Arc<Relation>) {
         self.relations
             .insert(relation.name().to_string(), relation);
     }
 
     /// Look up a relation by name.
     pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name).map(Arc::as_ref)
+    }
+
+    /// The shared handle of a relation, if present. Two databases returning
+    /// pointer-equal handles for a name are guaranteed to hold identical
+    /// rows for it (the basis for reusing per-relation statistics across
+    /// snapshots).
+    pub fn relation_arc(&self, name: &str) -> Option<&Arc<Relation>> {
         self.relations.get(name)
     }
 
@@ -52,14 +74,22 @@ impl Database {
             .unwrap_or_else(|| panic!("relation `{name}` not present in database"))
     }
 
-    /// Mutable access to a relation.
+    /// Mutable access to a relation. Copy-on-write: when the relation is
+    /// shared with other database clones (e.g. an older snapshot), its rows
+    /// are copied once here; an unshared relation is mutated in place.
     pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
-        self.relations.get_mut(name)
+        self.relations.get_mut(name).map(Arc::make_mut)
     }
 
     /// Iterate over relations in name order.
     pub fn relations(&self) -> impl Iterator<Item = &Relation> {
-        self.relations.values()
+        self.relations.values().map(Arc::as_ref)
+    }
+
+    /// Iterate over the shared relation handles in name order (see
+    /// [`Database::relation_arc`] for the pointer-equality guarantee).
+    pub fn relation_arcs(&self) -> impl Iterator<Item = (&str, &Arc<Relation>)> {
+        self.relations.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// Names of all relations, in sorted order.
@@ -74,7 +104,7 @@ impl Database {
 
     /// Total number of tuples across all relations.
     pub fn total_tuples(&self) -> usize {
-        self.relations.values().map(Relation::len).sum()
+        self.relations.values().map(|r| r.len()).sum()
     }
 
     /// Total input size in bits: `|I| = Σ_j M_j`.
@@ -123,14 +153,15 @@ impl Database {
     /// True when every relation is a matching (degree ≤ 1 everywhere):
     /// the skew-free databases of Section 3.
     pub fn is_matching_database(&self) -> bool {
-        self.relations.values().all(Relation::is_matching)
+        self.relations.values().all(|r| r.is_matching())
     }
 
     /// Create an empty relation with the given schema and register it.
     pub fn create_relation(&mut self, schema: Schema) -> &mut Relation {
         let name = schema.name().to_string();
-        self.relations.insert(name.clone(), Relation::empty(schema));
-        self.relations.get_mut(&name).expect("just inserted")
+        self.relations
+            .insert(name.clone(), Arc::new(Relation::empty(schema)));
+        Arc::make_mut(self.relations.get_mut(&name).expect("just inserted"))
     }
 }
 
@@ -215,6 +246,33 @@ mod tests {
         let mut db = db();
         db.relation_mut("R").unwrap().push(Tuple::from([7, 8]));
         assert_eq!(db.relation("R").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn clones_share_relations_until_mutated() {
+        let original = db();
+        let mut copy = original.clone();
+        assert!(Arc::ptr_eq(
+            original.relation_arc("R").unwrap(),
+            copy.relation_arc("R").unwrap()
+        ));
+        copy.relation_mut("R").unwrap().push(Tuple::from([7, 8]));
+        assert!(
+            !Arc::ptr_eq(
+                original.relation_arc("R").unwrap(),
+                copy.relation_arc("R").unwrap()
+            ),
+            "mutating a shared relation copies it"
+        );
+        assert!(
+            Arc::ptr_eq(
+                original.relation_arc("S").unwrap(),
+                copy.relation_arc("S").unwrap()
+            ),
+            "untouched relations keep being shared"
+        );
+        assert_eq!(original.relation("R").unwrap().len(), 2, "original intact");
+        assert_eq!(copy.relation("R").unwrap().len(), 3);
     }
 
     use crate::Tuple;

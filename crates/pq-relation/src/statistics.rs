@@ -6,11 +6,23 @@
 //! (approximate) frequencies of every value whose frequency exceeds
 //! `m_j / p` (Section 4.2). This module computes all of these from concrete
 //! relation instances.
+//!
+//! Statistics can also be maintained **incrementally** for insert-only
+//! deltas: [`DegreeStatistics::apply_insert`],
+//! [`RelationStatistics::apply_inserts`] and
+//! [`DatabaseStatistics::apply_inserts`] update cardinalities, bit sizes,
+//! degree maps, the derived heavy-hitter sets and every fingerprint in
+//! O(delta) instead of re-scanning the data — with the invariant, checked
+//! by property tests, that the incremental result is **identical** (same
+//! `PartialEq`, same fingerprints) to a recomputation from scratch.
 
+use crate::database::Database;
 use crate::relation::Relation;
+use crate::schema::Schema;
 use crate::tuple::{Tuple, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A heavy hitter: a value of some attribute whose frequency exceeds the
 /// threshold `m / p`.
@@ -25,6 +37,11 @@ pub struct HeavyHitter {
 }
 
 /// Per-attribute degree statistics of a single relation.
+///
+/// The maximum frequency is cached alongside the map so that fingerprints
+/// (and the skew checks reading them) stay O(1) per attribute even as
+/// degree maps are maintained incrementally; treat the `frequencies` field
+/// as read-only and mutate only through [`DegreeStatistics::apply_insert`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DegreeStatistics {
     /// Relation name.
@@ -33,6 +50,8 @@ pub struct DegreeStatistics {
     pub attribute: String,
     /// Frequency of every distinct value of that attribute.
     pub frequencies: BTreeMap<Value, usize>,
+    /// Cached maximum of `frequencies` (inserts can only raise it).
+    max_frequency: usize,
 }
 
 impl DegreeStatistics {
@@ -49,11 +68,21 @@ impl DegreeStatistics {
         for row in relation.iter() {
             *frequencies.entry(row[pos]).or_insert(0) += 1;
         }
+        let max_frequency = frequencies.values().copied().max().unwrap_or(0);
         DegreeStatistics {
             relation: relation.name().to_string(),
             attribute: attribute.to_string(),
             frequencies,
+            max_frequency,
         }
+    }
+
+    /// Count one inserted value: bump its frequency and the cached maximum.
+    /// O(log distinct) — the insert-only incremental maintenance path.
+    pub fn apply_insert(&mut self, value: Value) {
+        let frequency = self.frequencies.entry(value).or_insert(0);
+        *frequency += 1;
+        self.max_frequency = self.max_frequency.max(*frequency);
     }
 
     /// Frequency of a specific value (zero when absent).
@@ -61,9 +90,9 @@ impl DegreeStatistics {
         self.frequencies.get(&value).copied().unwrap_or(0)
     }
 
-    /// Maximum frequency over all values.
+    /// Maximum frequency over all values (cached; O(1)).
     pub fn max_frequency(&self) -> usize {
-        self.frequencies.values().copied().max().unwrap_or(0)
+        self.max_frequency
     }
 
     /// Number of distinct values.
@@ -121,6 +150,52 @@ impl RelationStatistics {
         }
     }
 
+    /// Fold an insert-only delta into the statistics: cardinality, bit
+    /// size and every per-attribute degree map (and with them the derived
+    /// heavy-hitter sets and the fingerprint) are updated in O(delta),
+    /// never re-scanning the relation. The result is identical to
+    /// recomputing from the relation after the insert.
+    ///
+    /// # Panics
+    /// Panics when `schema` does not name this relation, when an attribute
+    /// is missing from the degree catalogue, or when a row's arity does not
+    /// match the schema.
+    pub fn apply_inserts<'a>(
+        &mut self,
+        schema: &Schema,
+        rows: impl IntoIterator<Item = &'a [Value]>,
+        bits_per_value: u64,
+    ) {
+        assert_eq!(
+            schema.name(),
+            self.relation,
+            "schema names `{}` but the statistics are for `{}`",
+            schema.name(),
+            self.relation
+        );
+        let attributes = schema.attributes();
+        for row in rows {
+            assert_eq!(
+                row.len(),
+                attributes.len(),
+                "row arity mismatch for relation `{}`",
+                self.relation
+            );
+            self.cardinality += 1;
+            for (attribute, &value) in attributes.iter().zip(row) {
+                self.degrees
+                    .get_mut(attribute)
+                    .unwrap_or_else(|| {
+                        panic!("attribute `{attribute}` not in the catalogue of `{}`", schema.name())
+                    })
+                    .apply_insert(value);
+            }
+        }
+        // M_j = a_j · m_j · log n, so the new bit size follows from the new
+        // cardinality directly.
+        self.size_bits = attributes.len() as u64 * self.cardinality as u64 * bits_per_value;
+    }
+
     /// Heavy hitters of this relation under the paper's threshold
     /// `m_j / p` (values with frequency strictly greater than the
     /// threshold). At most `p` values per attribute can exceed it.
@@ -169,37 +244,132 @@ impl RelationStatistics {
 /// that used to re-scan the data independently — fingerprint for the plan
 /// cache, heavy-hitter detection per join variable, per-column distinct
 /// counts for selectivity estimation — reads from this catalogue instead.
+///
+/// Per-relation statistics sit behind [`Arc`], mirroring the per-relation
+/// copy-on-write of [`Database`]: cloning a catalogue is shallow, and the
+/// incremental paths ([`DatabaseStatistics::apply_inserts`],
+/// [`DatabaseStatistics::compute_reusing`]) rebuild only the touched
+/// relations' entries while untouched ones keep being shared — which is
+/// also how tests *assert* that nothing was recomputed (`Arc::ptr_eq`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DatabaseStatistics {
     /// Per-relation statistics, keyed by relation name.
-    pub relations: BTreeMap<String, RelationStatistics>,
+    pub relations: BTreeMap<String, Arc<RelationStatistics>>,
     /// The combined fingerprint (equals [`database_fingerprint`]).
     pub fingerprint: u64,
+    /// Domain size of the analysed database — needed to recombine the
+    /// fingerprint after incremental maintenance.
+    domain_size: u64,
 }
 
 impl DatabaseStatistics {
     /// Scan every relation of `database` once and build the catalogue.
-    pub fn compute(database: &crate::database::Database) -> Self {
+    pub fn compute(database: &Database) -> Self {
         let bpv = database.bits_per_value();
-        let relations: BTreeMap<String, RelationStatistics> = database
+        let relations: BTreeMap<String, Arc<RelationStatistics>> = database
             .relations()
-            .map(|r| (r.name().to_string(), RelationStatistics::compute(r, bpv)))
+            .map(|r| {
+                (
+                    r.name().to_string(),
+                    Arc::new(RelationStatistics::compute(r, bpv)),
+                )
+            })
             .collect();
-        let mut h = Fnv1a::new();
-        h.write_u64(database.domain_size());
-        for stats in relations.values() {
-            h.write_u64(stats.fingerprint());
-        }
+        let domain_size = database.domain_size();
         DatabaseStatistics {
+            fingerprint: combined_fingerprint(domain_size, &relations),
             relations,
-            fingerprint: h.finish(),
+            domain_size,
         }
+    }
+
+    /// Build the catalogue for `database`, **reusing** the statistics of
+    /// every relation whose shared row buffer is pointer-equal to the one
+    /// `previous` was computed from (see [`Database::relation_arc`]) — the
+    /// copy-on-write mutation path: after an edit that touched one relation
+    /// of a cloned database, only that relation is re-scanned.
+    pub fn compute_reusing(
+        database: &Database,
+        previous_database: &Database,
+        previous: &DatabaseStatistics,
+    ) -> Self {
+        if database.domain_size() != previous_database.domain_size() {
+            // A different domain changes the bits-per-value accounting of
+            // every relation; nothing is reusable.
+            return DatabaseStatistics::compute(database);
+        }
+        let bpv = database.bits_per_value();
+        let relations: BTreeMap<String, Arc<RelationStatistics>> = database
+            .relation_arcs()
+            .map(|(name, rows)| {
+                let reusable = previous_database
+                    .relation_arc(name)
+                    .filter(|old| Arc::ptr_eq(old, rows))
+                    .and_then(|_| previous.relations.get(name));
+                let stats = match reusable {
+                    Some(shared) => Arc::clone(shared),
+                    None => Arc::new(RelationStatistics::compute(rows, bpv)),
+                };
+                (name.to_string(), stats)
+            })
+            .collect();
+        let domain_size = database.domain_size();
+        DatabaseStatistics {
+            fingerprint: combined_fingerprint(domain_size, &relations),
+            relations,
+            domain_size,
+        }
+    }
+
+    /// Fold an insert-only delta for one relation into the catalogue in
+    /// O(delta): the touched relation's entry is copied once
+    /// (copy-on-write) and updated via [`RelationStatistics::apply_inserts`],
+    /// every other entry keeps being shared, and the combined fingerprint is
+    /// recombined from the per-relation fingerprints (O(relations), no data
+    /// scan). Identical to recomputing from the post-insert database.
+    ///
+    /// # Panics
+    /// Panics when the relation named by `schema` is not in the catalogue,
+    /// or on any arity/attribute mismatch (see
+    /// [`RelationStatistics::apply_inserts`]).
+    pub fn apply_inserts<'a>(
+        &mut self,
+        schema: &Schema,
+        rows: impl IntoIterator<Item = &'a [Value]>,
+    ) {
+        let bpv = crate::bits_per_value(self.domain_size);
+        let stats = self
+            .relations
+            .get_mut(schema.name())
+            .unwrap_or_else(|| panic!("relation `{}` not in the catalogue", schema.name()));
+        Arc::make_mut(stats).apply_inserts(schema, rows, bpv);
+        self.fingerprint = combined_fingerprint(self.domain_size, &self.relations);
+    }
+
+    /// The domain size of the database this catalogue was computed from.
+    pub fn domain_size(&self) -> u64 {
+        self.domain_size
     }
 
     /// Statistics of one relation (None when it is not in the catalogue).
     pub fn relation(&self, name: &str) -> Option<&RelationStatistics> {
-        self.relations.get(name)
+        self.relations.get(name).map(Arc::as_ref)
     }
+}
+
+/// Combine the domain size and every relation's fingerprint (in name
+/// order) into the database fingerprint. O(relations × attributes) thanks
+/// to the cached per-attribute maxima — no degree map is walked.
+fn combined_fingerprint(
+    domain_size: u64,
+    relations: &BTreeMap<String, Arc<RelationStatistics>>,
+) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(domain_size);
+    for stats in relations.values() {
+        h.write_u64(stats.fingerprint());
+    }
+    h.finish()
 }
 
 /// A 64-bit fingerprint of a whole database's planner-relevant statistics:
@@ -382,6 +552,96 @@ mod tests {
         assert_eq!(base, database_fingerprint(&db));
         db.relation_mut("R").unwrap().push(Tuple::from([5, 501]));
         assert_ne!(base, database_fingerprint(&db));
+    }
+
+    #[test]
+    fn apply_insert_tracks_frequencies_and_cached_maximum() {
+        let r = skewed_relation();
+        let mut d = DegreeStatistics::compute(&r, "x");
+        d.apply_insert(0); // 1 -> 2, below the max of 5
+        assert_eq!(d.frequency(0), 2);
+        assert_eq!(d.max_frequency(), 5);
+        for _ in 0..4 {
+            d.apply_insert(3); // 1 -> 5, ties the max
+        }
+        assert_eq!(d.max_frequency(), 5);
+        d.apply_insert(3); // 6, a new max
+        assert_eq!(d.max_frequency(), 6);
+        // Brand-new value.
+        d.apply_insert(777);
+        assert_eq!(d.frequency(777), 1);
+        assert_eq!(d.distinct(), 7);
+    }
+
+    #[test]
+    fn relation_apply_inserts_matches_recompute() {
+        let mut r = skewed_relation();
+        let mut stats = RelationStatistics::compute(&r, 8);
+        let schema = r.schema().clone();
+        let delta: Vec<Vec<Value>> = vec![vec![7, 300], vec![42, 301], vec![7, 300]];
+        stats.apply_inserts(&schema, delta.iter().map(Vec::as_slice), 8);
+        for row in &delta {
+            r.push_row(row);
+        }
+        let recomputed = RelationStatistics::compute(&r, 8);
+        assert_eq!(stats, recomputed);
+        assert_eq!(stats.fingerprint(), recomputed.fingerprint());
+        assert_eq!(stats.cardinality, 13);
+        assert_eq!(stats.size_bits, 13 * 2 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn relation_apply_inserts_rejects_ragged_rows() {
+        let r = skewed_relation();
+        let mut stats = RelationStatistics::compute(&r, 8);
+        let schema = r.schema().clone();
+        stats.apply_inserts(&schema, std::iter::once(&[1u64][..]), 8);
+    }
+
+    fn two_relation_db() -> crate::Database {
+        let mut db = crate::Database::new(1 << 10);
+        db.insert(skewed_relation());
+        db.insert(Relation::from_rows(
+            Schema::from_strs("S", &["y", "z"]),
+            vec![vec![100, 1], vec![101, 2]],
+        ));
+        db
+    }
+
+    #[test]
+    fn database_apply_inserts_matches_recompute_and_shares_untouched_entries() {
+        let mut db = two_relation_db();
+        let mut stats = DatabaseStatistics::compute(&db);
+        let untouched_before = Arc::clone(&stats.relations["S"]);
+        let schema = db.relation("R").unwrap().schema().clone();
+        stats.apply_inserts(&schema, std::iter::once(&[7u64, 999][..]));
+        db.relation_mut("R").unwrap().push(Tuple::from([7, 999]));
+        let recomputed = DatabaseStatistics::compute(&db);
+        assert_eq!(stats, recomputed, "incremental == from-scratch");
+        assert_eq!(stats.fingerprint, recomputed.fingerprint);
+        assert!(
+            Arc::ptr_eq(&stats.relations["S"], &untouched_before),
+            "untouched relation's statistics stay shared, not recomputed"
+        );
+    }
+
+    #[test]
+    fn compute_reusing_shares_statistics_of_pointer_equal_relations() {
+        let before = two_relation_db();
+        let previous = DatabaseStatistics::compute(&before);
+        let mut after = before.clone();
+        after.relation_mut("R").unwrap().push(Tuple::from([7, 999]));
+        let next = DatabaseStatistics::compute_reusing(&after, &before, &previous);
+        assert_eq!(next, DatabaseStatistics::compute(&after));
+        assert!(
+            Arc::ptr_eq(&next.relations["S"], &previous.relations["S"]),
+            "S's rows are pointer-equal, so its statistics are reused"
+        );
+        assert!(
+            !Arc::ptr_eq(&next.relations["R"], &previous.relations["R"]),
+            "R changed and was re-analysed"
+        );
     }
 
     #[test]
