@@ -15,7 +15,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pq_bench::matching_database_for_query;
-use pq_engine::{Delta, Engine};
+use pq_engine::{ClusterConfig, Delta, Engine, ExecBackend};
+use pq_mpc::net::LocalWorkers;
 use pq_query::ConjunctiveQuery;
 
 fn bench_engine(c: &mut Criterion) {
@@ -110,5 +111,40 @@ fn bench_engine_update(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_engine_update);
+/// The price of a real wire: the same warm (plan-cached) triangle run on
+/// the in-process simulator versus the cluster backend over 3 local worker
+/// threads behind loopback TCP. The gap is pure distribution cost — frame
+/// encode/decode, kernel round trips, the barrier — since both backends
+/// route identical messages from the identical plan.
+fn bench_engine_backend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_backend");
+    group.sample_size(10);
+    let query = ConjunctiveQuery::triangle();
+    let text = query.to_string();
+    let m = 4_000usize;
+    let db = matching_database_for_query(&query, m, 7);
+    let p = 4usize;
+
+    let sim = Engine::new(db.clone(), p).session();
+    sim.run(&text).expect("warm-up run");
+    group.bench_with_input(BenchmarkId::new("simulator_warm", m), &text, |b, text| {
+        b.iter(|| sim.run(text).expect("runs").outcome.output.len())
+    });
+
+    let workers = LocalWorkers::spawn(3).expect("spawn local workers");
+    let cluster = Engine::new(db.clone(), p)
+        .with_backend(ExecBackend::cluster(ClusterConfig::new(
+            workers.addresses().to_vec(),
+        )))
+        .session();
+    cluster.run(&text).expect("warm-up run");
+    group.bench_with_input(BenchmarkId::new("cluster_warm", m), &text, |b, text| {
+        b.iter(|| cluster.run(text).expect("runs").outcome.output.len())
+    });
+    drop(cluster);
+    workers.shutdown();
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_engine_update, bench_engine_backend);
 criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Execution backend selection: in-process simulator or worker cluster.
+//!
+//! The engine's algorithms are backend-agnostic — a plan describes *what*
+//! to route and join, and an [`ExecBackend`] says *where*: on the
+//! in-process MPC simulator (the default, which accounts the paper's cost
+//! model exactly), or on real `pqd --worker` processes over TCP through
+//! [`pq_mpc::net`], which additionally measures actual bytes on the wire
+//! ([`pq_mpc::RoundStats::wire_bytes`]). Both backends return the same
+//! answers; the distributed-vs-simulator oracle test suite holds them to
+//! that row for row.
+
+use pq_mpc::net::ClusterConfig;
+use std::sync::Arc;
+
+/// Where a session executes its plans.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum ExecBackend {
+    /// The in-process MPC simulator: model-cost accounting, per-server
+    /// local joins on OS threads, no sockets.
+    #[default]
+    Simulator,
+    /// A cluster of worker processes reached over TCP. The shared config
+    /// lists the workers' addresses; the engine maps the plan's `p`
+    /// logical servers onto them (`server % workers`) and reports measured
+    /// per-round wire bytes next to the model's load accounting.
+    Cluster(Arc<ClusterConfig>),
+}
+
+impl ExecBackend {
+    /// A cluster backend over the given config.
+    pub fn cluster(config: ClusterConfig) -> Self {
+        ExecBackend::Cluster(Arc::new(config))
+    }
+
+    /// True when plans run on worker processes rather than the simulator.
+    pub fn is_cluster(&self) -> bool {
+        matches!(self, ExecBackend::Cluster(_))
+    }
+
+    /// A short human-readable description ("simulator", or the cluster's
+    /// worker count) for shell prompts and EXPLAIN output.
+    pub fn describe(&self) -> String {
+        match self {
+            ExecBackend::Simulator => "simulator".to_string(),
+            ExecBackend::Cluster(config) => {
+                format!("cluster({} workers)", config.workers.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describes_itself() {
+        assert_eq!(ExecBackend::default(), ExecBackend::Simulator);
+        assert_eq!(ExecBackend::Simulator.describe(), "simulator");
+        assert!(!ExecBackend::Simulator.is_cluster());
+        let cluster = ExecBackend::cluster(ClusterConfig::new(vec![
+            "127.0.0.1:1".into(),
+            "127.0.0.1:2".into(),
+        ]));
+        assert!(cluster.is_cluster());
+        assert_eq!(cluster.describe(), "cluster(2 workers)");
+    }
+}

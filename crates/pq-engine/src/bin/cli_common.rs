@@ -7,7 +7,7 @@
 //! flags and the validate/encode/apply insert pipeline live here once:
 //! same validation, same error style, one place to extend.
 
-use pq_engine::{Delta, Session};
+use pq_engine::{ClusterConfig, Delta, ExecBackend, Session};
 use pq_relation::Value;
 use std::path::PathBuf;
 use std::str::FromStr;
@@ -20,15 +20,21 @@ pub struct CommonArgs {
     pub servers: usize,
     /// `--seed`: default router hash seed for new sessions.
     pub seed: u64,
+    /// `--cluster` worker addresses (repeatable and/or comma-separated):
+    /// when non-empty, plans execute on these `pqd --worker` processes
+    /// instead of the in-process simulator.
+    pub cluster: Vec<String>,
 }
 
 impl CommonArgs {
-    /// Defaults shared by both binaries (`--servers 64 --seed 7`).
+    /// Defaults shared by both binaries (`--servers 64 --seed 7`,
+    /// simulator backend).
     pub fn new() -> Self {
         CommonArgs {
             data: Vec::new(),
             servers: 64,
             seed: 7,
+            cluster: Vec::new(),
         }
     }
 
@@ -59,7 +65,27 @@ impl CommonArgs {
                 self.seed = parse_number("--seed", &value_of("--seed", args)?)?;
                 Ok(true)
             }
+            "--cluster" => {
+                let value = value_of("--cluster", args)?;
+                for address in value.split(',').map(str::trim).filter(|a| !a.is_empty()) {
+                    self.cluster.push(address.to_string());
+                }
+                if self.cluster.is_empty() {
+                    return Err("--cluster needs at least one host:port address".into());
+                }
+                Ok(true)
+            }
             _ => Ok(false),
+        }
+    }
+
+    /// The execution backend the `--cluster` flag selected (the simulator
+    /// when the flag was absent).
+    pub fn backend(&self) -> ExecBackend {
+        if self.cluster.is_empty() {
+            ExecBackend::Simulator
+        } else {
+            ExecBackend::cluster(ClusterConfig::new(self.cluster.clone()))
         }
     }
 

@@ -33,8 +33,23 @@
 //! item): `--read-timeout` closes connections that stay silent too long,
 //! and `--max-connections` refuses connections over the cap with a clean
 //! `ERR busy` instead of letting threads pile up.
+//!
+//! Two distributed modes turn one `pqd` into a cluster:
+//!
+//! * `pqd --worker` speaks the binary frame protocol of [`pq_mpc::net`]
+//!   instead of the line protocol: no data is loaded, the process joins
+//!   whatever fragments a coordinator ships it and exits cleanly on a
+//!   `Shutdown` frame;
+//! * `pqd --cluster w1:port,w2:port,…` serves the normal line protocol
+//!   but executes every plan on those workers, reporting measured
+//!   per-round `bytes_on_wire` in `RUN` summaries and `STATS`.
+//!
+//! The `SHUTDOWN` command tears the whole arrangement down: the daemon
+//! asks its workers (if any) to exit and then exits itself — the teardown
+//! path scripts and CI use instead of `kill`.
 
-use pq_engine::{Engine, Session};
+use pq_engine::{Engine, ExecBackend, Session};
+use pq_mpc::RunMetrics;
 use pq_relation::{load_database_files, ValueDictionary};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
@@ -54,17 +69,22 @@ USAGE:
 
 OPTIONS:
     --data PATH            CSV/TSV file, or directory of .csv/.tsv files (repeatable)
-    --servers P            default simulated servers per session (default 64)
+    --servers P            default logical servers per session (default 64)
     --seed S               default router hash seed per session (default 7)
     --port PORT            TCP port to listen on (default 0 = ephemeral, printed)
     --host HOST            address to bind (default 127.0.0.1)
     --read-timeout SECS    close connections idle for SECS seconds (default 0 = never)
     --max-connections N    refuse connections over N with `ERR busy` (default 1024)
+    --cluster ADDRS        execute plans on these pqd --worker processes
+                           (host:port, repeatable and/or comma-separated)
+    --worker               be a cluster worker: speak the binary frame
+                           protocol, load no data, exit on a Shutdown frame
     -h, --help             this text
 
 PROTOCOL: one command per line — RUN <query>, EXPLAIN <query>,
-INSERT <relation> <v1,...,vk>, SERVERS <p>, SEED <n>, STATS, QUIT; each
-response block ends with an OK or ERR line.
+INSERT <relation> <v1,...,vk>, SERVERS <p>, SEED <n>, STATS, SHUTDOWN,
+QUIT; each response block ends with an OK or ERR line. SHUTDOWN stops the
+daemon (and, with --cluster, its workers); QUIT only closes the connection.
 ";
 
 struct Options {
@@ -73,6 +93,7 @@ struct Options {
     host: String,
     read_timeout: u64,
     max_connections: usize,
+    worker: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -81,12 +102,14 @@ fn parse_args() -> Result<Options, String> {
     let mut host = "127.0.0.1".to_string();
     let mut read_timeout = 0u64;
     let mut max_connections = 1024usize;
+    let mut worker = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if common.consume(&arg, &mut args)? {
             continue;
         }
         match arg.as_str() {
+            "--worker" => worker = true,
             // parse_number::<u16> rejects (not truncates) ports above 65535.
             "--port" => port = parse_number("--port", &value_of("--port", &mut args)?)?,
             "--host" => host = value_of("--host", &mut args)?,
@@ -110,12 +133,20 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown option `{other}` (see --help)")),
         }
     }
+    if worker && !common.cluster.is_empty() {
+        return Err("--worker and --cluster are mutually exclusive: a worker \
+                    executes fragments, it does not coordinate other workers"
+            .into());
+    }
     Ok(Options {
-        common: common.finish()?,
+        // A worker loads no data, so the data-is-required validation only
+        // applies to the coordinator/daemon modes.
+        common: if worker { common } else { common.finish()? },
         port,
         host,
         read_timeout,
         max_connections,
+        worker,
     })
 }
 
@@ -155,12 +186,16 @@ fn serve(stream: TcpStream, mut session: Session, dictionary: SharedDictionary) 
     };
     let mut writer = BufWriter::new(stream);
     let fold = |message: String| message.replace('\n', " | ");
+    // Metrics of this connection's most recent successful RUN, so STATS
+    // can report the measured per-round wire traffic of a cluster run.
+    let mut last_metrics: Option<RunMetrics> = None;
     let _ = writeln!(
         writer,
-        "READY {} relation(s) p={} seed={}",
+        "READY {} relation(s) p={} seed={} backend={}",
         session.engine().snapshot().database().num_relations(),
         session.servers(),
-        session.seed()
+        session.seed(),
+        session.backend().describe()
     );
     let _ = writer.flush();
     for line in reader.lines() {
@@ -214,13 +249,23 @@ fn serve(stream: TcpStream, mut session: Session, dictionary: SharedDictionary) 
                     for row in rows {
                         let _ = writeln!(writer, "ROW {row}");
                     }
-                    writeln!(
+                    // Cluster runs append the measured wire traffic; the
+                    // leading fields stay byte-identical for existing
+                    // clients and greps.
+                    let wire = if run.outcome.metrics.is_measured() {
+                        format!(" bytes_on_wire={}", run.outcome.metrics.bytes_on_wire())
+                    } else {
+                        String::new()
+                    };
+                    let result = writeln!(
                         writer,
-                        "OK {} rows strategy={} cache={}",
+                        "OK {} rows strategy={} cache={}{wire}",
                         run.outcome.output.len(),
                         run.plan.strategy.name(),
                         if run.cache_hit { "HIT" } else { "MISS" }
-                    )
+                    );
+                    last_metrics = Some(run.outcome.metrics);
+                    result
                 }
                 Err(e) => writeln!(writer, "ERR {}", fold(e.to_string())),
             },
@@ -264,7 +309,36 @@ fn serve(stream: TcpStream, mut session: Session, dictionary: SharedDictionary) 
                     "plan cache {} cached {} hit(s) {} miss(es) {} invalidated",
                     cache.len, cache.hits, cache.misses, cache.invalidated
                 );
+                let _ = writeln!(writer, "backend {}", session.backend().describe());
+                if let Some(metrics) = &last_metrics {
+                    if metrics.is_measured() {
+                        for round in &metrics.rounds {
+                            let _ = writeln!(
+                                writer,
+                                "last run round {} bytes_on_wire={} wall_micros={}",
+                                round.round,
+                                round.total_wire_bytes(),
+                                round.wall_micros
+                            );
+                        }
+                        let _ = writeln!(
+                            writer,
+                            "last run total bytes_on_wire={} result_bytes={}",
+                            metrics.bytes_on_wire(),
+                            metrics.result_wire_bytes
+                        );
+                    }
+                }
                 writeln!(writer, "OK")
+            }
+            "SHUTDOWN" => {
+                let _ = writeln!(writer, "OK shutting down");
+                let _ = writer.flush();
+                if let ExecBackend::Cluster(config) = session.backend() {
+                    pq_mpc::net::shutdown_workers(config);
+                }
+                eprintln!("pqd: shutdown requested by {peer}");
+                std::process::exit(0);
             }
             "QUIT" | "EXIT" => {
                 let _ = writeln!(writer, "OK bye");
@@ -273,7 +347,7 @@ fn serve(stream: TcpStream, mut session: Session, dictionary: SharedDictionary) 
             }
             other => writeln!(
                 writer,
-                "ERR unknown command `{other}`; try RUN, EXPLAIN, INSERT, SERVERS, SEED, STATS, QUIT"
+                "ERR unknown command `{other}`; try RUN, EXPLAIN, INSERT, SERVERS, SEED, STATS, SHUTDOWN, QUIT"
             ),
         };
         if result.is_err() || writer.flush().is_err() {
@@ -293,6 +367,31 @@ impl Drop for ConnectionPermit {
     }
 }
 
+/// Worker mode: bind, announce, and speak the binary frame protocol until
+/// a coordinator sends a `Shutdown` frame.
+fn run_worker(options: &Options) -> ! {
+    let listener = match TcpListener::bind((options.host.as_str(), options.port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!(
+                "pqd: worker cannot bind {}:{}: {e}",
+                options.host, options.port
+            );
+            std::process::exit(1);
+        }
+    };
+    match listener.local_addr() {
+        Ok(addr) => println!("pqd: worker listening on {addr}"),
+        Err(_) => println!("pqd: worker listening"),
+    }
+    if let Err(e) = pq_mpc::net::serve_worker(&listener) {
+        eprintln!("pqd: worker failed: {e}");
+        std::process::exit(1);
+    }
+    println!("pqd: worker shut down");
+    std::process::exit(0);
+}
+
 fn main() {
     let options = match parse_args() {
         Ok(o) => o,
@@ -301,6 +400,9 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if options.worker {
+        run_worker(&options);
+    }
     let (database, dictionary) = match load_database_files(&options.common.data) {
         Ok(loaded) => loaded,
         Err(e) => {
@@ -308,7 +410,9 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let engine = Engine::new(database, options.common.servers).with_seed(options.common.seed);
+    let engine = Engine::new(database, options.common.servers)
+        .with_seed(options.common.seed)
+        .with_backend(options.common.backend());
     let dictionary: SharedDictionary = Arc::new(RwLock::new(dictionary));
     let listener = match TcpListener::bind((options.host.as_str(), options.port)) {
         Ok(l) => l,

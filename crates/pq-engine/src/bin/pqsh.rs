@@ -10,7 +10,7 @@
 //! pqsh --data data/sample run "Q(x, y, z) :- E1(x, y), E2(y, z), E3(z, x)"
 //! ```
 
-use pq_engine::{Engine, EngineRun, Session};
+use pq_engine::{ClusterConfig, Engine, EngineRun, ExecBackend, Session};
 use pq_relation::{load_database_files, Relation, ValueDictionary};
 use std::io::{BufRead, IsTerminal, Write};
 
@@ -27,9 +27,12 @@ USAGE:
 OPTIONS:
     --data PATH      CSV/TSV file, or directory of .csv/.tsv files
                      (repeatable; one shared value dictionary)
-    --servers P      number of simulated servers (default 64)
+    --servers P      number of logical servers (default 64)
     --seed S         hash seed for the routers (default 7)
     --limit N        maximum rows printed by `run` (default 20)
+    --cluster ADDRS  execute on pqd --worker processes at these host:port
+                     addresses (repeatable and/or comma-separated) instead
+                     of the in-process simulator
     -h, --help       this text
 
 COMMAND (one-shot; omit to enter the interactive shell):
@@ -43,6 +46,9 @@ REPL-only commands (take effect immediately):
                      stay cached; `\\,` escapes a comma inside a value)
     servers P        change this session's server budget p
     seed S           change this session's router hash seed
+    backend [simulator | cluster ADDRS]
+                     show or change where this session executes; cluster
+                     runs report measured bytes on the wire per round
     help             this text
     quit             leave the shell
 
@@ -109,9 +115,19 @@ fn print_run(run: &EngineRun, dictionary: &ValueDictionary, limit: usize) {
     } else {
         String::new()
     };
+    // Cluster runs carry a measured wire-traffic account next to the
+    // model's bit accounting; the simulator has no wire to measure.
+    let wire = if run.outcome.metrics.is_measured() {
+        format!(
+            " · bytes on wire: {}",
+            run.outcome.metrics.bytes_on_wire()
+        )
+    } else {
+        String::new()
+    };
     println!(
         "-- {} rows{elided} · {:.1} ms · strategy: {} · rounds: {} · max load: {} bits · \
-         replication rate: {:.2} · plan cache: {}",
+         replication rate: {:.2}{wire} · plan cache: {}",
         output.len(),
         run.outcome.wall.as_secs_f64() * 1e3,
         run.plan.strategy.name(),
@@ -126,12 +142,14 @@ fn print_stats(session: &Session, dictionary: &ValueDictionary) {
     let snapshot = session.engine().snapshot();
     let db = snapshot.database();
     println!(
-        "{} relations · {} tuples · domain of {} distinct values · p = {} servers · seed {}",
+        "{} relations · {} tuples · domain of {} distinct values · p = {} servers · seed {} · \
+         backend {}",
         db.num_relations(),
         db.total_tuples(),
         dictionary.len(),
         session.servers(),
-        session.seed()
+        session.seed(),
+        session.backend().describe()
     );
     for relation in db.relations() {
         println!(
@@ -247,9 +265,46 @@ fn dispatch(
                 false
             }
         },
+        "backend" => {
+            let (kind, addrs) = query.split_once(char::is_whitespace).unwrap_or((query, ""));
+            match kind {
+                "" => {
+                    println!("backend: {}", session.backend().describe());
+                    true
+                }
+                "simulator" => {
+                    session.set_backend(ExecBackend::Simulator);
+                    println!("backend set to simulator (this session only)");
+                    true
+                }
+                "cluster" => {
+                    let workers: Vec<String> = addrs
+                        .split([',', ' '])
+                        .map(str::trim)
+                        .filter(|a| !a.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                    if workers.is_empty() {
+                        report("`backend cluster` needs host:port addresses".to_string());
+                        return false;
+                    }
+                    let n = workers.len();
+                    session.set_backend(ExecBackend::cluster(ClusterConfig::new(workers)));
+                    println!("backend set to cluster({n} workers) (this session only)");
+                    true
+                }
+                other => {
+                    report(format!(
+                        "`backend` takes `simulator` or `cluster ADDRS`, got `{other}`"
+                    ));
+                    false
+                }
+            }
+        }
         other => {
             report(format!(
-                "unknown command `{other}`; try explain, run, insert, stats, servers, seed or help"
+                "unknown command `{other}`; try explain, run, insert, stats, servers, seed, \
+                 backend or help"
             ));
             false
         }
@@ -310,7 +365,9 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let engine = Engine::new(database, options.common.servers).with_seed(options.common.seed);
+    let engine = Engine::new(database, options.common.servers)
+        .with_seed(options.common.seed)
+        .with_backend(options.common.backend());
     let mut session = engine.session();
 
     match options.command.split_first() {
@@ -325,6 +382,13 @@ fn main() {
                 eprintln!(
                     "pqsh: `{command}` is REPL-only (a one-shot session ends immediately, so \
                      it would have no effect); use the --{command} option instead"
+                );
+                std::process::exit(2);
+            }
+            if command == "backend" {
+                eprintln!(
+                    "pqsh: `backend` is REPL-only (a one-shot session ends immediately, so \
+                     it would have no effect); use the --cluster option instead"
                 );
                 std::process::exit(2);
             }

@@ -24,9 +24,11 @@
 //! every other plan is re-keyed to the new statistics fingerprint and
 //! keeps hitting.
 
+use crate::backend::ExecBackend;
 use crate::cache::{CacheStats, PlanCache, PlanKey};
 use crate::delta::{Delta, DeltaError};
 use crate::executor::RunOutcome;
+use pq_mpc::net::{ClusterConfig, ClusterError};
 use crate::parser::{ParseError, ParsedQuery};
 use crate::planner::{plan_query_on, Plan, PlanError, Strategy};
 use crate::session::Session;
@@ -43,6 +45,9 @@ pub enum EngineError {
     Parse(ParseError),
     /// The query parsed but cannot be planned over the loaded data.
     Plan(PlanError),
+    /// The plan was sound but the worker cluster failed to execute it
+    /// (only possible on [`ExecBackend::Cluster`]).
+    Cluster(ClusterError),
 }
 
 impl fmt::Display for EngineError {
@@ -50,6 +55,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Parse(e) => write!(f, "{e}"),
             EngineError::Plan(e) => write!(f, "{e}"),
+            EngineError::Cluster(e) => write!(f, "cluster execution failed: {e}"),
         }
     }
 }
@@ -65,6 +71,12 @@ impl From<ParseError> for EngineError {
 impl From<PlanError> for EngineError {
     fn from(e: PlanError) -> Self {
         EngineError::Plan(e)
+    }
+}
+
+impl From<ClusterError> for EngineError {
+    fn from(e: ClusterError) -> Self {
+        EngineError::Cluster(e)
     }
 }
 
@@ -98,6 +110,7 @@ struct SharedState {
     update_lock: Mutex<()>,
     default_p: usize,
     default_seed: u64,
+    default_backend: ExecBackend,
 }
 
 /// A cheap, cloneable, thread-safe handle to one loaded database and one
@@ -141,6 +154,7 @@ impl Engine {
                 update_lock: Mutex::new(()),
                 default_p: p,
                 default_seed: 7,
+                default_backend: ExecBackend::Simulator,
             }),
         }
     }
@@ -175,6 +189,33 @@ impl Engine {
         Engine { shared }
     }
 
+    /// Hand new sessions the distributed backend: plans execute on the
+    /// configured `pqd --worker` processes instead of the in-process
+    /// simulator (sessions can still switch per-session with
+    /// [`Session::set_backend`]). Builder-style: call before the handle is
+    /// cloned.
+    ///
+    /// # Panics
+    /// Panics when the engine handle has already been cloned or has live
+    /// sessions.
+    pub fn with_cluster(self, config: ClusterConfig) -> Self {
+        self.with_backend(ExecBackend::cluster(config))
+    }
+
+    /// Select the default [`ExecBackend`] handed to new sessions.
+    /// Builder-style: call before the handle is cloned.
+    ///
+    /// # Panics
+    /// Panics when the engine handle has already been cloned or has live
+    /// sessions.
+    pub fn with_backend(self, backend: ExecBackend) -> Self {
+        let mut shared = self.shared;
+        Arc::get_mut(&mut shared)
+            .expect("configure the engine before sharing it")
+            .default_backend = backend;
+        Engine { shared }
+    }
+
     /// The current snapshot. The returned `Arc` stays valid (and fully
     /// queryable through [`crate::run_plan`]) even after a writer installs
     /// a newer snapshot via [`Engine::update`].
@@ -195,7 +236,13 @@ impl Engine {
             self.clone(),
             self.shared.default_p,
             self.shared.default_seed,
+            self.shared.default_backend.clone(),
         )
+    }
+
+    /// The default execution backend handed to new sessions.
+    pub fn default_backend(&self) -> &ExecBackend {
+        &self.shared.default_backend
     }
 
     /// The default server budget handed to new sessions.

@@ -7,14 +7,16 @@
 //! timing. Answers are returned with columns in the user's head order,
 //! whatever variable order the underlying algorithm produced.
 
+use crate::backend::ExecBackend;
 use crate::planner::{Plan, Strategy};
 use crate::snapshot::Snapshot;
-use pq_core::hypercube::run_hypercube_with_shares;
+use pq_core::hypercube::{run_hypercube_with_shares, HyperCubeRouter};
 use pq_core::multiround::plan::execute_plan as execute_multiround;
 use pq_core::skew::star::run_star_skew_aware;
 use pq_core::skew::triangle::run_triangle_skew_aware;
+use pq_mpc::net::{AtomSpec, ClusterConfig, ClusterError, Coordinator, RoundProgram};
 use pq_mpc::RunMetrics;
-use pq_query::{bind_atom, ConjunctiveQuery};
+use pq_query::{bind_atom, instantiate, ConjunctiveQuery};
 use pq_relation::{Database, Relation};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -75,6 +77,76 @@ pub fn run_plan(plan: &Plan, snapshot: &Snapshot, seed: u64) -> RunOutcome {
         metrics,
         wall: start.elapsed(),
     }
+}
+
+/// Execute `plan` on the chosen backend: [`run_plan`] on the simulator, or
+/// one round over real worker processes for [`ExecBackend::Cluster`]. The
+/// simulator path is infallible; only the cluster can error (a worker
+/// died, timed out, or broke protocol).
+///
+/// The cluster backend runs *every* plan as the one-round HyperCube
+/// algorithm with the plan's LP-derived integer shares (whose grid always
+/// fits on `p` servers, for every strategy): that is correct for any full
+/// conjunctive query. Skew-aware and multi-round refinements remain
+/// simulator-side specialisations for now — on the wire they fall back to
+/// plain HyperCube shares, still row-for-row the same answers, possibly
+/// with a higher measured load on skewed data.
+///
+/// # Errors
+/// A [`ClusterError`] naming the failing worker.
+///
+/// # Panics
+/// As [`run_plan`], when the snapshot no longer matches the plan.
+pub fn run_plan_on(
+    plan: &Plan,
+    snapshot: &Snapshot,
+    seed: u64,
+    backend: &ExecBackend,
+) -> Result<RunOutcome, ClusterError> {
+    match backend {
+        ExecBackend::Simulator => Ok(run_plan(plan, snapshot, seed)),
+        ExecBackend::Cluster(config) => run_plan_cluster(plan, snapshot, seed, config),
+    }
+}
+
+/// One HyperCube round over the configured workers: connect, route the
+/// bound atoms with the plan's shares (the same router and seed the
+/// simulator would use, so the model's per-round `received_bits` come out
+/// identical), barrier on every worker's local join, and merge.
+fn run_plan_cluster(
+    plan: &Plan,
+    snapshot: &Snapshot,
+    seed: u64,
+    config: &ClusterConfig,
+) -> Result<RunOutcome, ClusterError> {
+    let database = snapshot.database();
+    let query = &plan.parsed.query;
+    let start = Instant::now();
+    let bound = instantiate(query, database);
+    let mut coordinator = Coordinator::connect(config, plan.p, database.bits_per_value())?;
+    coordinator.set_input_bits(database.total_size_bits());
+    let router = HyperCubeRouter::new(query, &plan.shares, seed, 0, 0);
+    let messages = router.route_bound(&bound);
+    let program = RoundProgram {
+        name: query.name().to_string(),
+        output_vars: query.variables(),
+        atoms: bound
+            .iter()
+            .map(|relation| AtomSpec {
+                relation: relation.name().to_string(),
+                variables: relation.schema().attributes().to_vec(),
+            })
+            .collect(),
+    };
+    let raw = coordinator.run_round(messages, &program)?;
+    let metrics = coordinator.into_metrics();
+    let mut output = raw.project(&plan.parsed.head, query.name());
+    output.dedup();
+    Ok(RunOutcome {
+        output,
+        metrics,
+        wall: start.elapsed(),
+    })
 }
 
 /// Rebuild the database in the canonical triangle layout expected by
@@ -184,6 +256,32 @@ mod tests {
         let run = run_plan(&plan, &Snapshot::new(db.clone()), 23);
         assert_eq!(run.output.canonicalized(), oracle(&plan, &db));
         assert_eq!(run.metrics.num_rounds(), 2);
+    }
+
+    #[test]
+    fn cluster_backend_matches_the_simulator_run_for_run() {
+        let parsed = parse_query("Q(z, x, y) :- R(x, y), S(y, z)").unwrap();
+        let db = matching_db(&parsed.query, 200, 5);
+        let plan = plan_query(&parsed, &db, 4).unwrap();
+        assert!(matches!(plan.strategy, Strategy::HyperCube { .. }));
+        let snapshot = Snapshot::new(db);
+        let sim = run_plan(&plan, &snapshot, 3);
+
+        let workers = pq_mpc::net::LocalWorkers::spawn(2).unwrap();
+        let backend = ExecBackend::cluster(pq_mpc::net::ClusterConfig::new(
+            workers.addresses().to_vec(),
+        ));
+        let run = run_plan_on(&plan, &snapshot, 3, &backend).unwrap();
+        assert_eq!(run.output.canonicalized(), sim.output.canonicalized());
+        // Same router, same seed: the model account is bit-identical to the
+        // simulator's, while the wire account is real and nonzero.
+        assert_eq!(
+            run.metrics.rounds[0].received_bits,
+            sim.metrics.rounds[0].received_bits
+        );
+        assert!(run.metrics.is_measured());
+        assert!(!sim.metrics.is_measured());
+        workers.shutdown();
     }
 
     #[test]

@@ -45,6 +45,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod backend;
 pub mod cache;
 pub mod delta;
 pub mod engine;
@@ -55,10 +56,12 @@ pub mod prepared;
 pub mod session;
 pub mod snapshot;
 
+pub use backend::ExecBackend;
 pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use delta::{Delta, DeltaError};
 pub use engine::{Engine, EngineError, EngineRun};
-pub use executor::{run_plan, RunOutcome};
+pub use executor::{run_plan, run_plan_on, RunOutcome};
+pub use pq_mpc::net::{ClusterConfig, ClusterError};
 pub use parser::{parse_query, ParseError, ParsedQuery, Span};
 pub use planner::{plan_query, plan_query_on, HeavyReport, Plan, PlanError, Strategy};
 pub use prepared::PreparedQuery;

@@ -11,8 +11,9 @@
 //! them. The handle is `Sync`: one prepared query can be hammered from
 //! many threads at once.
 
+use crate::backend::ExecBackend;
 use crate::engine::{lock_unpoisoned, Engine, EngineError, EngineRun};
-use crate::executor::run_plan;
+use crate::executor::run_plan_on;
 use crate::parser::{parse_query, ParsedQuery};
 use crate::planner::Plan;
 use crate::session::Session;
@@ -26,6 +27,7 @@ pub struct PreparedQuery {
     parsed: ParsedQuery,
     p: usize,
     seed: u64,
+    backend: ExecBackend,
     /// The memoized plan; its embedded statistics fingerprint says which
     /// snapshot it was planned against.
     plan: Mutex<Plan>,
@@ -42,6 +44,7 @@ impl PreparedQuery {
             parsed,
             p: session.servers(),
             seed: session.seed(),
+            backend: session.backend().clone(),
             plan: Mutex::new(plan),
         })
     }
@@ -84,7 +87,7 @@ impl PreparedQuery {
                 (fresh, hit)
             }
         };
-        let outcome = run_plan(&plan, &snapshot, self.seed);
+        let outcome = run_plan_on(&plan, &snapshot, self.seed, &self.backend)?;
         Ok(EngineRun {
             plan,
             cache_hit,

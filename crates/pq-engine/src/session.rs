@@ -9,8 +9,9 @@
 //! only (plans are cached per `p`, so two sessions with different budgets
 //! coexist without stepping on each other's cache entries).
 
+use crate::backend::ExecBackend;
 use crate::engine::{Engine, EngineError, EngineRun};
-use crate::executor::run_plan;
+use crate::executor::run_plan_on;
 use crate::parser::parse_query;
 use crate::planner::Plan;
 use crate::prepared::PreparedQuery;
@@ -24,11 +25,17 @@ pub struct Session {
     engine: Engine,
     p: usize,
     seed: u64,
+    backend: ExecBackend,
 }
 
 impl Session {
-    pub(crate) fn new(engine: Engine, p: usize, seed: u64) -> Self {
-        Session { engine, p, seed }
+    pub(crate) fn new(engine: Engine, p: usize, seed: u64, backend: ExecBackend) -> Self {
+        Session {
+            engine,
+            p,
+            seed,
+            backend,
+        }
     }
 
     /// The engine this session runs against.
@@ -57,6 +64,18 @@ impl Session {
     /// seed only permutes how tuples are routed to servers).
     pub fn set_seed(&mut self, seed: u64) {
         self.seed = seed;
+    }
+
+    /// This session's execution backend.
+    pub fn backend(&self) -> &ExecBackend {
+        &self.backend
+    }
+
+    /// Change this session's execution backend (simulator or worker
+    /// cluster). Other sessions are unaffected; plans are backend-agnostic,
+    /// so the cache keeps hitting across a switch.
+    pub fn set_backend(&mut self, backend: ExecBackend) {
+        self.backend = backend;
     }
 
     /// Parse and plan a query against the current snapshot, consulting the
@@ -91,7 +110,7 @@ impl Session {
         let parsed = parse_query(text)?;
         let snapshot = self.engine.snapshot();
         let (plan, cache_hit) = self.engine.plan_parsed(&snapshot, &parsed, self.p)?;
-        let outcome = run_plan(&plan, &snapshot, self.seed);
+        let outcome = run_plan_on(&plan, &snapshot, self.seed, &self.backend)?;
         Ok(EngineRun {
             plan,
             cache_hit,

@@ -72,11 +72,9 @@ impl Cluster {
             self.servers[msg.to].receive(msg.payload);
         }
         let round = self.metrics.rounds.len() + 1;
-        self.metrics.rounds.push(RoundStats {
-            round,
-            received_bits: received,
-            messages: count,
-        });
+        self.metrics
+            .rounds
+            .push(RoundStats::simulated(round, received, count));
         self.metrics.rounds.last().expect("just pushed")
     }
 

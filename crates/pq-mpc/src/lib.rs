@@ -18,7 +18,11 @@
 //!   (the partitioned-input model) or keeps them whole on conceptual input
 //!   servers (the input-server model used by the lower bounds);
 //! * [`parallel`] runs per-server computation phases on real threads — the
-//!   simulator's wall-clock accelerator, irrelevant to the cost model.
+//!   simulator's wall-clock accelerator, irrelevant to the cost model;
+//! * [`net`] runs the same round structure over real TCP sockets — worker
+//!   processes, a coordinator, and a binary framed protocol — so the
+//!   model's idealised load can be compared against measured bytes on an
+//!   actual wire.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -26,6 +30,7 @@
 pub mod cluster;
 pub mod message;
 pub mod metrics;
+pub mod net;
 pub mod parallel;
 pub mod partition;
 pub mod server;
@@ -33,6 +38,10 @@ pub mod server;
 pub use cluster::Cluster;
 pub use message::{broadcast_relation, Message, Payload};
 pub use metrics::{RoundStats, RunMetrics};
+pub use net::{
+    serve_worker, shutdown_workers, AtomSpec, ClusterConfig, ClusterError, Coordinator,
+    LocalWorkers, RoundProgram,
+};
 pub use parallel::map_servers_parallel;
 pub use partition::{partition_by_hash, partition_round_robin};
 pub use server::{Server, ServerId};

@@ -12,9 +12,30 @@ pub struct RoundStats {
     pub received_bits: Vec<u64>,
     /// Number of messages delivered.
     pub messages: usize,
+    /// **Measured** bytes each server read off a real network during this
+    /// round, frame headers included — empty for simulator runs, where no
+    /// wire exists. Unlike [`RoundStats::received_bits`] (the model's
+    /// idealised `bits_per_value` accounting), this is what the kernel
+    /// actually delivered to each worker process.
+    pub wire_bytes: Vec<u64>,
+    /// Wall-clock duration of this round in microseconds (shuffle + local
+    /// join + barrier), zero for simulator runs: the MPC model charges
+    /// communication, not time, so this is measurement-only.
+    pub wall_micros: u64,
 }
 
 impl RoundStats {
+    /// A round with model accounting only — what the in-process simulator
+    /// records, with no wire underneath.
+    pub fn simulated(round: usize, received_bits: Vec<u64>, messages: usize) -> Self {
+        RoundStats {
+            round,
+            received_bits,
+            messages,
+            wire_bytes: Vec::new(),
+            wall_micros: 0,
+        }
+    }
     /// The maximum load of this round: `max_s` bits received by server `s`.
     pub fn max_load(&self) -> u64 {
         self.received_bits.iter().copied().max().unwrap_or(0)
@@ -33,6 +54,16 @@ impl RoundStats {
             self.total_bits() as f64 / self.received_bits.len() as f64
         }
     }
+
+    /// Total measured bytes on the wire this round (0 for simulator runs).
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.wire_bytes.iter().sum()
+    }
+
+    /// The largest number of bytes any single worker read this round.
+    pub fn max_wire_bytes(&self) -> u64 {
+        self.wire_bytes.iter().copied().max().unwrap_or(0)
+    }
 }
 
 /// Metrics of a full algorithm run.
@@ -42,6 +73,12 @@ pub struct RunMetrics {
     pub rounds: Vec<RoundStats>,
     /// Total input size `|I|` in bits (used for the replication rate).
     pub input_bits: u64,
+    /// Measured bytes spent collecting head fragments back at the
+    /// coordinator after the final round (0 for simulator runs). Kept out
+    /// of the per-round [`RoundStats::wire_bytes`]: the MPC cost model does
+    /// not charge output collection, so mixing it into round loads would
+    /// skew any comparison against the paper's bounds.
+    pub result_wire_bytes: u64,
 }
 
 impl RunMetrics {
@@ -90,6 +127,24 @@ impl RunMetrics {
         let ratio = self.input_bits as f64 / load as f64;
         Some(1.0 - ratio.ln() / (p as f64).ln())
     }
+
+    /// Total measured bytes on the wire across all shuffle rounds (result
+    /// collection excluded; see [`RunMetrics::result_wire_bytes`]). Zero
+    /// for simulator runs.
+    pub fn bytes_on_wire(&self) -> u64 {
+        self.rounds.iter().map(RoundStats::total_wire_bytes).sum()
+    }
+
+    /// Total measured bytes per round, in execution order.
+    pub fn bytes_on_wire_per_round(&self) -> Vec<u64> {
+        self.rounds.iter().map(RoundStats::total_wire_bytes).collect()
+    }
+
+    /// True when this run was measured on a real wire (any round carries
+    /// nonzero measured traffic), as opposed to simulated.
+    pub fn is_measured(&self) -> bool {
+        self.bytes_on_wire() > 0 || self.result_wire_bytes > 0
+    }
 }
 
 #[cfg(test)]
@@ -99,18 +154,11 @@ mod tests {
     fn metrics() -> RunMetrics {
         RunMetrics {
             rounds: vec![
-                RoundStats {
-                    round: 1,
-                    received_bits: vec![100, 200, 150, 50],
-                    messages: 10,
-                },
-                RoundStats {
-                    round: 2,
-                    received_bits: vec![80, 90, 100, 95],
-                    messages: 8,
-                },
+                RoundStats::simulated(1, vec![100, 200, 150, 50], 10),
+                RoundStats::simulated(2, vec![80, 90, 100, 95], 8),
             ],
             input_bits: 400,
+            result_wire_bytes: 0,
         }
     }
 
@@ -146,23 +194,17 @@ mod tests {
     fn space_exponent_matches_definition() {
         // p = 16, input = 1 << 20 bits, load = input / p  =>  eps = 0.
         let m = RunMetrics {
-            rounds: vec![RoundStats {
-                round: 1,
-                received_bits: vec![1 << 16; 16],
-                messages: 16,
-            }],
+            rounds: vec![RoundStats::simulated(1, vec![1 << 16; 16], 16)],
             input_bits: 1 << 20,
+            result_wire_bytes: 0,
         };
         let eps = m.space_exponent(16).unwrap();
         assert!(eps.abs() < 1e-9);
         // Load = input / sqrt(p)  =>  eps = 1/2.
         let m = RunMetrics {
-            rounds: vec![RoundStats {
-                round: 1,
-                received_bits: vec![1 << 18; 16],
-                messages: 16,
-            }],
+            rounds: vec![RoundStats::simulated(1, vec![1 << 18; 16], 16)],
             input_bits: 1 << 20,
+            result_wire_bytes: 0,
         };
         let eps = m.space_exponent(16).unwrap();
         assert!((eps - 0.5).abs() < 1e-9);
@@ -171,8 +213,23 @@ mod tests {
 
     #[test]
     fn mean_load_of_empty_round() {
-        let r = RoundStats { round: 1, received_bits: vec![], messages: 0 };
+        let r = RoundStats::simulated(1, vec![], 0);
         assert_eq!(r.mean_load(), 0.0);
         assert_eq!(r.max_load(), 0);
+    }
+
+    #[test]
+    fn wire_byte_accounting() {
+        let mut m = metrics();
+        assert_eq!(m.bytes_on_wire(), 0);
+        assert!(!m.is_measured(), "simulated runs carry no wire bytes");
+        m.rounds[0].wire_bytes = vec![100, 250, 50, 0];
+        m.rounds[1].wire_bytes = vec![10, 20, 30, 40];
+        m.result_wire_bytes = 77;
+        assert_eq!(m.rounds[0].total_wire_bytes(), 400);
+        assert_eq!(m.rounds[0].max_wire_bytes(), 250);
+        assert_eq!(m.bytes_on_wire(), 500);
+        assert_eq!(m.bytes_on_wire_per_round(), vec![400, 100]);
+        assert!(m.is_measured());
     }
 }

@@ -1,0 +1,529 @@
+//! The coordinator side of the cluster protocol.
+//!
+//! A [`Coordinator`] owns one TCP connection per worker and drives the
+//! same round structure as the in-process [`crate::Cluster`]: ship this
+//! round's messages, barrier, inspect results. The algorithm above it
+//! still thinks in `p` *logical* servers — the coordinator maps logical
+//! server `s` onto worker `s % workers` (see the module docs of
+//! [`crate::net`] for why that folding is sound and complete) and records
+//! two parallel cost accounts per round:
+//!
+//! * the model's [`crate::RoundStats::received_bits`] (length `p`,
+//!   idealised `bits_per_value` accounting, bit-identical to what the
+//!   simulator would report for the same messages), and
+//! * the measured [`crate::RoundStats::wire_bytes`] (length `workers`,
+//!   what each worker actually read off its socket, frame headers
+//!   included).
+//!
+//! The write phase is deadlock-free by construction: the coordinator
+//! writes *all* fragments and every `Execute` before reading anything,
+//! and workers write only after receiving their `Execute`.
+
+use crate::message::{Message, Payload};
+use crate::metrics::{RoundStats, RunMetrics};
+use crate::net::codec::{read_frame, write_frame, Frame, FrameError};
+use pq_relation::Relation;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Where the workers live and how long to wait for them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Worker addresses (`host:port`), one per worker slot.
+    pub workers: Vec<String>,
+    /// Read timeout applied to every worker socket; a worker that stays
+    /// silent longer than this during the barrier yields
+    /// [`ClusterError::Timeout`] instead of a hang.
+    pub read_timeout: Duration,
+}
+
+impl ClusterConfig {
+    /// A config for the given worker addresses with the default 10 s read
+    /// timeout.
+    pub fn new(workers: Vec<String>) -> Self {
+        ClusterConfig {
+            workers,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Replace the read timeout.
+    #[must_use]
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+}
+
+/// One atom of the query a worker must join locally: the relation name to
+/// look up in its fragment store and the variables naming its columns (so
+/// a worker that received no fragment can still build the correctly
+/// shaped empty relation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomSpec {
+    /// Relation name, the key into the worker's fragment store.
+    pub relation: String,
+    /// Variable names of the atom's columns, in order.
+    pub variables: Vec<String>,
+}
+
+/// What every worker computes after the shuffle of a round: join the
+/// listed atoms, project to the output variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundProgram {
+    /// Name given to the result relation.
+    pub name: String,
+    /// Head variables to project the local join onto.
+    pub output_vars: Vec<String>,
+    /// The atoms to join, in instantiation order.
+    pub atoms: Vec<AtomSpec>,
+}
+
+/// Everything that can go wrong talking to the cluster. Every variant
+/// names the worker slot so a failing test or operator log points at a
+/// concrete process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// An I/O error on a worker connection (connect, write or read).
+    Io {
+        /// Worker slot.
+        worker: usize,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
+    /// A worker closed its connection when an answer was still owed.
+    Died {
+        /// Worker slot.
+        worker: usize,
+    },
+    /// A worker stayed silent past the configured read timeout.
+    Timeout {
+        /// Worker slot.
+        worker: usize,
+        /// The timeout that elapsed.
+        timeout: Duration,
+    },
+    /// A worker sent bytes that do not decode as a valid frame.
+    Frame {
+        /// Worker slot.
+        worker: usize,
+        /// The located decode failure.
+        error: FrameError,
+    },
+    /// A well-formed frame that violates the protocol (wrong frame type,
+    /// mismatched round id, a payload the wire cannot carry).
+    Protocol {
+        /// Worker slot.
+        worker: usize,
+        /// What was violated.
+        message: String,
+    },
+    /// The worker itself reported an error frame.
+    Worker {
+        /// Worker slot.
+        worker: usize,
+        /// The worker's message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Io { worker, message } => {
+                write!(f, "worker {worker}: i/o error: {message}")
+            }
+            ClusterError::Died { worker } => {
+                write!(f, "worker {worker} closed its connection mid-round")
+            }
+            ClusterError::Timeout { worker, timeout } => {
+                write!(f, "worker {worker} silent for more than {timeout:?}")
+            }
+            ClusterError::Frame { worker, error } => {
+                write!(f, "worker {worker} sent an invalid frame: {error}")
+            }
+            ClusterError::Protocol { worker, message } => {
+                write!(f, "worker {worker} protocol violation: {message}")
+            }
+            ClusterError::Worker { worker, message } => {
+                write!(f, "worker {worker} reported: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Map a read-side [`FrameError`] to the cluster error naming the worker.
+fn read_error(worker: usize, timeout: Duration, error: FrameError) -> ClusterError {
+    match error {
+        FrameError::TimedOut => ClusterError::Timeout { worker, timeout },
+        FrameError::Io(message) => ClusterError::Io { worker, message },
+        other => ClusterError::Frame {
+            worker,
+            error: other,
+        },
+    }
+}
+
+/// One live worker connection.
+#[derive(Debug)]
+struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// The round driver over real worker processes. Create with
+/// [`Coordinator::connect`], call [`Coordinator::run_round`] once per
+/// communication round, then collect [`Coordinator::into_metrics`].
+#[derive(Debug)]
+pub struct Coordinator {
+    connections: Vec<Connection>,
+    timeout: Duration,
+    p: usize,
+    bits_per_value: u64,
+    metrics: RunMetrics,
+}
+
+impl Coordinator {
+    /// Connect to every configured worker and introduce ourselves with a
+    /// `Hello` frame (which also resets any state a reused worker kept
+    /// from an earlier run).
+    ///
+    /// # Errors
+    /// [`ClusterError::Io`] when a worker is unreachable;
+    /// [`ClusterError::Protocol`] when the config lists no workers or
+    /// `p == 0`.
+    pub fn connect(
+        config: &ClusterConfig,
+        p: usize,
+        bits_per_value: u64,
+    ) -> Result<Coordinator, ClusterError> {
+        if config.workers.is_empty() {
+            return Err(ClusterError::Protocol {
+                worker: 0,
+                message: "the cluster config lists no workers".into(),
+            });
+        }
+        if p == 0 {
+            return Err(ClusterError::Protocol {
+                worker: 0,
+                message: "a run needs at least one logical server".into(),
+            });
+        }
+        let workers = config.workers.len();
+        let mut connections = Vec::with_capacity(workers);
+        for (worker, address) in config.workers.iter().enumerate() {
+            let io = |e: std::io::Error| ClusterError::Io {
+                worker,
+                message: e.to_string(),
+            };
+            let stream = TcpStream::connect(address).map_err(io)?;
+            stream.set_nodelay(true).map_err(io)?;
+            stream
+                .set_read_timeout(Some(config.read_timeout))
+                .map_err(io)?;
+            let reader = BufReader::new(stream.try_clone().map_err(io)?);
+            let mut writer = BufWriter::new(stream);
+            write_frame(
+                &mut writer,
+                &Frame::Hello {
+                    worker: worker as u64,
+                    workers: workers as u64,
+                    bits_per_value,
+                },
+            )
+            .map_err(io)?;
+            writer.flush().map_err(io)?;
+            connections.push(Connection { reader, writer });
+        }
+        Ok(Coordinator {
+            connections,
+            timeout: config.read_timeout,
+            p,
+            bits_per_value,
+            metrics: RunMetrics::default(),
+        })
+    }
+
+    /// Number of worker processes (≤ `p`, the logical servers).
+    pub fn num_workers(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// Record the total input size `|I|` in bits, exactly like
+    /// [`crate::Cluster::set_input_bits`].
+    pub fn set_input_bits(&mut self, bits: u64) {
+        self.metrics.input_bits = bits;
+    }
+
+    /// Execute one communication round on the cluster: ship every message
+    /// to its logical server's worker, tell all workers to run `program`
+    /// over their fragments, barrier on their answers and return the
+    /// merged, deduplicated result.
+    ///
+    /// # Errors
+    /// Any [`ClusterError`]; the coordinator is not usable afterwards
+    /// (a failed round leaves workers in an unknown state).
+    ///
+    /// # Panics
+    /// Panics when a message addresses a logical server `>= p`, matching
+    /// the simulator's contract.
+    pub fn run_round(
+        &mut self,
+        messages: Vec<Message>,
+        program: &RoundProgram,
+    ) -> Result<Relation, ClusterError> {
+        let start = Instant::now();
+        let workers = self.num_workers();
+        let p = self.p;
+        let round = (self.metrics.rounds.len() + 1) as u64;
+        let mut received = vec![0u64; p];
+        let count = messages.len();
+        // Write phase: all fragments, then Execute to every worker (ones
+        // with no fragments still barrier and answer empty).
+        for msg in messages {
+            assert!(
+                msg.to < p,
+                "message addressed to server {} but the run has only {p} servers",
+                msg.to
+            );
+            received[msg.to] += msg.payload.size_bits(self.bits_per_value);
+            let worker = msg.to % workers;
+            let relation = match msg.payload {
+                Payload::Tuples(relation) => relation,
+                Payload::Raw { label, .. } => {
+                    return Err(ClusterError::Protocol {
+                        worker,
+                        message: format!(
+                            "the wire backend ships only tuple payloads, got raw payload {label:?}"
+                        ),
+                    })
+                }
+            };
+            self.write(worker, &Frame::Fragment { round, relation })?;
+        }
+        let execute = Frame::Execute {
+            round,
+            name: program.name.clone(),
+            output_vars: program.output_vars.clone(),
+            atoms: program
+                .atoms
+                .iter()
+                .map(|a| (a.relation.clone(), a.variables.clone()))
+                .collect(),
+        };
+        for worker in 0..workers {
+            self.write(worker, &execute)?;
+            self.connections[worker]
+                .writer
+                .flush()
+                .map_err(|e| ClusterError::Io {
+                    worker,
+                    message: e.to_string(),
+                })?;
+        }
+        // Barrier: one Answer per worker, in slot order.
+        let mut wire_bytes = vec![0u64; workers];
+        let mut merged: Option<Relation> = None;
+        for (worker, wire) in wire_bytes.iter_mut().enumerate() {
+            let (frame, frame_bytes) = read_frame(&mut self.connections[worker].reader)
+                .map_err(|e| read_error(worker, self.timeout, e))?
+                .ok_or(ClusterError::Died { worker })?;
+            match frame {
+                Frame::Answer {
+                    round: answered,
+                    bytes_received,
+                    relation,
+                } => {
+                    if answered != round {
+                        return Err(ClusterError::Protocol {
+                            worker,
+                            message: format!(
+                                "answered round {answered} while round {round} is running"
+                            ),
+                        });
+                    }
+                    *wire = bytes_received;
+                    self.metrics.result_wire_bytes += frame_bytes;
+                    match &mut merged {
+                        Some(acc) => acc.append(&relation),
+                        None => merged = Some(relation),
+                    }
+                }
+                Frame::Error { message } => {
+                    return Err(ClusterError::Worker { worker, message })
+                }
+                other => {
+                    return Err(ClusterError::Protocol {
+                        worker,
+                        message: format!("expected an Answer frame, got {other:?}"),
+                    })
+                }
+            }
+        }
+        let mut output = merged.expect("at least one worker answered");
+        output.dedup();
+        self.metrics.rounds.push(RoundStats {
+            round: round as usize,
+            received_bits: received,
+            messages: count,
+            wire_bytes,
+            wall_micros: start.elapsed().as_micros() as u64,
+        });
+        Ok(output)
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Consume the coordinator, returning its metrics. The worker
+    /// connections close; the workers themselves keep serving.
+    pub fn into_metrics(self) -> RunMetrics {
+        self.metrics
+    }
+
+    fn write(&mut self, worker: usize, frame: &Frame) -> Result<u64, ClusterError> {
+        write_frame(&mut self.connections[worker].writer, frame).map_err(|e| ClusterError::Io {
+            worker,
+            message: e.to_string(),
+        })
+    }
+}
+
+/// Ask every configured worker process to exit: connect, send a
+/// `Shutdown` frame, move on. Best-effort by design — a worker that is
+/// already gone is exactly what we wanted.
+pub fn shutdown_workers(config: &ClusterConfig) {
+    for address in &config.workers {
+        if let Ok(stream) = TcpStream::connect(address) {
+            let mut writer = BufWriter::new(stream);
+            let _ = write_frame(&mut writer, &Frame::Shutdown);
+            let _ = writer.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::worker::LocalWorkers;
+    use pq_relation::{natural_join, Relation, Schema};
+
+    fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<u64>>) -> Relation {
+        Relation::from_rows(Schema::from_strs(name, attrs), rows)
+    }
+
+    fn join_program() -> RoundProgram {
+        RoundProgram {
+            name: "Q".into(),
+            output_vars: vec!["x".into(), "y".into(), "z".into()],
+            atoms: vec![
+                AtomSpec {
+                    relation: "R".into(),
+                    variables: vec!["x".into(), "y".into()],
+                },
+                AtomSpec {
+                    relation: "S".into(),
+                    variables: vec!["y".into(), "z".into()],
+                },
+            ],
+        }
+    }
+
+    /// Hand-route a two-atom join across 2 workers folding p = 4 logical
+    /// servers, and check the output and both cost accounts.
+    #[test]
+    fn a_round_over_real_sockets_matches_the_local_join() {
+        let workers = LocalWorkers::spawn(2).unwrap();
+        let config = ClusterConfig::new(workers.addresses().to_vec());
+        let mut coordinator = Coordinator::connect(&config, 4, 16).unwrap();
+        coordinator.set_input_bits(1000);
+        let r = rel("R", &["x", "y"], vec![vec![1, 2], vec![3, 4], vec![5, 2]]);
+        let s = rel("S", &["y", "z"], vec![vec![2, 20], vec![4, 40]]);
+        // Partition R by x % 4 onto logical servers, broadcast S — every
+        // answer then lands on its x-tuple's server, so the plan is
+        // complete, and folding 4 servers onto 2 workers must not change
+        // the output.
+        let mut messages = Vec::new();
+        for row in r.iter() {
+            let to = (row[0] % 4) as usize;
+            messages.push(Message::tuples(
+                to,
+                rel("R", &["x", "y"], vec![row.to_vec()]),
+            ));
+        }
+        for to in 0..4 {
+            messages.push(Message::tuples(to, s.clone()));
+        }
+        let output = coordinator.run_round(messages, &join_program()).unwrap();
+        let mut rows: Vec<Vec<u64>> = output.iter().map(|t| t.to_vec()).collect();
+        rows.sort();
+        let expected = natural_join(&r, &s);
+        let mut expected_rows: Vec<Vec<u64>> = expected.iter().map(|t| t.to_vec()).collect();
+        expected_rows.sort();
+        assert_eq!(rows, expected_rows);
+
+        let metrics = coordinator.into_metrics();
+        assert_eq!(metrics.num_rounds(), 1);
+        let stats = &metrics.rounds[0];
+        // Model account: length p, same arithmetic as the simulator
+        // (3 R-rows of 2 values + a 2-row broadcast of S, at 16 bits).
+        assert_eq!(stats.received_bits.len(), 4);
+        assert_eq!(stats.total_bits(), (3 * 2 + 4 * 2 * 2) * 16);
+        // Measured account: length workers, nonzero (both workers got S).
+        assert_eq!(stats.wire_bytes.len(), 2);
+        assert!(stats.wire_bytes.iter().all(|&b| b > 0));
+        // 64-bit wire values can only cost more than 16-bit model values.
+        assert!(stats.total_wire_bytes() * 8 >= stats.total_bits());
+        assert!(metrics.result_wire_bytes > 0);
+        assert!(metrics.is_measured());
+        workers.shutdown();
+    }
+
+    #[test]
+    fn raw_payloads_are_rejected_as_protocol_errors() {
+        let workers = LocalWorkers::spawn(1).unwrap();
+        let config = ClusterConfig::new(workers.addresses().to_vec());
+        let mut coordinator = Coordinator::connect(&config, 2, 8).unwrap();
+        let err = coordinator
+            .run_round(vec![Message::raw(0, "stats", 64)], &join_program())
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Protocol { .. }), "{err}");
+        // Workers serve one connection at a time: close ours so the
+        // shutdown connection gets accepted.
+        drop(coordinator);
+        workers.shutdown();
+    }
+
+    #[test]
+    fn connecting_to_a_dead_address_is_an_io_error() {
+        // Bind-then-drop guarantees the port is closed.
+        let dead = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let config = ClusterConfig::new(vec![dead]);
+        let err = Coordinator::connect(&config, 2, 8).unwrap_err();
+        assert!(matches!(err, ClusterError::Io { worker: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_configs_are_rejected() {
+        let err = Coordinator::connect(&ClusterConfig::new(vec![]), 2, 8).unwrap_err();
+        assert!(matches!(err, ClusterError::Protocol { .. }));
+    }
+
+    #[test]
+    fn shutdown_workers_stops_the_processes() {
+        let workers = LocalWorkers::spawn(2).unwrap();
+        let config = ClusterConfig::new(workers.addresses().to_vec());
+        shutdown_workers(&config);
+        // The serve loops have exited; shutdown() now just joins threads
+        // (its own Shutdown connects fail, which it tolerates).
+        workers.shutdown();
+    }
+}

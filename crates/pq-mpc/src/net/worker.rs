@@ -1,0 +1,373 @@
+//! The worker side of the cluster protocol.
+//!
+//! A worker is a passive party: it accepts one coordinator connection at a
+//! time, accumulates relation fragments exactly like the simulator's
+//! [`crate::Server`] (merged by relation name — one flat-buffer append per
+//! fragment), and on every `Execute` frame joins the fragments of the
+//! listed atoms, projects to the output variables and replies with an
+//! `Answer` frame carrying its head fragment and the bytes it measured on
+//! the wire for the round. Local computation is free in the MPC model, so
+//! the join itself is the plain sequential
+//! [`pq_relation::natural_join_all`].
+//!
+//! A `Shutdown` frame ends the whole serve loop (not just the current
+//! connection) — the fix for the daemon's listener otherwise looping
+//! forever with no teardown path. [`LocalWorkers`] runs the same loop on
+//! in-process threads bound to ephemeral localhost ports, which is how the
+//! test suites and benchmarks stand up a real-socket cluster without
+//! managing child processes.
+
+use crate::net::codec::{read_frame, write_frame, Frame};
+use pq_relation::{natural_join_all, project, Relation, Schema};
+use std::collections::BTreeMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// Serve one coordinator connection. Returns `true` when a `Shutdown`
+/// frame asked the whole worker to exit (vs. the peer merely hanging up).
+fn serve_connection(stream: TcpStream) -> bool {
+    let peer = stream.local_addr().map(|a| a.to_string()).unwrap_or_default();
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return false,
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = BufWriter::new(stream);
+    // Fragments merged by relation name, like the simulator's Server; the
+    // MPC model lets knowledge accumulate across rounds.
+    let mut fragments: BTreeMap<String, Relation> = BTreeMap::new();
+    // Measured bytes read since the last Answer (frame headers included).
+    let mut wire_bytes = 0u64;
+    loop {
+        let (frame, frame_bytes) = match read_frame(&mut reader) {
+            Ok(Some(read)) => read,
+            // Orderly close between frames: this coordinator is done.
+            Ok(None) => return false,
+            Err(e) => {
+                // Best-effort located error back to the peer, then drop the
+                // connection — after a framing error the stream cannot be
+                // resynchronised.
+                let _ = write_frame(
+                    &mut writer,
+                    &Frame::Error {
+                        message: format!("worker {peer}: {e}"),
+                    },
+                );
+                let _ = writer.flush();
+                return false;
+            }
+        };
+        match frame {
+            Frame::Hello { .. } => {
+                // A new run on a reused connection: forget previous state.
+                fragments.clear();
+                wire_bytes = 0;
+            }
+            Frame::Fragment { relation, .. } => {
+                wire_bytes += frame_bytes;
+                match fragments.get_mut(relation.name()) {
+                    Some(existing) => existing.append(&relation),
+                    None => {
+                        fragments.insert(relation.name().to_string(), relation);
+                    }
+                }
+            }
+            Frame::Execute {
+                round,
+                name,
+                output_vars,
+                atoms,
+            } => {
+                wire_bytes += frame_bytes;
+                let answer = local_answer(&fragments, &name, &output_vars, &atoms);
+                let ok = write_frame(
+                    &mut writer,
+                    &Frame::Answer {
+                        round,
+                        bytes_received: wire_bytes,
+                        relation: answer,
+                    },
+                )
+                .is_ok()
+                    && writer.flush().is_ok();
+                wire_bytes = 0;
+                if !ok {
+                    return false;
+                }
+            }
+            Frame::Shutdown => return true,
+            Frame::Error { message } => {
+                eprintln!("pqd worker: coordinator error: {message}");
+                return false;
+            }
+            Frame::Answer { .. } => {
+                let _ = write_frame(
+                    &mut writer,
+                    &Frame::Error {
+                        message: "protocol violation: workers receive no Answer frames".into(),
+                    },
+                );
+                let _ = writer.flush();
+                return false;
+            }
+        }
+    }
+}
+
+/// The worker's local computation: join the fragments of the listed atoms
+/// (a missing fragment is the correctly-shaped empty relation — no rows
+/// were routed here, so this grid point contributes no answers) and
+/// project to the output variables with set semantics.
+fn local_answer(
+    fragments: &BTreeMap<String, Relation>,
+    name: &str,
+    output_vars: &[String],
+    atoms: &[(String, Vec<String>)],
+) -> Relation {
+    let bound: Vec<Relation> = atoms
+        .iter()
+        .map(|(relation, variables)| match fragments.get(relation) {
+            Some(fragment) => fragment.clone(),
+            None => Relation::empty(Schema::new(relation.clone(), variables.clone())),
+        })
+        .collect();
+    let joined = natural_join_all(&bound);
+    project(&joined, output_vars, name)
+}
+
+/// Run the worker loop on `listener`: serve coordinator connections one at
+/// a time until a `Shutdown` frame arrives, then return. I/O errors on a
+/// single connection never kill the loop; accept errors do (the listener
+/// itself is broken).
+pub fn serve_worker(listener: &TcpListener) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        if serve_connection(stream?) {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// A cluster of worker loops on in-process threads, each listening on an
+/// ephemeral localhost port — real sockets, real frames, no child-process
+/// management. Dropping the handle shuts the workers down (each is sent a
+/// `Shutdown` frame and joined), so tests cannot leak threads; call
+/// [`LocalWorkers::shutdown`] to do it explicitly.
+#[derive(Debug)]
+pub struct LocalWorkers {
+    addresses: Vec<String>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl LocalWorkers {
+    /// Spawn `n` workers. Their addresses are in slot order, ready to be
+    /// handed to a [`crate::net::ClusterConfig`].
+    ///
+    /// # Errors
+    /// Fails when an ephemeral localhost port cannot be bound.
+    pub fn spawn(n: usize) -> std::io::Result<LocalWorkers> {
+        let mut addresses = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for _ in 0..n {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            addresses.push(listener.local_addr()?.to_string());
+            handles.push(std::thread::spawn(move || {
+                let _ = serve_worker(&listener);
+            }));
+        }
+        Ok(LocalWorkers { addresses, handles })
+    }
+
+    /// The workers' `host:port` addresses, in slot order.
+    pub fn addresses(&self) -> &[String] {
+        &self.addresses
+    }
+
+    /// Shut every worker down (a `Shutdown` frame each) and join the
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        for address in &self.addresses {
+            if let Ok(stream) = TcpStream::connect(address) {
+                let mut writer = BufWriter::new(stream);
+                let _ = write_frame(&mut writer, &Frame::Shutdown);
+                let _ = writer.flush();
+            }
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for LocalWorkers {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::codec::read_frame;
+    use pq_relation::Schema;
+    use std::io::BufReader;
+
+    fn frag(name: &str, attrs: &[&str], rows: Vec<Vec<u64>>) -> Relation {
+        Relation::from_rows(Schema::from_strs(name, attrs), rows)
+    }
+
+    /// Drive one worker over a real socket by hand: shuffle two fragments,
+    /// execute, check the answer, and shut down.
+    #[test]
+    fn worker_joins_its_fragments_and_shuts_down() {
+        let workers = LocalWorkers::spawn(1).unwrap();
+        let stream = TcpStream::connect(&workers.addresses()[0]).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        write_frame(
+            &mut writer,
+            &Frame::Hello {
+                worker: 0,
+                workers: 1,
+                bits_per_value: 8,
+            },
+        )
+        .unwrap();
+        let mut sent = 0u64;
+        sent += write_frame(
+            &mut writer,
+            &Frame::Fragment {
+                round: 1,
+                relation: frag("R", &["x", "y"], vec![vec![1, 2], vec![3, 4]]),
+            },
+        )
+        .unwrap();
+        // A second fragment of the same relation must merge, not replace.
+        sent += write_frame(
+            &mut writer,
+            &Frame::Fragment {
+                round: 1,
+                relation: frag("R", &["x", "y"], vec![vec![5, 6]]),
+            },
+        )
+        .unwrap();
+        sent += write_frame(
+            &mut writer,
+            &Frame::Fragment {
+                round: 1,
+                relation: frag("S", &["y", "z"], vec![vec![2, 20], vec![6, 60]]),
+            },
+        )
+        .unwrap();
+        sent += write_frame(
+            &mut writer,
+            &Frame::Execute {
+                round: 1,
+                name: "Q".into(),
+                output_vars: vec!["x".into(), "y".into(), "z".into()],
+                atoms: vec![
+                    ("R".into(), vec!["x".into(), "y".into()]),
+                    ("S".into(), vec!["y".into(), "z".into()]),
+                ],
+            },
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        let (frame, _) = read_frame(&mut reader).unwrap().expect("an answer");
+        let Frame::Answer {
+            round,
+            bytes_received,
+            relation,
+        } = frame
+        else {
+            panic!("expected an Answer, got {frame:?}");
+        };
+        assert_eq!(round, 1);
+        assert_eq!(
+            bytes_received, sent,
+            "the worker measures exactly the fragment + execute bytes (Hello excluded)"
+        );
+        assert_eq!(relation.schema().attributes(), &["x", "y", "z"]);
+        let mut rows: Vec<Vec<u64>> = relation.iter().map(|r| r.to_vec()).collect();
+        rows.sort();
+        assert_eq!(rows, vec![vec![1, 2, 20], vec![5, 6, 60]]);
+        drop(writer);
+        drop(reader);
+        workers.shutdown(); // must not hang: Shutdown ends the serve loop
+    }
+
+    #[test]
+    fn missing_fragments_yield_an_empty_correctly_shaped_answer() {
+        let workers = LocalWorkers::spawn(1).unwrap();
+        let stream = TcpStream::connect(&workers.addresses()[0]).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        // R arrives, S never does: this grid point must answer empty.
+        write_frame(
+            &mut writer,
+            &Frame::Fragment {
+                round: 1,
+                relation: frag("R", &["x", "y"], vec![vec![1, 2]]),
+            },
+        )
+        .unwrap();
+        write_frame(
+            &mut writer,
+            &Frame::Execute {
+                round: 1,
+                name: "Q".into(),
+                output_vars: vec!["x".into(), "y".into(), "z".into()],
+                atoms: vec![
+                    ("R".into(), vec!["x".into(), "y".into()]),
+                    ("S".into(), vec!["y".into(), "z".into()]),
+                ],
+            },
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        let (frame, _) = read_frame(&mut reader).unwrap().expect("an answer");
+        let Frame::Answer { relation, .. } = frame else {
+            panic!("expected an Answer");
+        };
+        assert!(relation.is_empty());
+        assert_eq!(relation.arity(), 3);
+    }
+
+    #[test]
+    fn a_framing_error_gets_a_located_error_frame_back() {
+        let workers = LocalWorkers::spawn(1).unwrap();
+        let stream = TcpStream::connect(&workers.addresses()[0]).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        writer.write_all(b"GARBAGE!").unwrap();
+        writer.flush().unwrap();
+        let (frame, _) = read_frame(&mut reader).unwrap().expect("an error frame");
+        let Frame::Error { message } = frame else {
+            panic!("expected an Error frame, got {frame:?}");
+        };
+        assert!(message.contains("magic"), "{message}");
+        // The worker dropped that connection but still serves new ones.
+        let probe = TcpStream::connect(&workers.addresses()[0]).unwrap();
+        let mut probe_writer = BufWriter::new(probe.try_clone().unwrap());
+        write_frame(
+            &mut probe_writer,
+            &Frame::Execute {
+                round: 1,
+                name: "Q".into(),
+                output_vars: vec![],
+                atoms: vec![],
+            },
+        )
+        .unwrap();
+        probe_writer.flush().unwrap();
+        let mut probe_reader = BufReader::new(probe);
+        assert!(matches!(
+            read_frame(&mut probe_reader).unwrap(),
+            Some((Frame::Answer { .. }, _))
+        ));
+    }
+}

@@ -39,6 +39,7 @@ mod rowindex;
 pub mod schema;
 pub mod statistics;
 pub mod tuple;
+pub mod wire;
 
 pub use csv::{
     load_database_dir, load_database_files, load_relation_csv, CsvError, ValueDictionary,
@@ -56,6 +57,7 @@ pub use statistics::{
     database_fingerprint, DatabaseStatistics, DegreeStatistics, HeavyHitter, RelationStatistics,
 };
 pub use tuple::{Tuple, Value};
+pub use wire::{values_from_le_bytes, values_to_le_bytes, WireError};
 
 /// Number of bits needed to represent one value from a domain of size `n`
 /// (`ceil(log2 n)`, at least 1).

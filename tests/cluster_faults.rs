@@ -1,0 +1,239 @@
+//! Network fault injection for the cluster backend: every way a worker can
+//! misbehave — dying before the round, dying mid-round, truncating a frame,
+//! or going silent — must surface as a *typed* [`ClusterError`] within the
+//! configured timeout. No test here may hang: the coordinator's read
+//! timeout and the write-then-barrier round structure are exactly what
+//! these tests hold to account.
+//!
+//! The faulty peers are hand-rolled socket threads, not [`serve_worker`]
+//! loops: the real worker is deliberately incapable of answering with a
+//! truncated frame or staying silent, so the faults are injected at the
+//! raw byte level beneath the codec.
+
+use pq_mpc::net::{
+    read_frame, AtomSpec, ClusterConfig, ClusterError, Coordinator, Frame, RoundProgram, MAGIC,
+};
+use pq_mpc::Message;
+use pq_relation::{Relation, Schema};
+use std::io::{BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What a fake worker does after accepting its one connection.
+#[derive(Clone, Copy)]
+enum Fault {
+    /// Close the socket immediately, before even reading the Hello.
+    DieOnAccept,
+    /// Read frames up to the round's Execute, then close without answering
+    /// — a worker crashing mid-round, after the shuffle reached it.
+    DieMidRound,
+    /// Read up to the Execute, then send a frame whose length prefix
+    /// promises more payload than follows, and close.
+    TruncateAnswer,
+    /// Read everything, answer nothing, hold the connection open.
+    Silent,
+}
+
+/// Spawn a fake worker exhibiting `fault`; returns its address and the
+/// thread handle (joined by the test to prove the peer exited too).
+fn faulty_worker(fault: Fault) -> (String, JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let address = listener.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        serve_fault(stream, fault);
+    });
+    (address, handle)
+}
+
+fn serve_fault(stream: TcpStream, fault: Fault) {
+    if matches!(fault, Fault::DieOnAccept) {
+        return; // drop the stream: RST or EOF at the coordinator
+    }
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    // Consume frames (Hello, fragments) until the round's Execute.
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some((Frame::Execute { .. }, _))) => break,
+            Ok(Some(_)) => continue,
+            // The coordinator gave up and closed first (e.g. its write
+            // failed): nothing more to inject.
+            Ok(None) | Err(_) => return,
+        }
+    }
+    match fault {
+        Fault::DieOnAccept => unreachable!("handled above"),
+        Fault::DieMidRound => (), // drop both halves without answering
+        Fault::TruncateAnswer => {
+            // A syntactically valid frame start — magic, Answer type byte,
+            // a 100-byte length prefix — followed by only 10 payload bytes.
+            let mut partial = Vec::new();
+            partial.extend_from_slice(&MAGIC);
+            partial.push(4); // Frame::Answer's type byte
+            partial.extend_from_slice(&100u32.to_le_bytes());
+            partial.extend_from_slice(&[0u8; 10]);
+            let _ = writer.write_all(&partial);
+            let _ = writer.flush();
+        }
+        Fault::Silent => {
+            // Hold the connection open and unanswered until the
+            // coordinator hangs up; then exit so the join below returns.
+            let mut sink = [0u8; 256];
+            while matches!(reader.read(&mut sink), Ok(n) if n > 0) {}
+        }
+    }
+}
+
+/// A minimal single-join round: R(x, y) ⋈ S(y, z) over p = 2 logical
+/// servers, everything broadcast, so every worker sees traffic before the
+/// fault fires.
+fn round_messages() -> Vec<Message> {
+    let r = Relation::from_rows(
+        Schema::from_strs("R", &["x", "y"]),
+        vec![vec![1, 2], vec![3, 4]],
+    );
+    let s = Relation::from_rows(Schema::from_strs("S", &["y", "z"]), vec![vec![2, 20]]);
+    let mut messages = Vec::new();
+    for to in 0..2 {
+        messages.push(Message::tuples(to, r.clone()));
+        messages.push(Message::tuples(to, s.clone()));
+    }
+    messages
+}
+
+fn round_program() -> RoundProgram {
+    RoundProgram {
+        name: "Q".into(),
+        output_vars: vec!["x".into(), "y".into(), "z".into()],
+        atoms: vec![
+            AtomSpec {
+                relation: "R".into(),
+                variables: vec!["x".into(), "y".into()],
+            },
+            AtomSpec {
+                relation: "S".into(),
+                variables: vec!["y".into(), "z".into()],
+            },
+        ],
+    }
+}
+
+/// Drive one round against a single faulty worker and return the typed
+/// error, bounding the whole exchange by `deadline`.
+fn run_against(fault: Fault, timeout: Duration, deadline: Duration) -> ClusterError {
+    let (address, handle) = faulty_worker(fault);
+    let config = ClusterConfig::new(vec![address]).with_read_timeout(timeout);
+    let started = Instant::now();
+    let error = match Coordinator::connect(&config, 2, 8) {
+        // Connect can already observe the death (write or RST); that is a
+        // typed error too, and the test asserts on whatever surfaced.
+        Err(e) => e,
+        Ok(mut coordinator) => {
+            let result = coordinator.run_round(round_messages(), &round_program());
+            let error = result.expect_err("a faulty worker must fail the round");
+            drop(coordinator); // hang up so the Silent peer's read loop ends
+            error
+        }
+    };
+    assert!(
+        started.elapsed() < deadline,
+        "fault must surface within {deadline:?}, took {:?}",
+        started.elapsed()
+    );
+    handle.join().expect("faulty worker thread exits");
+    error
+}
+
+#[test]
+fn a_worker_dying_before_the_round_is_a_typed_error() {
+    let error = run_against(
+        Fault::DieOnAccept,
+        Duration::from_secs(5),
+        Duration::from_secs(10),
+    );
+    // Depending on how fast the RST lands, the death shows up as a failed
+    // write (Io), a closed read (Died) or a torn frame — never a hang, and
+    // never an untyped panic.
+    assert!(
+        matches!(
+            error,
+            ClusterError::Io { .. } | ClusterError::Died { .. } | ClusterError::Frame { .. }
+        ),
+        "unexpected error for a dead-on-accept worker: {error}"
+    );
+}
+
+#[test]
+fn a_worker_dying_mid_round_is_reported_dead() {
+    let error = run_against(
+        Fault::DieMidRound,
+        Duration::from_secs(5),
+        Duration::from_secs(10),
+    );
+    assert!(
+        matches!(
+            error,
+            ClusterError::Died { .. } | ClusterError::Io { .. } | ClusterError::Frame { .. }
+        ),
+        "unexpected error for a mid-round death: {error}"
+    );
+}
+
+#[test]
+fn a_truncated_answer_frame_is_a_frame_error() {
+    let error = run_against(
+        Fault::TruncateAnswer,
+        Duration::from_secs(5),
+        Duration::from_secs(10),
+    );
+    assert!(
+        matches!(error, ClusterError::Frame { worker: 0, .. }),
+        "a torn frame must be a Frame error, got: {error}"
+    );
+}
+
+#[test]
+fn a_silent_worker_times_out_within_the_configured_deadline() {
+    let timeout = Duration::from_millis(500);
+    let started = Instant::now();
+    let error = run_against(Fault::Silent, timeout, Duration::from_secs(5));
+    assert!(
+        matches!(error, ClusterError::Timeout { worker: 0, .. }),
+        "a silent worker must be a Timeout, got: {error}"
+    );
+    // The barrier gave up soon after the read timeout — it did not wait
+    // for some unrelated, longer deadline.
+    assert!(
+        started.elapsed() >= timeout,
+        "the timeout cannot fire early"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "a 500 ms read timeout must not take {:?}",
+        started.elapsed()
+    );
+}
+
+/// A healthy round straight after a faulty one on a fresh coordinator:
+/// fault handling must not poison process-global state.
+#[test]
+fn a_fresh_coordinator_recovers_after_a_fault() {
+    let _ = run_against(
+        Fault::DieMidRound,
+        Duration::from_secs(5),
+        Duration::from_secs(10),
+    );
+    let workers = pq_mpc::net::LocalWorkers::spawn(1).expect("spawn");
+    let config = ClusterConfig::new(workers.addresses().to_vec());
+    let mut coordinator = Coordinator::connect(&config, 2, 8).expect("connect");
+    let output = coordinator
+        .run_round(round_messages(), &round_program())
+        .expect("healthy round");
+    let mut rows: Vec<Vec<u64>> = output.iter().map(|t| t.to_vec()).collect();
+    rows.sort();
+    assert_eq!(rows, vec![vec![1, 2, 20]]);
+    drop(coordinator);
+    workers.shutdown();
+}
