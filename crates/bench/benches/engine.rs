@@ -146,5 +146,42 @@ fn bench_engine_backend(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_engine_update, bench_engine_backend);
+/// The cost of the observability layer itself: the identical warm
+/// (plan-cached) triangle run with metrics recording on (the default)
+/// versus stripped (`with_metrics_enabled(false)`, which turns every
+/// instrumentation site into one relaxed atomic load). The acceptance
+/// budget for the gap is < 2%: a traced run is a handful of `Instant`
+/// reads and atomic adds against ~2ms of execution.
+fn bench_engine_obs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_obs");
+    group.sample_size(10);
+    let query = ConjunctiveQuery::triangle();
+    let text = query.to_string();
+    let m = 4_000usize;
+    let db = matching_database_for_query(&query, m, 7);
+    let p = 16usize;
+
+    let observed = Engine::new(db.clone(), p).session();
+    observed.run(&text).expect("warm-up run");
+    group.bench_with_input(BenchmarkId::new("instrumented_warm", m), &text, |b, text| {
+        b.iter(|| observed.run(text).expect("runs").outcome.output.len())
+    });
+
+    let stripped = Engine::new(db.clone(), p)
+        .with_metrics_enabled(false)
+        .session();
+    stripped.run(&text).expect("warm-up run");
+    group.bench_with_input(BenchmarkId::new("stripped_warm", m), &text, |b, text| {
+        b.iter(|| stripped.run(text).expect("runs").outcome.output.len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_engine_update,
+    bench_engine_backend,
+    bench_engine_obs
+);
 criterion_main!(benches);

@@ -24,8 +24,17 @@
 //! → SERVERS 8        ← OK p=8          (this connection's session only)
 //! → SEED 42          ← OK seed=42
 //! → STATS            ← …lines… then OK
+//! → METRICS          ← Prometheus text exposition of the engine's
+//!                      cumulative metrics, then OK (`METRICS JSON` for
+//!                      one JSON document instead)
 //! → QUIT             ← OK bye
 //! ```
+//!
+//! Observability: every query is traced through the engine (parse → cache
+//! lookup → plan → execute) into the cumulative [`pq_obs`] registry that
+//! `METRICS` dumps; `--slow-query-ms N` warn-logs any RUN slower than `N`
+//! milliseconds with its per-phase breakdown, and `--log-level` gates the
+//! structured stderr log (default `info`, `quiet` silences it).
 //!
 //! Errors never kill the connection: `ERR <message>` (newlines folded) and
 //! the session keeps listening. Two knobs bound the damage misbehaving or
@@ -50,6 +59,7 @@
 
 use pq_engine::{Engine, ExecBackend, Session};
 use pq_mpc::RunMetrics;
+use pq_obs::{json_text, prometheus_text, Counter, Gauge, LogLevel, Logger, MetricsRegistry};
 use pq_relation::{load_database_files, ValueDictionary};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
@@ -79,12 +89,18 @@ OPTIONS:
                            (host:port, repeatable and/or comma-separated)
     --worker               be a cluster worker: speak the binary frame
                            protocol, load no data, exit on a Shutdown frame
+    --log-level LEVEL      stderr log verbosity: quiet, error, warn, info,
+                           debug (default info)
+    --slow-query-ms MS     warn-log RUNs slower than MS milliseconds, with
+                           the per-phase breakdown (default 0 = off)
     -h, --help             this text
 
 PROTOCOL: one command per line — RUN <query>, EXPLAIN <query>,
-INSERT <relation> <v1,...,vk>, SERVERS <p>, SEED <n>, STATS, SHUTDOWN,
-QUIT; each response block ends with an OK or ERR line. SHUTDOWN stops the
-daemon (and, with --cluster, its workers); QUIT only closes the connection.
+INSERT <relation> <v1,...,vk>, SERVERS <p>, SEED <n>, STATS, METRICS
+[JSON], SHUTDOWN, QUIT; each response block ends with an OK or ERR line.
+METRICS dumps the engine's cumulative metrics in the Prometheus text
+format (or one JSON document). SHUTDOWN stops the daemon (and, with
+--cluster, its workers); QUIT only closes the connection.
 ";
 
 struct Options {
@@ -94,6 +110,8 @@ struct Options {
     read_timeout: u64,
     max_connections: usize,
     worker: bool,
+    log_level: LogLevel,
+    slow_query_ms: u64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -103,6 +121,8 @@ fn parse_args() -> Result<Options, String> {
     let mut read_timeout = 0u64;
     let mut max_connections = 1024usize;
     let mut worker = false;
+    let mut log_level = LogLevel::Info;
+    let mut slow_query_ms = 0u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if common.consume(&arg, &mut args)? {
@@ -116,6 +136,16 @@ fn parse_args() -> Result<Options, String> {
             "--read-timeout" => {
                 read_timeout =
                     parse_number("--read-timeout", &value_of("--read-timeout", &mut args)?)?
+            }
+            "--log-level" => {
+                let value = value_of("--log-level", &mut args)?;
+                log_level = LogLevel::parse(&value).ok_or_else(|| {
+                    format!("--log-level: `{value}` is not quiet|error|warn|info|debug")
+                })?;
+            }
+            "--slow-query-ms" => {
+                slow_query_ms =
+                    parse_number("--slow-query-ms", &value_of("--slow-query-ms", &mut args)?)?
             }
             "--max-connections" => {
                 max_connections = parse_number(
@@ -147,7 +177,45 @@ fn parse_args() -> Result<Options, String> {
         read_timeout,
         max_connections,
         worker,
+        log_level,
+        slow_query_ms,
     })
+}
+
+/// Daemon-wide observability shared by every connection thread: the
+/// structured logger behind `--log-level`, the slow-query threshold, and
+/// the pqd-level metrics registered into the engine's registry (so one
+/// `METRICS` dump covers both layers).
+struct Daemon {
+    logger: Logger,
+    slow_query_ms: u64,
+    slow_queries: Counter,
+    connections_total: Counter,
+    connections_active: Gauge,
+}
+
+impl Daemon {
+    fn new(logger: Logger, slow_query_ms: u64, registry: &MetricsRegistry) -> Self {
+        Daemon {
+            logger,
+            slow_query_ms,
+            slow_queries: registry.counter(
+                "pqd_slow_queries_total",
+                &[],
+                "RUNs slower than --slow-query-ms",
+            ),
+            connections_total: registry.counter(
+                "pqd_connections_total",
+                &[],
+                "Client connections accepted since startup",
+            ),
+            connections_active: registry.gauge(
+                "pqd_connections_active",
+                &[],
+                "Client connections currently being served",
+            ),
+        }
+    }
 }
 
 /// The shared token dictionary: RUN decodes under a read lock, INSERT
@@ -175,7 +243,7 @@ fn handle_insert(
 
 /// Serve one connection: its own session, its own budget/seed, shared
 /// engine. Any I/O error simply ends the connection.
-fn serve(stream: TcpStream, mut session: Session, dictionary: SharedDictionary) {
+fn serve(stream: TcpStream, mut session: Session, dictionary: SharedDictionary, daemon: Arc<Daemon>) {
     let peer = stream
         .peer_addr()
         .map(|a| a.to_string())
@@ -217,8 +285,8 @@ fn serve(stream: TcpStream, mut session: Session, dictionary: SharedDictionary) 
         let (command, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
         let rest = rest.trim();
         let result = match command.to_ascii_uppercase().as_str() {
-            "RUN" => match session.run(rest) {
-                Ok(run) => {
+            "RUN" => match session.run_traced(rest) {
+                Ok((run, trace)) => {
                     // Decode everything first, then write: socket writes can
                     // block on a slow client's backpressure, and holding the
                     // dictionary read lock across them would wedge every
@@ -264,6 +332,17 @@ fn serve(stream: TcpStream, mut session: Session, dictionary: SharedDictionary) 
                         run.plan.strategy.name(),
                         if run.cache_hit { "HIT" } else { "MISS" }
                     );
+                    if daemon.slow_query_ms > 0
+                        && trace.total() >= Duration::from_millis(daemon.slow_query_ms)
+                    {
+                        daemon.slow_queries.inc();
+                        daemon
+                            .logger
+                            .warn("slow query")
+                            .kv("peer", &peer)
+                            .kvs(trace.summary_fields())
+                            .emit();
+                    }
                     last_metrics = Some(run.outcome.metrics);
                     result
                 }
@@ -329,6 +408,37 @@ fn serve(stream: TcpStream, mut session: Session, dictionary: SharedDictionary) 
                         );
                     }
                 }
+                // Cumulative server-wide totals from the metrics registry —
+                // the last-run lines above cover only this connection's most
+                // recent RUN; these cover every query since startup.
+                let registry = session.engine().metrics();
+                let ok_runs = registry.counter_value("pq_queries_total", &[("status", "ok")]);
+                let err_runs = registry.counter_value("pq_queries_total", &[("status", "error")]);
+                let _ = writeln!(
+                    writer,
+                    "totals {} queries ({} ok, {} err) {} rows bytes_on_wire={}",
+                    ok_runs + err_runs,
+                    ok_runs,
+                    err_runs,
+                    registry.counter_value("pq_query_rows_total", &[]),
+                    registry.counter_value("pq_bytes_on_wire_total", &[]),
+                );
+                let _ = writeln!(
+                    writer,
+                    "totals connections active={} served={} slow_queries={}",
+                    daemon.connections_active.get(),
+                    daemon.connections_total.get(),
+                    daemon.slow_queries.get(),
+                );
+                writeln!(writer, "OK")
+            }
+            "METRICS" => {
+                let snapshot = session.engine().metrics().snapshot();
+                if rest.eq_ignore_ascii_case("json") {
+                    let _ = writeln!(writer, "{}", json_text(&snapshot));
+                } else {
+                    let _ = write!(writer, "{}", prometheus_text(&snapshot));
+                }
                 writeln!(writer, "OK")
             }
             "SHUTDOWN" => {
@@ -337,7 +447,11 @@ fn serve(stream: TcpStream, mut session: Session, dictionary: SharedDictionary) 
                 if let ExecBackend::Cluster(config) = session.backend() {
                     pq_mpc::net::shutdown_workers(config);
                 }
-                eprintln!("pqd: shutdown requested by {peer}");
+                daemon
+                    .logger
+                    .info("shutdown requested")
+                    .kv("peer", &peer)
+                    .emit();
                 std::process::exit(0);
             }
             "QUIT" | "EXIT" => {
@@ -347,36 +461,45 @@ fn serve(stream: TcpStream, mut session: Session, dictionary: SharedDictionary) 
             }
             other => writeln!(
                 writer,
-                "ERR unknown command `{other}`; try RUN, EXPLAIN, INSERT, SERVERS, SEED, STATS, SHUTDOWN, QUIT"
+                "ERR unknown command `{other}`; try RUN, EXPLAIN, INSERT, SERVERS, SEED, STATS, METRICS, SHUTDOWN, QUIT"
             ),
         };
         if result.is_err() || writer.flush().is_err() {
             break;
         }
     }
-    eprintln!("pqd: connection from {peer} closed");
+    daemon
+        .logger
+        .info("connection closed")
+        .kv("peer", &peer)
+        .emit();
 }
 
 /// RAII share of the connection budget: incremented on accept, given back
-/// when the serving thread (or the busy-rejection path) drops it.
-struct ConnectionPermit(Arc<AtomicUsize>);
+/// when the serving thread (or the busy-rejection path) drops it. Mirrors
+/// the count into the `pqd_connections_active` gauge.
+struct ConnectionPermit(Arc<AtomicUsize>, Gauge);
 
 impl Drop for ConnectionPermit {
     fn drop(&mut self) {
         self.0.fetch_sub(1, Ordering::SeqCst);
+        self.1.sub(1);
     }
 }
 
 /// Worker mode: bind, announce, and speak the binary frame protocol until
-/// a coordinator sends a `Shutdown` frame.
+/// a coordinator sends a `Shutdown` frame. The worker keeps its own
+/// registry of frame/byte/round counters and logs their totals on exit.
 fn run_worker(options: &Options) -> ! {
+    let logger = Logger::new("pqd", options.log_level);
     let listener = match TcpListener::bind((options.host.as_str(), options.port)) {
         Ok(l) => l,
         Err(e) => {
-            eprintln!(
-                "pqd: worker cannot bind {}:{}: {e}",
-                options.host, options.port
-            );
+            logger
+                .error("worker cannot bind")
+                .kv("addr", format_args!("{}:{}", options.host, options.port))
+                .kv("error", e)
+                .emit();
             std::process::exit(1);
         }
     };
@@ -384,10 +507,21 @@ fn run_worker(options: &Options) -> ! {
         Ok(addr) => println!("pqd: worker listening on {addr}"),
         Err(_) => println!("pqd: worker listening"),
     }
-    if let Err(e) = pq_mpc::net::serve_worker(&listener) {
-        eprintln!("pqd: worker failed: {e}");
+    let registry = MetricsRegistry::new();
+    let obs = pq_mpc::net::WorkerObs::new(&registry, logger.clone());
+    if let Err(e) = pq_mpc::net::serve_worker_observed(&listener, &obs) {
+        logger.error("worker failed").kv("error", e).emit();
         std::process::exit(1);
     }
+    logger
+        .info("worker totals")
+        .kv("frames", registry.counter_value("pq_worker_frames_total", &[]))
+        .kv(
+            "wire_bytes",
+            registry.counter_value("pq_worker_wire_bytes_total", &[]),
+        )
+        .kv("rounds", registry.counter_value("pq_worker_rounds_total", &[]))
+        .emit();
     println!("pqd: worker shut down");
     std::process::exit(0);
 }
@@ -396,28 +530,38 @@ fn main() {
     let options = match parse_args() {
         Ok(o) => o,
         Err(message) => {
-            eprintln!("pqd: {message}");
+            Logger::new("pqd", LogLevel::Info).error(message).emit();
             std::process::exit(2);
         }
     };
     if options.worker {
         run_worker(&options);
     }
+    let logger = Logger::new("pqd", options.log_level);
     let (database, dictionary) = match load_database_files(&options.common.data) {
         Ok(loaded) => loaded,
         Err(e) => {
-            eprintln!("pqd: {e}");
+            logger.error(e.to_string()).emit();
             std::process::exit(1);
         }
     };
     let engine = Engine::new(database, options.common.servers)
         .with_seed(options.common.seed)
         .with_backend(options.common.backend());
+    let daemon = Arc::new(Daemon::new(
+        logger.clone(),
+        options.slow_query_ms,
+        &engine.metrics(),
+    ));
     let dictionary: SharedDictionary = Arc::new(RwLock::new(dictionary));
     let listener = match TcpListener::bind((options.host.as_str(), options.port)) {
         Ok(l) => l,
         Err(e) => {
-            eprintln!("pqd: cannot bind {}:{}: {e}", options.host, options.port);
+            logger
+                .error("cannot bind")
+                .kv("addr", format_args!("{}:{}", options.host, options.port))
+                .kv("error", e)
+                .emit();
             std::process::exit(1);
         }
     };
@@ -430,7 +574,9 @@ fn main() {
     for stream in listener.incoming() {
         match stream {
             Ok(stream) => {
-                let permit = ConnectionPermit(Arc::clone(&active));
+                let permit =
+                    ConnectionPermit(Arc::clone(&active), daemon.connections_active.clone());
+                permit.1.add(1);
                 if permit.0.fetch_add(1, Ordering::SeqCst) >= options.max_connections {
                     // Over the cap: one clean protocol line, then hang up
                     // (dropping the permit releases the slot we took).
@@ -439,6 +585,7 @@ fn main() {
                     let _ = writer.flush();
                     continue;
                 }
+                daemon.connections_total.inc();
                 if let Some(timeout) = read_timeout {
                     // A connection that stays silent past the timeout gets
                     // its blocking read cancelled and is closed.
@@ -448,12 +595,13 @@ fn main() {
                 // (snapshot + plan cache) is shared by all of them.
                 let session = engine.session();
                 let dictionary = Arc::clone(&dictionary);
+                let daemon = Arc::clone(&daemon);
                 std::thread::spawn(move || {
                     let _permit = permit;
-                    serve(stream, session, dictionary);
+                    serve(stream, session, dictionary, daemon);
                 });
             }
-            Err(e) => eprintln!("pqd: accept failed: {e}"),
+            Err(e) => logger.warn("accept failed").kv("error", e).emit(),
         }
     }
 }

@@ -11,6 +11,7 @@
 //! ```
 
 use pq_engine::{ClusterConfig, Engine, EngineRun, ExecBackend, Session};
+use pq_obs::{json_text, prometheus_text, QueryTrace};
 use pq_relation::{load_database_files, Relation, ValueDictionary};
 use std::io::{BufRead, IsTerminal, Write};
 
@@ -38,7 +39,13 @@ OPTIONS:
 COMMAND (one-shot; omit to enter the interactive shell):
     explain QUERY    parse + plan, print the explainable plan
     run QUERY        parse + plan + execute, print rows and a summary
+    analyze QUERY    like `run`, plus the query's lifecycle trace: how long
+                     parse, cache lookup, plan and execute (and each cluster
+                     round) took
     stats            print the loaded relations and their statistics
+    metrics [json]   dump this process's cumulative metrics (queries,
+                     latency quantiles, cache counters) in the Prometheus
+                     text format, or as one JSON document
 
 REPL-only commands (take effect immediately):
     insert R V1,...,Vk  append one row to relation R (O(delta): only R's
@@ -135,6 +142,34 @@ fn print_run(run: &EngineRun, dictionary: &ValueDictionary, limit: usize) {
         run.outcome.metrics.max_load(),
         run.outcome.metrics.replication_rate(),
         if run.cache_hit { "HIT" } else { "MISS" },
+    );
+}
+
+/// The `analyze` tail: one line per lifecycle phase, then the total — the
+/// human-readable rendering of a [`QueryTrace`].
+fn print_trace(trace: &QueryTrace) {
+    let cache = match trace.cache_hit {
+        Some(true) => " (hit)",
+        Some(false) => " (miss)",
+        None => "",
+    };
+    println!("query #{} lifecycle:", trace.query_id);
+    for span in &trace.spans {
+        let note = if span.phase.name() == "cache_lookup" {
+            cache
+        } else {
+            ""
+        };
+        println!(
+            "  {:<12} {:>10.3} ms{note}",
+            span.phase.name(),
+            span.duration.as_secs_f64() * 1e3
+        );
+    }
+    println!(
+        "  {:<12} {:>10.3} ms",
+        "total",
+        trace.total().as_secs_f64() * 1e3
     );
 }
 
@@ -237,10 +272,35 @@ fn dispatch(
                 false
             }
         },
+        "analyze" => match session.run_traced(query) {
+            Ok((run, trace)) => {
+                print_run(&run, dictionary, limit);
+                print_trace(&trace);
+                true
+            }
+            Err(e) => {
+                report(e.to_string());
+                false
+            }
+        },
         "stats" => {
             print_stats(session, dictionary);
             true
         }
+        "metrics" => match query {
+            "" => {
+                print!("{}", prometheus_text(&session.engine().metrics().snapshot()));
+                true
+            }
+            "json" => {
+                println!("{}", json_text(&session.engine().metrics().snapshot()));
+                true
+            }
+            other => {
+                report(format!("`metrics` takes nothing or `json`, got `{other}`"));
+                false
+            }
+        },
         "servers" => match query.parse::<usize>() {
             Ok(p) if p >= 2 => {
                 session.set_servers(p);
@@ -303,8 +363,8 @@ fn dispatch(
         }
         other => {
             report(format!(
-                "unknown command `{other}`; try explain, run, insert, stats, servers, seed, \
-                 backend or help"
+                "unknown command `{other}`; try explain, run, analyze, insert, stats, metrics, \
+                 servers, seed, backend or help"
             ));
             false
         }
@@ -400,15 +460,21 @@ fn main() {
                 );
                 std::process::exit(2);
             }
-            if !matches!(command.as_str(), "stats" | "explain" | "run") {
-                eprintln!("pqsh: unknown one-shot command `{command}`; try explain, run, stats or help");
+            if !matches!(
+                command.as_str(),
+                "stats" | "explain" | "run" | "analyze" | "metrics"
+            ) {
+                eprintln!(
+                    "pqsh: unknown one-shot command `{command}`; try explain, run, analyze, \
+                     stats, metrics or help"
+                );
                 std::process::exit(2);
             }
             if command == "stats" && !query.is_empty() {
                 eprintln!("pqsh: `stats` takes no arguments");
                 std::process::exit(2);
             }
-            if matches!(command.as_str(), "explain" | "run") && query.is_empty() {
+            if matches!(command.as_str(), "explain" | "run" | "analyze") && query.is_empty() {
                 eprintln!("pqsh: `{command}` needs a query argument");
                 std::process::exit(2);
             }

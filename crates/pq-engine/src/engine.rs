@@ -28,15 +28,18 @@ use crate::backend::ExecBackend;
 use crate::cache::{CacheStats, PlanCache, PlanKey};
 use crate::delta::{Delta, DeltaError};
 use crate::executor::RunOutcome;
+use crate::obs::EngineObs;
 use pq_mpc::net::{ClusterConfig, ClusterError};
 use crate::parser::{ParseError, ParsedQuery};
 use crate::planner::{plan_query_on, Plan, PlanError, Strategy};
 use crate::session::Session;
 use crate::snapshot::Snapshot;
+use pq_obs::{MetricsRegistry, Phase, QueryTrace};
 use pq_relation::{Database, DatabaseStatistics, Relation};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::Instant;
 
 /// Anything that can go wrong between query text and answer.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,6 +114,8 @@ struct SharedState {
     default_p: usize,
     default_seed: u64,
     default_backend: ExecBackend,
+    /// The engine's metrics registry and pre-resolved hot-path handles.
+    obs: EngineObs,
 }
 
 /// A cheap, cloneable, thread-safe handle to one loaded database and one
@@ -155,8 +160,28 @@ impl Engine {
                 default_p: p,
                 default_seed: 7,
                 default_backend: ExecBackend::Simulator,
+                obs: EngineObs::new(),
             }),
         }
+    }
+
+    /// The engine's cumulative [`MetricsRegistry`]: query counts, latency
+    /// histograms, plan-cache and mutation counters, measured wire bytes.
+    /// Share the `Arc` with whatever exposes or merges them (`pqd METRICS`
+    /// renders exactly this registry through
+    /// [`pq_obs::prometheus_text`]/[`pq_obs::json_text`]).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        self.shared.obs.registry().clone()
+    }
+
+    /// Turn instrumentation recording on (the default) or off. Unlike the
+    /// other builders this may be called at any time — the flag is one
+    /// relaxed atomic — but is builder-shaped for construction-site use;
+    /// the `engine_obs` benchmark compares the two settings.
+    #[must_use]
+    pub fn with_metrics_enabled(self, enabled: bool) -> Self {
+        self.shared.obs.registry().set_enabled(enabled);
+        self
     }
 
     /// Select the default hash seed handed to new sessions (any value is
@@ -318,8 +343,9 @@ impl Engine {
             statistics.apply_inserts(stored.schema(), rows.iter().map(Vec::as_slice));
         }
         let touched: BTreeSet<String> = delta.relations().map(str::to_string).collect();
+        let inserted_rows: usize = delta.inserts().values().map(Vec::len).sum();
         let next = Arc::new(Snapshot::from_parts(database, statistics));
-        lock_unpoisoned(&self.shared.cache).on_snapshot_change(
+        let evicted = lock_unpoisoned(&self.shared.cache).on_snapshot_change(
             old_fingerprint,
             next.fingerprint(),
             &touched,
@@ -329,6 +355,13 @@ impl Engine {
             .snapshot
             .write()
             .unwrap_or_else(PoisonError::into_inner) = next.clone();
+        let obs = &self.shared.obs;
+        if obs.enabled() {
+            obs.deltas_applied.inc();
+            obs.rows_inserted.add(inserted_rows as u64);
+            obs.snapshot_updates.inc();
+            obs.cache_invalidated.add(evicted as u64);
+        }
         Ok(next)
     }
 
@@ -363,7 +396,7 @@ impl Engine {
             DatabaseStatistics::compute_reusing(&database, prev.database(), prev.statistics());
         let touched = changed_relations(prev.statistics(), &statistics);
         let next = Arc::new(Snapshot::from_parts(database, statistics));
-        lock_unpoisoned(&self.shared.cache).on_snapshot_change(
+        let evicted = lock_unpoisoned(&self.shared.cache).on_snapshot_change(
             prev.fingerprint(),
             next.fingerprint(),
             &touched,
@@ -373,6 +406,11 @@ impl Engine {
             .snapshot
             .write()
             .unwrap_or_else(PoisonError::into_inner) = next.clone();
+        let obs = &self.shared.obs;
+        if obs.enabled() {
+            obs.snapshot_updates.inc();
+            obs.cache_invalidated.add(evicted as u64);
+        }
         next
     }
 
@@ -406,18 +444,54 @@ impl Engine {
         parsed: &ParsedQuery,
         p: usize,
     ) -> Result<(Plan, bool), EngineError> {
+        self.plan_parsed_traced(snapshot, parsed, p, None)
+    }
+
+    /// [`Engine::plan_parsed`] with lifecycle spans: the cache probe and
+    /// (on a miss) the planning work are recorded as separate phases on
+    /// `trace`, and the engine's cumulative cache hit/miss counters move.
+    pub(crate) fn plan_parsed_traced(
+        &self,
+        snapshot: &Snapshot,
+        parsed: &ParsedQuery,
+        p: usize,
+        mut trace: Option<&mut QueryTrace>,
+    ) -> Result<(Plan, bool), EngineError> {
+        let obs = &self.shared.obs;
+        let record = obs.enabled();
         let key = PlanKey {
             signature: parsed.signature(),
             fingerprint: snapshot.fingerprint(),
             p,
         };
+        let lookup_start = Instant::now();
         let cached = lock_unpoisoned(&self.shared.cache).get(&key);
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.record(Phase::CacheLookup, lookup_start.elapsed());
+        }
         if let Some(plan) = cached {
+            if record {
+                obs.cache_hits.inc();
+            }
             return Ok((adapt_cached_plan(plan, parsed.clone()), true));
         }
-        let plan = plan_query_on(parsed, snapshot, p)?;
+        if record {
+            obs.cache_misses.inc();
+        }
+        let plan_start = Instant::now();
+        let planned = plan_query_on(parsed, snapshot, p);
+        if let Some(trace) = trace {
+            trace.record(Phase::Plan, plan_start.elapsed());
+        }
+        let plan = planned?;
         lock_unpoisoned(&self.shared.cache).insert(key, plan.clone());
         Ok((plan, false))
+    }
+
+    /// The engine's observability handles (crate-internal shortcut for the
+    /// session/prepared hot paths).
+    pub(crate) fn obs(&self) -> &EngineObs {
+        &self.shared.obs
     }
 }
 

@@ -16,9 +16,11 @@ use pq_core::skew::star::run_star_skew_aware;
 use pq_core::skew::triangle::run_triangle_skew_aware;
 use pq_mpc::net::{AtomSpec, ClusterConfig, ClusterError, Coordinator, RoundProgram};
 use pq_mpc::RunMetrics;
+use pq_obs::MetricsRegistry;
 use pq_query::{bind_atom, instantiate, ConjunctiveQuery};
 use pq_relation::{Database, Relation};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The result of executing a plan.
@@ -103,9 +105,30 @@ pub fn run_plan_on(
     seed: u64,
     backend: &ExecBackend,
 ) -> Result<RunOutcome, ClusterError> {
+    run_plan_on_observed(plan, snapshot, seed, backend, None)
+}
+
+/// [`run_plan_on`] with cluster rounds additionally recorded into
+/// `registry` (round counts, per-round wall-time histogram, per-worker
+/// wire-byte counters — see [`Coordinator::set_registry`]). The simulator
+/// path records nothing here; the engine layers account it from the
+/// returned [`RunOutcome`].
+///
+/// # Errors
+/// As [`run_plan_on`].
+///
+/// # Panics
+/// As [`run_plan`], when the snapshot no longer matches the plan.
+pub fn run_plan_on_observed(
+    plan: &Plan,
+    snapshot: &Snapshot,
+    seed: u64,
+    backend: &ExecBackend,
+    registry: Option<&Arc<MetricsRegistry>>,
+) -> Result<RunOutcome, ClusterError> {
     match backend {
         ExecBackend::Simulator => Ok(run_plan(plan, snapshot, seed)),
-        ExecBackend::Cluster(config) => run_plan_cluster(plan, snapshot, seed, config),
+        ExecBackend::Cluster(config) => run_plan_cluster(plan, snapshot, seed, config, registry),
     }
 }
 
@@ -118,6 +141,7 @@ fn run_plan_cluster(
     snapshot: &Snapshot,
     seed: u64,
     config: &ClusterConfig,
+    registry: Option<&Arc<MetricsRegistry>>,
 ) -> Result<RunOutcome, ClusterError> {
     let database = snapshot.database();
     let query = &plan.parsed.query;
@@ -125,6 +149,9 @@ fn run_plan_cluster(
     let bound = instantiate(query, database);
     let mut coordinator = Coordinator::connect(config, plan.p, database.bits_per_value())?;
     coordinator.set_input_bits(database.total_size_bits());
+    if let Some(registry) = registry {
+        coordinator.set_registry(registry.clone());
+    }
     let router = HyperCubeRouter::new(query, &plan.shares, seed, 0, 0);
     let messages = router.route_bound(&bound);
     let program = RoundProgram {

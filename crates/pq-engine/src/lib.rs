@@ -50,6 +50,7 @@ pub mod cache;
 pub mod delta;
 pub mod engine;
 pub mod executor;
+mod obs;
 pub mod parser;
 pub mod planner;
 pub mod prepared;
@@ -60,8 +61,9 @@ pub use backend::ExecBackend;
 pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use delta::{Delta, DeltaError};
 pub use engine::{Engine, EngineError, EngineRun};
-pub use executor::{run_plan, run_plan_on, RunOutcome};
+pub use executor::{run_plan, run_plan_on, run_plan_on_observed, RunOutcome};
 pub use pq_mpc::net::{ClusterConfig, ClusterError};
+pub use pq_obs::{MetricsRegistry, Phase, QueryTrace};
 pub use parser::{parse_query, ParseError, ParsedQuery, Span};
 pub use planner::{plan_query, plan_query_on, HeavyReport, Plan, PlanError, Strategy};
 pub use prepared::PreparedQuery;

@@ -13,11 +13,14 @@
 
 use crate::backend::ExecBackend;
 use crate::engine::{lock_unpoisoned, Engine, EngineError, EngineRun};
-use crate::executor::run_plan_on;
+use crate::executor::run_plan_on_observed;
+use crate::obs::EngineObs;
 use crate::parser::{parse_query, ParsedQuery};
 use crate::planner::Plan;
-use crate::session::Session;
+use crate::session::{stamp_rounds, Session};
+use pq_obs::{Phase, QueryTrace};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// A parse-once / plan-once query handle, bound to the session's server
 /// budget and seed at [`Session::prepare`] time.
@@ -75,19 +78,54 @@ impl PreparedQuery {
     /// the snapshot is unchanged (`cache_hit` is then true); otherwise
     /// re-plans through the shared plan cache and memoizes the result. The
     /// handle keeps working across any number of `Engine::update` calls.
+    ///
+    /// Like [`Session::run`], the run lands in the engine's cumulative
+    /// metrics; the memo check is recorded as the cache-lookup phase
+    /// (steady-state runs never touch the shared cache, so its counters
+    /// only move on re-plans).
     pub fn run(&self) -> Result<EngineRun, EngineError> {
+        let mut trace = QueryTrace::start();
+        trace.backend = Some(self.backend.describe());
+        let result = self.run_inner(&mut trace);
+        match result {
+            Ok(run) => {
+                EngineObs::stamp_run(&mut trace, &run);
+                stamp_rounds(&mut trace, &run);
+                trace.finish();
+                self.engine.obs().record_trace(&trace, true);
+                Ok(run)
+            }
+            Err(error) => {
+                trace.finish();
+                self.engine.obs().record_trace(&trace, false);
+                Err(error)
+            }
+        }
+    }
+
+    fn run_inner(&self, trace: &mut QueryTrace) -> Result<EngineRun, EngineError> {
         let snapshot = self.engine.snapshot();
-        let (plan, cache_hit) = {
-            let mut memo = lock_unpoisoned(&self.plan);
-            if memo.fingerprint == snapshot.fingerprint() {
-                (memo.clone(), true)
-            } else {
-                let (fresh, hit) = self.engine.plan_parsed(&snapshot, &self.parsed, self.p)?;
-                *memo = fresh.clone();
+        let lookup_start = Instant::now();
+        let memoized = {
+            let memo = lock_unpoisoned(&self.plan);
+            (memo.fingerprint == snapshot.fingerprint()).then(|| memo.clone())
+        };
+        trace.record(Phase::CacheLookup, lookup_start.elapsed());
+        let (plan, cache_hit) = match memoized {
+            Some(plan) => (plan, true),
+            None => {
+                let (fresh, hit) =
+                    self.engine
+                        .plan_parsed_traced(&snapshot, &self.parsed, self.p, Some(trace))?;
+                *lock_unpoisoned(&self.plan) = fresh.clone();
                 (fresh, hit)
             }
         };
-        let outcome = run_plan_on(&plan, &snapshot, self.seed, &self.backend)?;
+        let registry = self.engine.metrics();
+        let observe_cluster = registry.is_enabled().then_some(&registry);
+        let outcome = trace.time(Phase::Execute, || {
+            run_plan_on_observed(&plan, &snapshot, self.seed, &self.backend, observe_cluster)
+        })?;
         Ok(EngineRun {
             plan,
             cache_hit,

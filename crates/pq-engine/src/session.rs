@@ -11,10 +11,13 @@
 
 use crate::backend::ExecBackend;
 use crate::engine::{Engine, EngineError, EngineRun};
-use crate::executor::run_plan_on;
+use crate::executor::run_plan_on_observed;
+use crate::obs::EngineObs;
 use crate::parser::parse_query;
 use crate::planner::Plan;
 use crate::prepared::PreparedQuery;
+use pq_obs::{Phase, QueryTrace};
+use std::time::Duration;
 
 /// A per-client query session over a shared [`Engine`].
 ///
@@ -106,11 +109,52 @@ impl Session {
     /// is current when the call starts. A writer installing a new snapshot
     /// mid-run does not disturb this execution: the session holds the old
     /// snapshot's `Arc` until the answer is computed.
+    ///
+    /// The run is recorded into the engine's cumulative metrics
+    /// ([`Engine::metrics`]); use [`Session::run_traced`] to also get the
+    /// per-query lifecycle trace back.
     pub fn run(&self, text: &str) -> Result<EngineRun, EngineError> {
-        let parsed = parse_query(text)?;
+        self.run_traced(text).map(|(run, _)| run)
+    }
+
+    /// [`Session::run`] returning the query's lifecycle [`QueryTrace`]
+    /// next to the result: per-phase timings (parse → cache lookup →
+    /// plan → execute, plus one span per cluster round) and the outcome
+    /// labels (strategy, backend, cache hit, rows, measured wire bytes).
+    /// This is what `pqsh ANALYZE` prints and what `pqd` feeds its
+    /// slow-query log from. The trace is recorded into the engine's
+    /// metrics whether the query succeeds or fails.
+    pub fn run_traced(&self, text: &str) -> Result<(EngineRun, QueryTrace), EngineError> {
+        let mut trace = QueryTrace::start();
+        trace.backend = Some(self.backend.describe());
+        let result = self.run_inner(text, &mut trace);
+        match result {
+            Ok(run) => {
+                EngineObs::stamp_run(&mut trace, &run);
+                stamp_rounds(&mut trace, &run);
+                trace.finish();
+                self.engine.obs().record_trace(&trace, true);
+                Ok((run, trace))
+            }
+            Err(error) => {
+                trace.finish();
+                self.engine.obs().record_trace(&trace, false);
+                Err(error)
+            }
+        }
+    }
+
+    fn run_inner(&self, text: &str, trace: &mut QueryTrace) -> Result<EngineRun, EngineError> {
+        let parsed = trace.time(Phase::Parse, || parse_query(text))?;
         let snapshot = self.engine.snapshot();
-        let (plan, cache_hit) = self.engine.plan_parsed(&snapshot, &parsed, self.p)?;
-        let outcome = run_plan_on(&plan, &snapshot, self.seed, &self.backend)?;
+        let (plan, cache_hit) =
+            self.engine
+                .plan_parsed_traced(&snapshot, &parsed, self.p, Some(trace))?;
+        let registry = self.engine.metrics();
+        let observe_cluster = registry.is_enabled().then_some(&registry);
+        let outcome = trace.time(Phase::Execute, || {
+            run_plan_on_observed(&plan, &snapshot, self.seed, &self.backend, observe_cluster)
+        })?;
         Ok(EngineRun {
             plan,
             cache_hit,
@@ -124,6 +168,21 @@ impl Session {
     /// new data.
     pub fn prepare(&self, text: &str) -> Result<PreparedQuery, EngineError> {
         PreparedQuery::new(self, text)
+    }
+}
+
+/// Add one trace span per communication round from the run's metrics —
+/// the cluster measures per-round wall time; the simulator's rounds are
+/// part of the execute span and carry no separate wall clock.
+pub(crate) fn stamp_rounds(trace: &mut QueryTrace, run: &EngineRun) {
+    if !run.outcome.metrics.is_measured() {
+        return;
+    }
+    for (i, round) in run.outcome.metrics.rounds.iter().enumerate() {
+        trace.record(
+            Phase::Round(i as u32),
+            Duration::from_micros(round.wall_micros),
+        );
     }
 }
 

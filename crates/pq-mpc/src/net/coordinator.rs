@@ -22,9 +22,11 @@
 use crate::message::{Message, Payload};
 use crate::metrics::{RoundStats, RunMetrics};
 use crate::net::codec::{read_frame, write_frame, Frame, FrameError};
+use pq_obs::MetricsRegistry;
 use pq_relation::Relation;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Where the workers live and how long to wait for them.
@@ -184,6 +186,7 @@ pub struct Coordinator {
     p: usize,
     bits_per_value: u64,
     metrics: RunMetrics,
+    registry: Option<Arc<MetricsRegistry>>,
 }
 
 impl Coordinator {
@@ -244,7 +247,17 @@ impl Coordinator {
             p,
             bits_per_value,
             metrics: RunMetrics::default(),
+            registry: None,
         })
+    }
+
+    /// Also record every completed round into `registry` (cumulative
+    /// across coordinators): `pq_cluster_rounds_total`, a
+    /// `pq_cluster_round_wall_micros` histogram and one
+    /// `pq_cluster_worker_wire_bytes_total{worker=…}` counter per worker
+    /// slot. The per-run [`RunMetrics`] are unaffected.
+    pub fn set_registry(&mut self, registry: Arc<MetricsRegistry>) {
+        self.registry = Some(registry);
     }
 
     /// Number of worker processes (≤ `p`, the logical servers).
@@ -365,13 +378,39 @@ impl Coordinator {
         }
         let mut output = merged.expect("at least one worker answered");
         output.dedup();
-        self.metrics.rounds.push(RoundStats {
+        let stats = RoundStats {
             round: round as usize,
             received_bits: received,
             messages: count,
             wire_bytes,
             wall_micros: start.elapsed().as_micros() as u64,
-        });
+        };
+        if let Some(registry) = self.registry.as_deref().filter(|r| r.is_enabled()) {
+            registry
+                .counter(
+                    "pq_cluster_rounds_total",
+                    &[],
+                    "Communication rounds executed on the worker cluster",
+                )
+                .inc();
+            registry
+                .histogram(
+                    "pq_cluster_round_wall_micros",
+                    &[],
+                    "Wall-clock time of one cluster communication round",
+                )
+                .observe(stats.wall_micros);
+            for (worker, &bytes) in stats.wire_bytes.iter().enumerate() {
+                registry
+                    .counter(
+                        "pq_cluster_worker_wire_bytes_total",
+                        &[("worker", &worker.to_string())],
+                        "Measured bytes each worker read off its socket, frame headers included",
+                    )
+                    .add(bytes);
+            }
+        }
+        self.metrics.rounds.push(stats);
         Ok(output)
     }
 

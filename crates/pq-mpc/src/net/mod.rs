@@ -38,4 +38,4 @@ pub use codec::{read_frame, write_frame, Frame, FrameError, MAGIC, MAX_FRAME_LEN
 pub use coordinator::{
     shutdown_workers, AtomSpec, ClusterConfig, ClusterError, Coordinator, RoundProgram,
 };
-pub use worker::{serve_worker, LocalWorkers};
+pub use worker::{serve_worker, serve_worker_observed, LocalWorkers, WorkerObs};

@@ -18,14 +18,65 @@
 //! managing child processes.
 
 use crate::net::codec::{read_frame, write_frame, Frame};
+use pq_obs::{Counter, LogLevel, Logger, MetricsRegistry};
 use pq_relation::{natural_join_all, project, Relation, Schema};
 use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 
+/// A worker loop's observability bundle: frame/byte/round counters
+/// resolved once from a [`MetricsRegistry`], plus the structured logger
+/// that replaces the loop's ad-hoc stderr prints. Build one per worker
+/// process with [`WorkerObs::new`] and serve through
+/// [`serve_worker_observed`].
+#[derive(Debug, Clone)]
+pub struct WorkerObs {
+    frames: Counter,
+    wire_bytes: Counter,
+    rounds: Counter,
+    logger: Logger,
+}
+
+impl WorkerObs {
+    /// Resolve the worker-side counters in `registry` and log through
+    /// `logger`. Counter names: `pq_worker_frames_total`,
+    /// `pq_worker_wire_bytes_total`, `pq_worker_rounds_total` — distinct
+    /// from the coordinator's `pq_cluster_*` names, so a process hosting
+    /// both sides never double-counts a byte.
+    pub fn new(registry: &MetricsRegistry, logger: Logger) -> Self {
+        WorkerObs {
+            frames: registry.counter(
+                "pq_worker_frames_total",
+                &[],
+                "Protocol frames this worker received",
+            ),
+            wire_bytes: registry.counter(
+                "pq_worker_wire_bytes_total",
+                &[],
+                "Bytes this worker read off its socket, frame headers included",
+            ),
+            rounds: registry.counter(
+                "pq_worker_rounds_total",
+                &[],
+                "Execute frames (communication rounds) this worker answered",
+            ),
+            logger,
+        }
+    }
+
+    /// The fallback bundle used by the plain [`serve_worker`] entry point:
+    /// counters into a throwaway registry, warnings and errors to stderr.
+    fn fallback() -> Self {
+        WorkerObs::new(
+            &MetricsRegistry::new(),
+            Logger::new("pq-mpc-worker", LogLevel::Warn),
+        )
+    }
+}
+
 /// Serve one coordinator connection. Returns `true` when a `Shutdown`
 /// frame asked the whole worker to exit (vs. the peer merely hanging up).
-fn serve_connection(stream: TcpStream) -> bool {
+fn serve_connection(stream: TcpStream, obs: &WorkerObs) -> bool {
     let peer = stream.local_addr().map(|a| a.to_string()).unwrap_or_default();
     let reader_stream = match stream.try_clone() {
         Ok(s) => s,
@@ -44,6 +95,11 @@ fn serve_connection(stream: TcpStream) -> bool {
             // Orderly close between frames: this coordinator is done.
             Ok(None) => return false,
             Err(e) => {
+                obs.logger
+                    .warn("dropping connection after framing error")
+                    .kv("peer", &peer)
+                    .kv("error", &e)
+                    .emit();
                 // Best-effort located error back to the peer, then drop the
                 // connection — after a framing error the stream cannot be
                 // resynchronised.
@@ -57,6 +113,8 @@ fn serve_connection(stream: TcpStream) -> bool {
                 return false;
             }
         };
+        obs.frames.inc();
+        obs.wire_bytes.add(frame_bytes);
         match frame {
             Frame::Hello { .. } => {
                 // A new run on a reused connection: forget previous state.
@@ -79,6 +137,7 @@ fn serve_connection(stream: TcpStream) -> bool {
                 atoms,
             } => {
                 wire_bytes += frame_bytes;
+                obs.rounds.inc();
                 let answer = local_answer(&fragments, &name, &output_vars, &atoms);
                 let ok = write_frame(
                     &mut writer,
@@ -97,7 +156,11 @@ fn serve_connection(stream: TcpStream) -> bool {
             }
             Frame::Shutdown => return true,
             Frame::Error { message } => {
-                eprintln!("pqd worker: coordinator error: {message}");
+                obs.logger
+                    .warn("coordinator reported an error")
+                    .kv("peer", &peer)
+                    .kv("error", &message)
+                    .emit();
                 return false;
             }
             Frame::Answer { .. } => {
@@ -139,9 +202,34 @@ fn local_answer(
 /// a time until a `Shutdown` frame arrives, then return. I/O errors on a
 /// single connection never kill the loop; accept errors do (the listener
 /// itself is broken).
+///
+/// Counters go to a throwaway registry and warnings to stderr; a daemon
+/// that wants the numbers uses [`serve_worker_observed`].
 pub fn serve_worker(listener: &TcpListener) -> std::io::Result<()> {
+    serve_worker_observed(listener, &WorkerObs::fallback())
+}
+
+/// [`serve_worker`] with the worker's frames/bytes/rounds counted into the
+/// registry behind `obs` and connection events logged structurally: what
+/// `pqd --worker` runs.
+pub fn serve_worker_observed(listener: &TcpListener, obs: &WorkerObs) -> std::io::Result<()> {
     for stream in listener.incoming() {
-        if serve_connection(stream?) {
+        let stream = stream?;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_default();
+        obs.logger
+            .debug("coordinator connected")
+            .kv("peer", &peer)
+            .emit();
+        let shutdown = serve_connection(stream, obs);
+        obs.logger
+            .debug("coordinator connection closed")
+            .kv("peer", &peer)
+            .kv("shutdown", shutdown)
+            .emit();
+        if shutdown {
             return Ok(());
         }
     }

@@ -1,0 +1,269 @@
+//! Text exposition of a [`MetricsSnapshot`]: Prometheus format and JSON.
+//!
+//! Both renderings are fully deterministic — the snapshot is already
+//! sorted by metric name and labels, help text is fixed at first
+//! registration, and no timestamps are emitted — so golden tests can
+//! compare output byte-for-byte.
+//!
+//! Histograms are exposed as Prometheus **summaries**: one
+//! `name{quantile="0.5|0.95|0.99"}` sample per precomputed quantile plus
+//! `name_sum` and `name_count`. That keeps a 252-bucket histogram down to
+//! five lines per series while preserving exactly the readout the
+//! monitoring story needs (p50/p95/p99 with exact count and sum).
+
+use crate::registry::{MetricKey, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Escape a label value for the Prometheus text format: backslash, double
+/// quote and newline must be escaped, everything else passes through.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Render `{key="value",...}` (empty string for no labels). `extra` is an
+/// optional pre-rendered pair appended last (used for `quantile="..."`).
+fn render_labels(key: &MetricKey, extra: Option<&str>) -> String {
+    if key.labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = key
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(extra) = extra {
+        parts.push(extra.to_string());
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn type_line(out: &mut String, name: &str, snapshot: &MetricsSnapshot, prometheus_type: &str) {
+    if let Some((_, help)) = snapshot.help.get(name) {
+        if !help.is_empty() {
+            let _ = writeln!(out, "# HELP {name} {help}");
+        }
+    }
+    let _ = writeln!(out, "# TYPE {name} {prometheus_type}");
+}
+
+/// Render the snapshot in the Prometheus text exposition format
+/// (version 0.0.4). Counters and gauges are plain samples; histograms are
+/// summaries with `quantile` labels plus `_sum` and `_count` series.
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    let emit_header = |out: &mut String, name: &str, last: &Option<&str>, ty: &str| {
+        if *last != Some(name) {
+            type_line(out, name, snapshot, ty);
+        }
+    };
+
+    for (key, value) in &snapshot.counters {
+        emit_header(&mut out, &key.name, &last_name, "counter");
+        last_name = Some(&key.name);
+        let _ = writeln!(out, "{}{} {}", key.name, render_labels(key, None), value);
+    }
+    for (key, value) in &snapshot.gauges {
+        emit_header(&mut out, &key.name, &last_name, "gauge");
+        last_name = Some(&key.name);
+        let _ = writeln!(out, "{}{} {}", key.name, render_labels(key, None), value);
+    }
+    for (key, h) in &snapshot.histograms {
+        emit_header(&mut out, &key.name, &last_name, "summary");
+        last_name = Some(&key.name);
+        for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+            let labels = render_labels(key, Some(&format!("quantile=\"{q}\"")));
+            let _ = writeln!(out, "{}{} {}", key.name, labels, v);
+        }
+        let labels = render_labels(key, None);
+        let _ = writeln!(out, "{}_sum{} {}", key.name, labels, h.sum);
+        let _ = writeln!(out, "{}_count{} {}", key.name, labels, h.count);
+    }
+    out
+}
+
+/// Escape a string for a JSON string literal (control characters, quote,
+/// backslash).
+fn escape_json(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn json_labels(key: &MetricKey) -> String {
+    let pairs: Vec<String> = key
+        .labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+        .collect();
+    format!("{{{}}}", pairs.join(","))
+}
+
+/// Render the snapshot as a JSON document:
+/// `{"counters":[{name,labels,value}...],"gauges":[...],`
+/// `"histograms":[{name,labels,count,sum,mean,p50,p95,p99}...]}`.
+/// Hand-rolled (the workspace's `serde` is an offline no-op shim) and
+/// deterministic for golden tests.
+pub fn json_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"counters\":[");
+    let mut first = true;
+    for (key, value) in &snapshot.counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"labels\":{},\"value\":{}}}",
+            escape_json(&key.name),
+            json_labels(key),
+            value
+        );
+    }
+    out.push_str("],\"gauges\":[");
+    first = true;
+    for (key, value) in &snapshot.gauges {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"labels\":{},\"value\":{}}}",
+            escape_json(&key.name),
+            json_labels(key),
+            value
+        );
+    }
+    out.push_str("],\"histograms\":[");
+    first = true;
+    for (key, h) in &snapshot.histograms {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"labels\":{},\"count\":{},\"sum\":{},\"mean\":{:.1},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            escape_json(&key.name),
+            json_labels(key),
+            h.count,
+            h.sum,
+            h.mean(),
+            h.p50,
+            h.p95,
+            h.p99
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter("pq_queries_total", &[("status", "ok")], "Queries served")
+            .add(3);
+        registry
+            .counter("pq_queries_total", &[("status", "error")], "Queries served")
+            .inc();
+        registry.gauge("pq_connections", &[], "Open connections").set(2);
+        let h = registry.histogram(
+            "pq_query_latency_micros",
+            &[("strategy", "one-round HyperCube")],
+            "Query latency",
+        );
+        for v in [10u64, 20, 30, 40] {
+            h.observe(v);
+        }
+        registry
+    }
+
+    #[test]
+    fn prometheus_output_is_golden() {
+        let text = prometheus_text(&sample_registry().snapshot());
+        let expected = "\
+# HELP pq_queries_total Queries served
+# TYPE pq_queries_total counter
+pq_queries_total{status=\"error\"} 1
+pq_queries_total{status=\"ok\"} 3
+# HELP pq_connections Open connections
+# TYPE pq_connections gauge
+pq_connections 2
+# HELP pq_query_latency_micros Query latency
+# TYPE pq_query_latency_micros summary
+pq_query_latency_micros{strategy=\"one-round HyperCube\",quantile=\"0.5\"} 23
+pq_query_latency_micros{strategy=\"one-round HyperCube\",quantile=\"0.95\"} 47
+pq_query_latency_micros{strategy=\"one-round HyperCube\",quantile=\"0.99\"} 47
+pq_query_latency_micros_sum{strategy=\"one-round HyperCube\"} 100
+pq_query_latency_micros_count{strategy=\"one-round HyperCube\"} 4
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn json_output_is_golden() {
+        let json = json_text(&sample_registry().snapshot());
+        let expected = concat!(
+            "{\"counters\":[",
+            "{\"name\":\"pq_queries_total\",\"labels\":{\"status\":\"error\"},\"value\":1},",
+            "{\"name\":\"pq_queries_total\",\"labels\":{\"status\":\"ok\"},\"value\":3}",
+            "],\"gauges\":[",
+            "{\"name\":\"pq_connections\",\"labels\":{},\"value\":2}",
+            "],\"histograms\":[",
+            "{\"name\":\"pq_query_latency_micros\",",
+            "\"labels\":{\"strategy\":\"one-round HyperCube\"},",
+            "\"count\":4,\"sum\":100,\"mean\":25.0,\"p50\":23,\"p95\":47,\"p99\":47}",
+            "]}"
+        );
+        assert_eq!(json, expected);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter("c_total", &[("q", "say \"hi\"\\\n")], "")
+            .inc();
+        let text = prometheus_text(&registry.snapshot());
+        assert!(text.contains("c_total{q=\"say \\\"hi\\\"\\\\\\n\"} 1"));
+        let json = json_text(&registry.snapshot());
+        assert!(json.contains("\"q\":\"say \\\"hi\\\"\\\\\\n\""));
+    }
+
+    #[test]
+    fn shared_type_header_is_emitted_once_per_name() {
+        let text = prometheus_text(&sample_registry().snapshot());
+        assert_eq!(
+            text.matches("# TYPE pq_queries_total counter").count(),
+            1,
+            "one TYPE line for both label sets"
+        );
+    }
+}

@@ -1,0 +1,296 @@
+//! A lock-free, log-bucketed histogram for latency-style measurements.
+//!
+//! Values (unsigned integers, typically microseconds or bytes) are counted
+//! into geometrically growing buckets: every power-of-two octave is split
+//! into [`SUB_BUCKETS`] sub-buckets, so any recorded value lands in a
+//! bucket whose width is at most a quarter of its lower bound. Quantile
+//! readouts therefore carry a bounded **relative** error: the reported
+//! p50/p95/p99 is never below the exact order statistic and never more
+//! than `exact/4 + 1` above it (see [`LogHistogram::quantile`]), which is
+//! plenty for latency monitoring while keeping the whole histogram at 256
+//! atomic slots — cheap enough to update from every query on the hot path
+//! with one atomic add and no locks.
+//!
+//! Count and sum are tracked exactly (plain atomic adds), so concurrent
+//! recordings from any number of threads merge losslessly: the final
+//! `count`/`sum` equal what a single-threaded recording of the same values
+//! would produce, and [`LogHistogram::merge_from`] folds one histogram
+//! into another bucket-by-bucket with no information loss beyond the
+//! bucketing itself.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of sub-buckets per power-of-two octave (4 ⇒ ≤25 % bucket width).
+pub const SUB_BUCKETS: usize = 4;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros(); // 2
+/// Total number of buckets; exactly covers the whole `u64` range
+/// (`SUB_BUCKETS` singleton buckets + `SUB_BUCKETS` per octave for the
+/// 62 octaves from `SUB_BUCKETS` up to `u64::MAX`).
+pub const NUM_BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+/// The bucket index of `value`. Values below [`SUB_BUCKETS`] get exact
+/// singleton buckets; larger values share a bucket with at most 25 % of
+/// their neighbours.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let exponent = 63 - value.leading_zeros(); // >= SUB_BITS
+    let shift = exponent - SUB_BITS;
+    let top = (value >> shift) as usize; // in [SUB_BUCKETS, 2*SUB_BUCKETS)
+    (exponent as usize - SUB_BITS as usize) * SUB_BUCKETS + top
+}
+
+/// The inclusive `[lower, upper]` value range of bucket `index` — the
+/// inverse of [`bucket_index`].
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB_BUCKETS {
+        return (index as u64, index as u64);
+    }
+    let offset = index - SUB_BUCKETS;
+    let shift = (offset / SUB_BUCKETS) as u32; // exponent - SUB_BITS
+    let top = (offset % SUB_BUCKETS + SUB_BUCKETS) as u64;
+    let lower = top << shift;
+    let width = 1u64 << shift;
+    (lower, lower + (width - 1))
+}
+
+/// A fixed-size, atomically updated, log-bucketed histogram.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value: one relaxed atomic add into its bucket, plus the
+    /// exact count/sum updates. Safe to call from any number of threads.
+    pub fn observe(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Record a [`std::time::Duration`] in whole microseconds.
+    pub fn observe_micros(&self, duration: std::time::Duration) {
+        self.observe(duration.as_micros() as u64);
+    }
+
+    /// Number of recorded values (exact).
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (exact, wrapping only past `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the recorded values, as the
+    /// upper bound of the bucket holding the order statistic of that rank.
+    ///
+    /// Guarantee: for the exact `q`-quantile `x` of the recorded values
+    /// (the `ceil(q·count)`-th smallest), the returned estimate `e`
+    /// satisfies `x <= e <= x + x/4 + 1` — never an underestimate, at most
+    /// a quarter high. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_bounds(index).1;
+            }
+        }
+        // Counter updates racing this scan can leave `seen < rank`; the
+        // largest non-empty bucket is then the best answer.
+        for (index, bucket) in self.buckets.iter().enumerate().rev() {
+            if bucket.load(Ordering::Relaxed) > 0 {
+                return bucket_bounds(index).1;
+            }
+        }
+        0
+    }
+
+    /// Fold `other` into `self`, bucket by bucket. Lossless with respect to
+    /// the bucketed representation: counts, sums and every bucket add up
+    /// exactly, so quantiles of the merge equal quantiles of recording both
+    /// value streams into one histogram.
+    pub fn merge_from(&self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the aggregates the exposition formats print.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// The aggregates of a [`LogHistogram`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact sum of recorded values.
+    pub sum: u64,
+    /// Estimated median (upper bucket bound; see [`LogHistogram::quantile`]).
+    pub p50: u64,
+    /// Estimated 95th percentile.
+    pub p95: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values (exact, from count and sum).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_bounds_are_inverse() {
+        // Every bucket's bounds map back to the bucket, boundaries
+        // included, and consecutive buckets tile the line with no gaps.
+        let mut next_expected = 0u64;
+        for index in 0..NUM_BUCKETS {
+            let (lower, upper) = bucket_bounds(index);
+            assert_eq!(lower, next_expected, "gap before bucket {index}");
+            assert!(lower <= upper);
+            assert_eq!(bucket_index(lower), index);
+            assert_eq!(bucket_index(upper), index);
+            if upper == u64::MAX {
+                return; // the last bucket closes the range
+            }
+            next_expected = upper + 1;
+        }
+        assert_eq!(next_expected - 1, u64::MAX, "buckets must cover u64");
+    }
+
+    #[test]
+    fn bucket_width_is_bounded_relative_to_its_lower_bound() {
+        for index in SUB_BUCKETS..NUM_BUCKETS {
+            let (lower, upper) = bucket_bounds(index);
+            assert!(
+                upper - lower <= lower / SUB_BUCKETS as u64,
+                "bucket {index} [{lower}, {upper}] wider than lower/4"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_values_are_exact() {
+        let h = LogHistogram::new();
+        for v in [0u64, 1, 2, 3] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.25), 0);
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(0.75), 2);
+        assert_eq!(h.quantile(1.0), 3);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 6);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum, s.p50, s.p99), (0, 0, 0, 0));
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_bound_the_exact_order_statistic() {
+        let h = LogHistogram::new();
+        let values: Vec<u64> = (0..1000u64).map(|i| i * i % 7919 + 1).collect();
+        for &v in &values {
+            h.observe(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.95, 0.99] {
+            let exact = sorted[((q * sorted.len() as f64).ceil() as usize - 1).min(sorted.len() - 1)];
+            let estimate = h.quantile(q);
+            assert!(estimate >= exact, "q={q}: {estimate} < exact {exact}");
+            assert!(
+                estimate <= exact + exact / 4 + 1,
+                "q={q}: {estimate} too far above exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_bucketwise_lossless() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        let merged_directly = LogHistogram::new();
+        for v in 0..500u64 {
+            a.observe(v * 3);
+            merged_directly.observe(v * 3);
+        }
+        for v in 0..300u64 {
+            b.observe(v * 17 + 1);
+            merged_directly.observe(v * 17 + 1);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), merged_directly.count());
+        assert_eq!(a.sum(), merged_directly.sum());
+        for q in [0.01, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), merged_directly.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow_the_bucket_table() {
+        let h = LogHistogram::new();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX / 2);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) >= u64::MAX / 2);
+    }
+}

@@ -1,0 +1,69 @@
+//! # pq-obs — observability for the parallel-query engine
+//!
+//! A dependency-free (std-only, offline-safe) observability subsystem for
+//! the workspace: every crate on the serving path — `pq-mpc`'s networked
+//! coordinator/worker, `pq-engine`'s planner/cache/executor, and the
+//! `pqd`/`pqsh` binaries — records into the same small set of primitives,
+//! and `pqd METRICS` exposes the result in Prometheus text or JSON.
+//!
+//! The paper this repository reproduces (Beame, Koutris and Suciu,
+//! *Communication Cost in Parallel Query Processing*) is ultimately about
+//! an observable quantity — the per-round communication load
+//! `L = M/p^{1/τ*}` — so the wire-byte counters recorded here are not
+//! generic ops plumbing: they are the measured side of the theory the
+//! engine implements, aggregated across every query a server ever ran.
+//!
+//! ## Pieces
+//!
+//! - [`MetricsRegistry`] ([`registry`]): named, labelled counters, gauges
+//!   and histograms. Handle resolution locks briefly; recording is a
+//!   single relaxed atomic add, so instrumentation is safe on the query
+//!   hot path. A registry-wide `enabled` flag lets instrumented code skip
+//!   its whole recording block (used by the `engine_obs` benchmark to
+//!   measure instrumentation overhead).
+//! - [`LogHistogram`] ([`histogram`]): lock-free log-bucketed latency
+//!   histogram with bounded-relative-error `p50/p95/p99` readout, exact
+//!   count and sum, and lossless merging.
+//! - [`QueryTrace`] ([`trace`]): per-query lifecycle spans
+//!   (parse → cache lookup → plan → execute → per-round) plus outcome
+//!   labels — the data behind `pqsh ANALYZE` and `pqd --slow-query-ms`.
+//! - [`Logger`] ([`logger`]): structured leveled logging with UTC
+//!   timestamps and `key=value` fields, replacing ad-hoc `eprintln!`s.
+//! - [`prometheus_text`] / [`json_text`] ([`expose`]): deterministic text
+//!   exposition of a [`MetricsSnapshot`].
+//!
+//! ## Example
+//!
+//! ```
+//! use pq_obs::{MetricsRegistry, prometheus_text};
+//!
+//! let registry = MetricsRegistry::new();
+//! let served = registry.counter(
+//!     "pq_queries_total",
+//!     &[("status", "ok")],
+//!     "Queries served by outcome",
+//! );
+//! let latency = registry.histogram("pq_query_latency_micros", &[], "Query latency");
+//!
+//! served.inc();
+//! latency.observe(1_250);
+//!
+//! let text = prometheus_text(&registry.snapshot());
+//! assert!(text.contains("pq_queries_total{status=\"ok\"} 1"));
+//! assert!(text.contains("pq_query_latency_micros_count 1"));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod expose;
+pub mod histogram;
+pub mod logger;
+pub mod registry;
+pub mod trace;
+
+pub use expose::{json_text, prometheus_text};
+pub use histogram::{HistogramSnapshot, LogHistogram};
+pub use logger::{format_rfc3339_millis, Event, LogLevel, Logger, Sink};
+pub use registry::{Counter, Gauge, Histogram, MetricKey, MetricKind, MetricsRegistry, MetricsSnapshot};
+pub use trace::{next_query_id, Phase, PhaseSpan, QueryTrace};

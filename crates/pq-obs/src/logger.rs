@@ -1,0 +1,300 @@
+//! A structured, leveled logger with `key=value` fields.
+//!
+//! Log lines look like
+//!
+//! ```text
+//! 2026-08-08T12:34:56.789Z  INFO pqd connection closed peer=127.0.0.1:9 queries=3
+//! ```
+//!
+//! — UTC timestamp, level, target, message, then sorted-by-insertion
+//! `key=value` fields (values are quoted when they contain whitespace or
+//! quotes). The implementation is std-only: the RFC 3339 timestamp is
+//! derived from [`std::time::SystemTime`] with the standard civil-from-days
+//! calendar algorithm, no external time crate.
+//!
+//! A [`Logger`] is cheap to clone and share; filtering happens at emit
+//! time against its [`LogLevel`], so `logger.debug("…")` on an `info`
+//! logger allocates one small builder and writes nothing. Output goes to
+//! stderr by default; tests (and pqd's own tests) can swap in a
+//! [`Sink::Buffer`] and assert on captured lines.
+
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log verbosity, ordered: `Quiet < Error < Warn < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Suppress everything.
+    Quiet,
+    /// Errors only.
+    Error,
+    /// Errors and warnings (slow-query lines log at this level).
+    Warn,
+    /// Normal operational events (default).
+    Info,
+    /// Everything, including per-query details.
+    Debug,
+}
+
+impl LogLevel {
+    /// Parse a level name (case-insensitive): `quiet`, `error`, `warn`,
+    /// `info`, `debug`.
+    pub fn parse(name: &str) -> Option<LogLevel> {
+        match name.to_ascii_lowercase().as_str() {
+            "quiet" | "off" => Some(LogLevel::Quiet),
+            "error" => Some(LogLevel::Error),
+            "warn" | "warning" => Some(LogLevel::Warn),
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            LogLevel::Quiet => "QUIET",
+            LogLevel::Error => "ERROR",
+            LogLevel::Warn => " WARN",
+            LogLevel::Info => " INFO",
+            LogLevel::Debug => "DEBUG",
+        }
+    }
+}
+
+/// Where emitted lines go.
+#[derive(Debug, Clone)]
+pub enum Sink {
+    /// Write each line to standard error (the default).
+    Stderr,
+    /// Append each line to a shared buffer (for tests).
+    Buffer(Arc<Mutex<Vec<String>>>),
+}
+
+/// A shareable structured logger; see the module docs for the line format.
+#[derive(Debug, Clone)]
+pub struct Logger {
+    target: &'static str,
+    level: LogLevel,
+    sink: Sink,
+}
+
+impl Logger {
+    /// A stderr logger for `target` at `level`.
+    pub fn new(target: &'static str, level: LogLevel) -> Self {
+        Logger {
+            target,
+            level,
+            sink: Sink::Stderr,
+        }
+    }
+
+    /// The same logger writing into `buffer` instead of stderr.
+    pub fn with_buffer(mut self, buffer: Arc<Mutex<Vec<String>>>) -> Self {
+        self.sink = Sink::Buffer(buffer);
+        self
+    }
+
+    /// This logger's threshold level.
+    pub fn level(&self) -> LogLevel {
+        self.level
+    }
+
+    /// Whether a message at `level` would be emitted.
+    pub fn enabled(&self, level: LogLevel) -> bool {
+        level != LogLevel::Quiet && level <= self.level
+    }
+
+    /// Start an `ERROR` event.
+    pub fn error(&self, message: impl Into<String>) -> Event<'_> {
+        self.at(LogLevel::Error, message)
+    }
+
+    /// Start a `WARN` event.
+    pub fn warn(&self, message: impl Into<String>) -> Event<'_> {
+        self.at(LogLevel::Warn, message)
+    }
+
+    /// Start an `INFO` event.
+    pub fn info(&self, message: impl Into<String>) -> Event<'_> {
+        self.at(LogLevel::Info, message)
+    }
+
+    /// Start a `DEBUG` event.
+    pub fn debug(&self, message: impl Into<String>) -> Event<'_> {
+        self.at(LogLevel::Debug, message)
+    }
+
+    /// Start an event at an explicit level.
+    pub fn at(&self, level: LogLevel, message: impl Into<String>) -> Event<'_> {
+        Event {
+            logger: self,
+            level,
+            message: message.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    fn emit(&self, level: LogLevel, message: &str, fields: &[(String, String)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let mut line = format!(
+            "{} {} {} {}",
+            format_rfc3339_millis(SystemTime::now()),
+            level.tag(),
+            self.target,
+            message
+        );
+        for (key, value) in fields {
+            line.push(' ');
+            line.push_str(key);
+            line.push('=');
+            if value.is_empty()
+                || value
+                    .chars()
+                    .any(|c| c.is_whitespace() || c == '"' || c == '=')
+            {
+                line.push('"');
+                line.push_str(&value.replace('\\', "\\\\").replace('"', "\\\""));
+                line.push('"');
+            } else {
+                line.push_str(value);
+            }
+        }
+        match &self.sink {
+            Sink::Stderr => eprintln!("{line}"),
+            Sink::Buffer(buffer) => buffer
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(line),
+        }
+    }
+}
+
+/// A log event under construction: add `key=value` fields with
+/// [`Event::kv`], then [`Event::emit`] it.
+#[must_use = "a log event does nothing until .emit() is called"]
+#[derive(Debug)]
+pub struct Event<'a> {
+    logger: &'a Logger,
+    level: LogLevel,
+    message: String,
+    fields: Vec<(String, String)>,
+}
+
+impl Event<'_> {
+    /// Attach one `key=value` field (kept in insertion order).
+    pub fn kv(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.fields.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Attach every field from an iterator of pairs.
+    pub fn kvs(mut self, pairs: impl IntoIterator<Item = (String, String)>) -> Self {
+        self.fields.extend(pairs);
+        self
+    }
+
+    /// Write the line to the logger's sink (no-op below the threshold).
+    pub fn emit(self) {
+        self.logger.emit(self.level, &self.message, &self.fields);
+    }
+}
+
+/// Format a [`SystemTime`] as RFC 3339 UTC with millisecond precision
+/// (`2026-08-08T12:34:56.789Z`). Times before the epoch clamp to it.
+pub fn format_rfc3339_millis(time: SystemTime) -> String {
+    let since_epoch = time.duration_since(UNIX_EPOCH).unwrap_or_default();
+    let secs = since_epoch.as_secs();
+    let millis = since_epoch.subsec_millis();
+    let days = (secs / 86_400) as i64;
+    let seconds_of_day = secs % 86_400;
+    let (year, month, day) = civil_from_days(days);
+    format!(
+        "{year:04}-{month:02}-{day:02}T{:02}:{:02}:{:02}.{millis:03}Z",
+        seconds_of_day / 3600,
+        seconds_of_day % 3600 / 60,
+        seconds_of_day % 60,
+    )
+}
+
+/// Days-since-epoch → (year, month, day) in the proleptic Gregorian
+/// calendar (Howard Hinnant's `civil_from_days` algorithm).
+fn civil_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097); // day of era [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // day of year [0, 365]
+    let mp = (5 * doy + 2) / 153; // March-based month [0, 11]
+    let day = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if month <= 2 { year + 1 } else { year }, month, day)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn buffered(level: LogLevel) -> (Logger, Arc<Mutex<Vec<String>>>) {
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        let logger = Logger::new("test", level).with_buffer(buffer.clone());
+        (logger, buffer)
+    }
+
+    #[test]
+    fn timestamps_are_rfc3339() {
+        let t = UNIX_EPOCH + Duration::from_millis(0);
+        assert_eq!(format_rfc3339_millis(t), "1970-01-01T00:00:00.000Z");
+        // 2026-08-08T00:00:00Z = 1786147200 seconds after the epoch.
+        let t = UNIX_EPOCH + Duration::from_secs(1_786_147_200);
+        assert_eq!(format_rfc3339_millis(t), "2026-08-08T00:00:00.000Z");
+        // Leap-year day: 2024-02-29T12:00:00Z = 1709208000.
+        let t = UNIX_EPOCH + Duration::from_millis(1_709_208_000_123);
+        assert_eq!(format_rfc3339_millis(t), "2024-02-29T12:00:00.123Z");
+    }
+
+    #[test]
+    fn levels_filter() {
+        let (logger, buffer) = buffered(LogLevel::Info);
+        logger.debug("hidden").emit();
+        logger.info("shown").emit();
+        logger.error("also shown").emit();
+        let lines = buffer.lock().unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(" INFO test shown"));
+        assert!(lines[1].contains("ERROR test also shown"));
+    }
+
+    #[test]
+    fn quiet_suppresses_everything() {
+        let (logger, buffer) = buffered(LogLevel::Quiet);
+        logger.error("nope").emit();
+        assert!(buffer.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn fields_render_in_order_and_quote_when_needed() {
+        let (logger, buffer) = buffered(LogLevel::Debug);
+        logger
+            .info("msg")
+            .kv("peer", "127.0.0.1:9999")
+            .kv("strategy", "one-round HyperCube")
+            .kv("rows", 200)
+            .emit();
+        let lines = buffer.lock().unwrap();
+        assert!(lines[0]
+            .ends_with("msg peer=127.0.0.1:9999 strategy=\"one-round HyperCube\" rows=200"));
+    }
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(LogLevel::parse("INFO"), Some(LogLevel::Info));
+        assert_eq!(LogLevel::parse("quiet"), Some(LogLevel::Quiet));
+        assert_eq!(LogLevel::parse("warning"), Some(LogLevel::Warn));
+        assert_eq!(LogLevel::parse("bogus"), None);
+        assert!(LogLevel::Warn < LogLevel::Info);
+    }
+}

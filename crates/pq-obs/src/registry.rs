@@ -1,0 +1,330 @@
+//! The metrics registry: named, labelled counters, gauges and histograms.
+//!
+//! A [`MetricsRegistry`] is the cumulative, process-lifetime store behind
+//! `pqd METRICS` and `pqsh metrics`. Registration (`counter`/`gauge`/
+//! `histogram`) takes a short write lock on first sight of a name+labels
+//! combination and a read lock afterwards; the returned handles are `Arc`s
+//! of plain atomics, so the *instrumented hot path never locks* — callers
+//! resolve handles once (at engine construction, or lazily per label
+//! value) and then update them with single atomic adds.
+//!
+//! Metric naming follows the Prometheus conventions the exposition module
+//! renders: `snake_case` names with a `_total` suffix for counters, and
+//! labels as sorted `key="value"` pairs. One name must keep one kind —
+//! registering `foo` as a counter and again as a gauge is a programming
+//! error and panics (debug builds) or yields a detached handle (release).
+
+use crate::histogram::{HistogramSnapshot, LogHistogram};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// A metric identity: name plus sorted `(key, value)` label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name (`pq_queries_total`, …).
+    pub name: String,
+    /// Label pairs, sorted by key (sorted at construction, so two
+    /// registrations with reordered labels are the same metric).
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// A key for `name` with the given labels (sorted internally).
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// A monotonically increasing counter. Cloning shares the underlying
+/// atomic; updates are single relaxed atomic adds.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can be set or moved in either direction.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`, saturating at zero under races no worse than one
+    /// transient underflow-free retry.
+    pub fn sub(&self, n: u64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(n);
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared handle to a registered [`LogHistogram`].
+pub type Histogram = Arc<LogHistogram>;
+
+/// What kind of metric a name holds (fixed at first registration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Settable gauge.
+    Gauge,
+    /// Log-bucketed histogram, exposed as a quantile summary.
+    Histogram,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<MetricKey, Counter>,
+    gauges: BTreeMap<MetricKey, Gauge>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+    /// Name → (kind, help text), fixed at first registration.
+    meta: BTreeMap<String, (MetricKind, String)>,
+}
+
+/// The process-lifetime metrics store. Cheap to share (`Arc` it once);
+/// see the module docs for the locking story.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: RwLock<Inner>,
+    enabled: AtomicBool,
+}
+
+impl MetricsRegistry {
+    /// An empty, enabled registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            inner: RwLock::default(),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Whether instrumentation sites should record at all. The flag does
+    /// not change handle behaviour — it is the *instrumented code's* cheap
+    /// up-front check for stripping its whole recording block (what the
+    /// `engine_obs` benchmark toggles).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off (see [`MetricsRegistry::is_enabled`]).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Get or create the counter `name{labels}`. `help` is kept from the
+    /// first registration of `name` and rendered by the exposition.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        let key = MetricKey::new(name, labels);
+        if let Some(found) = self.read(|inner| inner.counters.get(&key).cloned()) {
+            return found;
+        }
+        self.write(|inner| {
+            Self::keep_kind(inner, name, MetricKind::Counter, help);
+            inner.counters.entry(key).or_default().clone()
+        })
+    }
+
+    /// Get or create the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        if let Some(found) = self.read(|inner| inner.gauges.get(&key).cloned()) {
+            return found;
+        }
+        self.write(|inner| {
+            Self::keep_kind(inner, name, MetricKind::Gauge, help);
+            inner.gauges.entry(key).or_default().clone()
+        })
+    }
+
+    /// Get or create the histogram `name{labels}`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Histogram {
+        let key = MetricKey::new(name, labels);
+        if let Some(found) = self.read(|inner| inner.histograms.get(&key).cloned()) {
+            return found;
+        }
+        self.write(|inner| {
+            Self::keep_kind(inner, name, MetricKind::Histogram, help);
+            inner.histograms.entry(key).or_default().clone()
+        })
+    }
+
+    /// The current value of an already-registered counter (0 when the
+    /// counter does not exist — reading never creates).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let key = MetricKey::new(name, labels);
+        self.read(|inner| inner.counters.get(&key).map_or(0, Counter::get))
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name and
+    /// labels — the input of the exposition formats.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.read(|inner| MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+            help: inner
+                .meta
+                .iter()
+                .map(|(name, (kind, help))| (name.clone(), (*kind, help.clone())))
+                .collect(),
+        })
+    }
+
+    fn keep_kind(inner: &mut Inner, name: &str, kind: MetricKind, help: &str) {
+        match inner.meta.get(name) {
+            Some((registered, _)) => debug_assert_eq!(
+                *registered, kind,
+                "metric `{name}` registered as two different kinds"
+            ),
+            None => {
+                inner
+                    .meta
+                    .insert(name.to_string(), (kind, help.to_string()));
+            }
+        }
+    }
+
+    fn read<R>(&self, f: impl FnOnce(&Inner) -> R) -> R {
+        f(&self.inner.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    fn write<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> R {
+        f(&mut self.inner.write().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+/// Every metric's value at one instant, sorted — what
+/// [`crate::expose::prometheus_text`] and [`crate::expose::json_text`]
+/// render.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by key.
+    pub counters: Vec<(MetricKey, u64)>,
+    /// Gauge values by key.
+    pub gauges: Vec<(MetricKey, u64)>,
+    /// Histogram aggregates by key.
+    pub histograms: Vec<(MetricKey, HistogramSnapshot)>,
+    /// Name → (kind, help) metadata.
+    pub help: BTreeMap<String, (MetricKind, String)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_with_the_registry() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("pq_test_total", &[("kind", "x")], "test counter");
+        let b = registry.counter("pq_test_total", &[("kind", "x")], "ignored");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(registry.counter_value("pq_test_total", &[("kind", "x")]), 3);
+        // A different label value is a different series.
+        assert_eq!(registry.counter_value("pq_test_total", &[("kind", "y")]), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("c_total", &[("a", "1"), ("b", "2")], "");
+        let b = registry.counter("c_total", &[("b", "2"), ("a", "1")], "");
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn gauges_move_both_ways_and_saturate() {
+        let registry = MetricsRegistry::new();
+        let g = registry.gauge("g", &[], "a gauge");
+        g.set(5);
+        g.add(3);
+        g.sub(6);
+        assert_eq!(g.get(), 2);
+        g.sub(10);
+        assert_eq!(g.get(), 0, "sub saturates at zero");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_carries_help() {
+        let registry = MetricsRegistry::new();
+        registry.counter("b_total", &[], "bees").inc();
+        registry.counter("a_total", &[], "ayes").add(2);
+        registry.histogram("h_micros", &[("op", "x")], "aitch").observe(7);
+        let snapshot = registry.snapshot();
+        let names: Vec<&str> = snapshot
+            .counters
+            .iter()
+            .map(|(k, _)| k.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["a_total", "b_total"]);
+        assert_eq!(snapshot.help["a_total"], (MetricKind::Counter, "ayes".into()));
+        assert_eq!(snapshot.histograms[0].1.count, 1);
+    }
+
+    #[test]
+    fn enabled_flag_round_trips() {
+        let registry = MetricsRegistry::new();
+        assert!(registry.is_enabled());
+        registry.set_enabled(false);
+        assert!(!registry.is_enabled());
+    }
+}

@@ -1,0 +1,233 @@
+//! Span-style query-lifecycle tracing.
+//!
+//! A [`QueryTrace`] stamps one query with a process-unique id and records
+//! how long each lifecycle [`Phase`] took (parse → cache lookup → plan →
+//! execute, plus one span per communication round when the query runs on
+//! the cluster backend) together with the outcome labels the observability
+//! surface reports: strategy chosen, backend, cache hit/miss, rows out and
+//! measured bytes on the wire.
+//!
+//! A trace is plain data — building one does not require a
+//! [`crate::MetricsRegistry`] — so `pqsh ANALYZE` can print a phase
+//! breakdown for a single query while `pqd` additionally folds every
+//! trace into its cumulative registry and uses the same struct to render
+//! `--slow-query-ms` log lines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Process-wide monotonically increasing query id source.
+static NEXT_QUERY_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate the next process-unique query id (starting at 1).
+pub fn next_query_id() -> u64 {
+    NEXT_QUERY_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A lifecycle phase of one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Parsing the query text into the AST.
+    Parse,
+    /// Plan-cache lookup (the span covers the probe, not a following plan).
+    CacheLookup,
+    /// Planning / strategy selection (only on a cache miss).
+    Plan,
+    /// Executing the chosen plan (covers all rounds).
+    Execute,
+    /// One communication round within execution (cluster backend).
+    Round(u32),
+}
+
+impl Phase {
+    /// Stable lowercase name used in logs and the ANALYZE output
+    /// (`round` phases render as `round0`, `round1`, …).
+    pub fn name(&self) -> String {
+        match self {
+            Phase::Parse => "parse".to_string(),
+            Phase::CacheLookup => "cache_lookup".to_string(),
+            Phase::Plan => "plan".to_string(),
+            Phase::Execute => "execute".to_string(),
+            Phase::Round(i) => format!("round{i}"),
+        }
+    }
+}
+
+/// One completed span: a phase and how long it took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Which phase.
+    pub phase: Phase,
+    /// Wall-clock duration of the phase.
+    pub duration: Duration,
+}
+
+/// The full lifecycle record of one query.
+#[derive(Debug, Clone)]
+pub struct QueryTrace {
+    /// Process-unique query id.
+    pub query_id: u64,
+    /// Completed phase spans, in the order they finished.
+    pub spans: Vec<PhaseSpan>,
+    /// Strategy label of the chosen plan (e.g. `one-round HyperCube`).
+    pub strategy: Option<String>,
+    /// Backend label (`simulator` or `cluster`).
+    pub backend: Option<String>,
+    /// Whether the plan cache served this query (`None` = no lookup).
+    pub cache_hit: Option<bool>,
+    /// Number of result rows.
+    pub rows_out: Option<u64>,
+    /// Measured bytes on the wire (cluster backend; simulator reports 0).
+    pub bytes_on_wire: Option<u64>,
+    started: Instant,
+    total: Option<Duration>,
+}
+
+impl QueryTrace {
+    /// Start a trace for a fresh query id.
+    pub fn start() -> Self {
+        QueryTrace {
+            query_id: next_query_id(),
+            spans: Vec::new(),
+            strategy: None,
+            backend: None,
+            cache_hit: None,
+            rows_out: None,
+            bytes_on_wire: None,
+            started: Instant::now(),
+            total: None,
+        }
+    }
+
+    /// Time `f` as one `phase` span, recording it on completion.
+    pub fn time<R>(&mut self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let result = f();
+        self.record(phase, start.elapsed());
+        result
+    }
+
+    /// Record an externally measured span.
+    pub fn record(&mut self, phase: Phase, duration: Duration) {
+        self.spans.push(PhaseSpan { phase, duration });
+    }
+
+    /// Mark the query finished; from now on [`QueryTrace::total`] is fixed.
+    pub fn finish(&mut self) {
+        if self.total.is_none() {
+            self.total = Some(self.started.elapsed());
+        }
+    }
+
+    /// Total wall-clock time: start-to-[`finish`](QueryTrace::finish), or
+    /// start-to-now while the query is still in flight.
+    pub fn total(&self) -> Duration {
+        self.total.unwrap_or_else(|| self.started.elapsed())
+    }
+
+    /// The duration of the first span for `phase`, if recorded.
+    pub fn phase_duration(&self, phase: Phase) -> Option<Duration> {
+        self.spans
+            .iter()
+            .find(|s| s.phase == phase)
+            .map(|s| s.duration)
+    }
+
+    /// A compact single-line `key=value` rendering of the whole trace —
+    /// the payload of slow-query log lines. Example:
+    /// `query_id=7 total_micros=1234 parse_micros=10 execute_micros=1200
+    /// strategy="one-round HyperCube" cache=hit rows=200 bytes_on_wire=0`.
+    pub fn summary_fields(&self) -> Vec<(String, String)> {
+        let mut fields = vec![
+            ("query_id".to_string(), self.query_id.to_string()),
+            (
+                "total_micros".to_string(),
+                (self.total().as_micros() as u64).to_string(),
+            ),
+        ];
+        for span in &self.spans {
+            fields.push((
+                format!("{}_micros", span.phase.name()),
+                (span.duration.as_micros() as u64).to_string(),
+            ));
+        }
+        if let Some(strategy) = &self.strategy {
+            fields.push(("strategy".to_string(), strategy.clone()));
+        }
+        if let Some(backend) = &self.backend {
+            fields.push(("backend".to_string(), backend.clone()));
+        }
+        if let Some(hit) = self.cache_hit {
+            fields.push((
+                "cache".to_string(),
+                if hit { "hit" } else { "miss" }.to_string(),
+            ));
+        }
+        if let Some(rows) = self.rows_out {
+            fields.push(("rows".to_string(), rows.to_string()));
+        }
+        if let Some(bytes) = self.bytes_on_wire {
+            fields.push(("bytes_on_wire".to_string(), bytes.to_string()));
+        }
+        fields
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_ids_are_unique_and_increasing() {
+        let a = next_query_id();
+        let b = next_query_id();
+        assert!(b > a);
+        let t1 = QueryTrace::start();
+        let t2 = QueryTrace::start();
+        assert!(t2.query_id > t1.query_id);
+    }
+
+    #[test]
+    fn time_records_a_span_and_passes_the_result_through() {
+        let mut trace = QueryTrace::start();
+        let answer = trace.time(Phase::Parse, || 42);
+        assert_eq!(answer, 42);
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].phase, Phase::Parse);
+        assert!(trace.phase_duration(Phase::Parse).is_some());
+        assert!(trace.phase_duration(Phase::Plan).is_none());
+    }
+
+    #[test]
+    fn finish_freezes_total() {
+        let mut trace = QueryTrace::start();
+        trace.finish();
+        let t1 = trace.total();
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(trace.total(), t1);
+    }
+
+    #[test]
+    fn summary_fields_cover_phases_and_outcomes() {
+        let mut trace = QueryTrace::start();
+        trace.record(Phase::Parse, Duration::from_micros(10));
+        trace.record(Phase::Round(0), Duration::from_micros(5));
+        trace.strategy = Some("one-round HyperCube".to_string());
+        trace.cache_hit = Some(true);
+        trace.rows_out = Some(200);
+        trace.finish();
+        let fields = trace.summary_fields();
+        let get = |name: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(get("parse_micros"), Some("10".to_string()));
+        assert_eq!(get("round0_micros"), Some("5".to_string()));
+        assert_eq!(get("strategy"), Some("one-round HyperCube".to_string()));
+        assert_eq!(get("cache"), Some("hit".to_string()));
+        assert_eq!(get("rows"), Some("200".to_string()));
+        assert_eq!(get("query_id"), Some(trace.query_id.to_string()));
+    }
+}

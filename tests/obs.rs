@@ -1,0 +1,222 @@
+//! Integration tests for the observability layer (`pq-obs`) and its wiring
+//! through the engine:
+//!
+//! * the log-bucketed histogram's quantiles against an exact sort oracle,
+//!   over random inputs (the ≤ 25% + 1 relative-error guarantee);
+//! * concurrent counter/histogram updates and per-thread merge are
+//!   lossless;
+//! * the Prometheus/JSON expositions of a registry fed through the real
+//!   engine, and the engine-level metric inventory: query counts by
+//!   outcome, cache hit/miss/invalidated, delta counters, per-phase
+//!   trace spans — with and without instrumentation enabled;
+//! * the structured logger's level gate through a captured buffer sink.
+
+use pq_engine::{Delta, Engine, Phase};
+use pq_obs::{json_text, prometheus_text, LogHistogram, LogLevel, Logger, MetricsRegistry};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+fn engine() -> Engine {
+    let mut db = pq_relation::Database::new(1 << 12);
+    db.insert(pq_relation::Relation::from_rows(
+        pq_relation::Schema::from_strs("R", &["a", "b"]),
+        (0..50).map(|i| vec![i, i + 1]).collect(),
+    ));
+    db.insert(pq_relation::Relation::from_rows(
+        pq_relation::Schema::from_strs("S", &["a", "b"]),
+        (0..50).map(|i| vec![i + 1, i + 2]).collect(),
+    ));
+    Engine::new(db, 8)
+}
+
+const QUERY: &str = "Q(x, y, z) :- R(x, y), S(y, z)";
+
+/// The exact quantile the histogram approximates: the value of rank
+/// `ceil(q * n)` (1-based) in sorted order.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    // For any input set, every reported quantile is an upper bound on the
+    // exact quantile and overshoots by at most a quarter of it (the
+    // sub-bucket width), plus one for rounding at tiny values.
+    #[test]
+    fn histogram_quantiles_bound_the_sort_oracle(
+        values in proptest::collection::vec(1u64..1_000_000_000, 1..200),
+        percent in 1u32..100,
+    ) {
+        let q = f64::from(percent) / 100.0;
+        let h = LogHistogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let estimate = h.quantile(q);
+        prop_assert!(estimate >= exact, "estimate {estimate} below exact {exact}");
+        prop_assert!(
+            estimate <= exact + exact / 4 + 1,
+            "estimate {estimate} overshoots exact {exact} by more than 25% + 1"
+        );
+    }
+}
+
+#[test]
+fn concurrent_updates_are_lossless_and_merge_exactly() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let registry = MetricsRegistry::new();
+    let counter = registry.counter("t_total", &[], "");
+    let shared = registry.histogram("t_micros", &[], "");
+    // Each thread also fills a private histogram; merging those must equal
+    // the shared histogram that saw every observation directly.
+    let locals: Vec<Arc<LogHistogram>> = (0..THREADS)
+        .map(|_| Arc::new(LogHistogram::new()))
+        .collect();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let counter = counter.clone();
+            let shared = Arc::clone(&shared);
+            let local = Arc::clone(&locals[t as usize]);
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let v = t * PER_THREAD + i + 1;
+                    counter.inc();
+                    shared.observe(v);
+                    local.observe(v);
+                }
+            });
+        }
+    });
+    let total = THREADS * PER_THREAD;
+    assert_eq!(counter.get(), total, "no counter increment lost");
+    assert_eq!(shared.count(), total, "no observation lost");
+    assert_eq!(shared.sum(), total * (total + 1) / 2, "sums add up exactly");
+    let merged = LogHistogram::new();
+    for local in &locals {
+        merged.merge_from(local);
+    }
+    assert_eq!(merged.count(), shared.count());
+    assert_eq!(merged.sum(), shared.sum());
+    for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+        assert_eq!(
+            merged.quantile(q),
+            shared.quantile(q),
+            "bucketwise merge is lossless, so quantiles agree at q={q}"
+        );
+    }
+}
+
+#[test]
+fn engine_runs_land_in_the_registry_and_the_expositions() {
+    let e = engine();
+    let session = e.session();
+    session.run(QUERY).unwrap();
+    session.run(QUERY).unwrap();
+    assert!(session.run("nonsense ):").is_err());
+    let registry = e.metrics();
+    assert_eq!(registry.counter_value("pq_queries_total", &[("status", "ok")]), 2);
+    assert_eq!(
+        registry.counter_value("pq_queries_total", &[("status", "error")]),
+        1
+    );
+    assert_eq!(registry.counter_value("pq_plan_cache_hits_total", &[]), 1);
+    assert_eq!(registry.counter_value("pq_plan_cache_misses_total", &[]), 1);
+    assert_eq!(registry.counter_value("pq_query_rows_total", &[]), 100);
+
+    let snapshot = registry.snapshot();
+    let text = prometheus_text(&snapshot);
+    assert!(text.contains("pq_queries_total{status=\"ok\"} 2"));
+    assert!(text.contains("# TYPE pq_queries_total counter"));
+    assert!(text.contains("pq_phase_micros_count{phase=\"execute\"} 2"));
+    assert!(text.contains("# TYPE pq_query_latency_micros summary"));
+    let json = json_text(&snapshot);
+    assert!(json.starts_with("{\"counters\":["));
+    assert!(json.contains("\"name\":\"pq_queries_total\""));
+    assert!(json.contains("\"status\":\"ok\""));
+}
+
+#[test]
+fn traced_runs_carry_the_lifecycle_phases_and_outcome_labels() {
+    let e = engine();
+    let session = e.session();
+    let (run, trace) = session.run_traced(QUERY).unwrap();
+    for phase in [Phase::Parse, Phase::CacheLookup, Phase::Plan, Phase::Execute] {
+        assert!(
+            trace.phase_duration(phase).is_some(),
+            "phase {} missing from the trace",
+            phase.name()
+        );
+    }
+    assert_eq!(trace.strategy.as_deref(), Some(run.plan.strategy.name()));
+    assert_eq!(trace.cache_hit, Some(false));
+    assert_eq!(trace.rows_out, Some(run.outcome.output.len() as u64));
+    assert!(trace.total() >= trace.phase_duration(Phase::Execute).unwrap());
+    // A warm re-run skips planning: the plan phase is absent, the cache
+    // lookup phase is not.
+    let (_, warm) = session.run_traced(QUERY).unwrap();
+    assert_eq!(warm.cache_hit, Some(true));
+    assert!(warm.phase_duration(Phase::Plan).is_none());
+    assert!(warm.phase_duration(Phase::CacheLookup).is_some());
+}
+
+#[test]
+fn deltas_and_invalidation_move_the_write_path_counters() {
+    let e = engine();
+    let session = e.session();
+    session.run(QUERY).unwrap();
+    e.apply(Delta::insert("R", vec![vec![500, 501], vec![501, 502]]))
+        .unwrap();
+    let registry = e.metrics();
+    assert_eq!(registry.counter_value("pq_deltas_applied_total", &[]), 1);
+    assert_eq!(registry.counter_value("pq_rows_inserted_total", &[]), 2);
+    assert_eq!(registry.counter_value("pq_snapshot_updates_total", &[]), 1);
+    assert_eq!(
+        registry.counter_value("pq_plan_cache_invalidated_total", &[]),
+        1,
+        "the cached plan reads R, so the delta invalidates it"
+    );
+}
+
+#[test]
+fn disabling_metrics_stops_recording_but_not_serving() {
+    let e = engine().with_metrics_enabled(false);
+    let session = e.session();
+    let run = session.run(QUERY).unwrap();
+    assert_eq!(run.outcome.output.len(), 50, "answers are unaffected");
+    let registry = e.metrics();
+    assert_eq!(registry.counter_value("pq_queries_total", &[("status", "ok")]), 0);
+    assert_eq!(registry.counter_value("pq_plan_cache_misses_total", &[]), 0);
+}
+
+#[test]
+fn prepared_runs_count_like_session_runs() {
+    let e = engine();
+    let prepared = e.session().prepare(QUERY).unwrap();
+    for _ in 0..3 {
+        prepared.run().unwrap();
+    }
+    let registry = e.metrics();
+    assert_eq!(registry.counter_value("pq_queries_total", &[("status", "ok")]), 3);
+    assert_eq!(registry.counter_value("pq_query_rows_total", &[]), 150);
+}
+
+#[test]
+fn logger_respects_the_level_gate_and_structures_fields() {
+    let buffer = Arc::new(Mutex::new(Vec::new()));
+    let logger = Logger::new("test", LogLevel::Info).with_buffer(Arc::clone(&buffer));
+    logger.debug("invisible").emit();
+    logger.info("visible").kv("rows", 42).kv("strategy", "one round").emit();
+    logger.error("bad").emit();
+    let lines = buffer.lock().unwrap().clone();
+    assert_eq!(lines.len(), 2, "debug is below the info gate");
+    assert!(lines[0].contains(" INFO test visible rows=42 strategy=\"one round\""));
+    assert!(lines[1].contains("ERROR test bad"));
+
+    let quiet = Logger::new("test", LogLevel::Quiet).with_buffer(Arc::clone(&buffer));
+    quiet.error("suppressed").emit();
+    assert_eq!(buffer.lock().unwrap().len(), 2, "quiet silences even errors");
+}
