@@ -15,9 +15,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pq_bench::matching_database_for_query;
-use pq_engine::{ClusterConfig, Delta, Engine, ExecBackend};
+use pq_engine::{ClusterConfig, Delta, DurabilityOptions, Engine, ExecBackend};
 use pq_mpc::net::LocalWorkers;
 use pq_query::ConjunctiveQuery;
+use pq_wal::SyncPolicy;
 
 fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_end_to_end");
@@ -177,11 +178,99 @@ fn bench_engine_obs(c: &mut Criterion) {
     group.finish();
 }
 
+/// The price of durability on the delta path: the same single-row
+/// `Engine::apply` as `engine_update/apply_insert`, but logged to a
+/// write-ahead log first, under each sync policy. `never` pays one
+/// buffered `write(2)` per delta (process-crash durable via the page
+/// cache), `group-commit` adds an fsync every 64 records / 64 KiB, and
+/// `always` fsyncs every append — the full spectrum from "almost free" to
+/// "every delta machine-crash durable". The `recover_scan` case measures
+/// the other end of the deal: scanning and decoding a 1000-delta log
+/// suffix back out of the directory, as startup recovery does.
+fn bench_engine_wal(c: &mut Criterion) {
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let path = std::env::temp_dir()
+                .join(format!("pq-bench-wal-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&path);
+            std::fs::create_dir_all(&path).unwrap();
+            TempDir(path)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    let mut group = c.benchmark_group("engine_wal");
+    group.sample_size(10);
+    let query = ConjunctiveQuery::chain(3);
+    let m = 4_000usize;
+    let db = matching_database_for_query(&query, m, 7);
+    let dict = pq_relation::ValueDictionary::new();
+    let row = vec![1u64 << 40, (1u64 << 40) + 1];
+
+    // The in-memory baseline the WAL rides on, for the headline ratio.
+    let plain = Engine::new(db.clone(), 16);
+    group.bench_with_input(BenchmarkId::new("apply_in_memory", m), &row, |b, row| {
+        b.iter(|| {
+            plain
+                .apply(Delta::insert("S1", vec![row.clone()]))
+                .expect("valid delta")
+                .fingerprint()
+        })
+    });
+
+    for sync in [SyncPolicy::Never, SyncPolicy::GroupCommit, SyncPolicy::Always] {
+        let dir = TempDir::new(sync.name());
+        let options = DurabilityOptions { sync, checkpoint_every: 0 };
+        let opened =
+            pq_engine::open_durable(&dir.0, options, 16, Some((db.clone(), dict.clone())))
+                .expect("durable open");
+        let id = BenchmarkId::new(format!("apply_wal_{}", sync.name()), m);
+        group.bench_with_input(id, &row, |b, row| {
+            b.iter(|| {
+                opened
+                    .engine
+                    .apply(Delta::insert("S1", vec![row.clone()]))
+                    .expect("valid delta")
+                    .fingerprint()
+            })
+        });
+    }
+
+    // Startup recovery's hot half: scan the directory, verify CRCs and
+    // decode 1000 logged single-row deltas (read-only, so each iteration
+    // sees the identical log).
+    let dir = TempDir::new("recover");
+    let options = DurabilityOptions { sync: SyncPolicy::Never, checkpoint_every: 0 };
+    let opened = pq_engine::open_durable(&dir.0, options, 16, Some((db.clone(), dict.clone())))
+        .expect("durable open");
+    for i in 0..1_000u64 {
+        opened
+            .engine
+            .apply(Delta::insert("S1", vec![vec![(1 << 41) + 2 * i, (1 << 41) + 2 * i + 1]]))
+            .expect("valid delta");
+    }
+    drop(opened);
+    group.bench_with_input(BenchmarkId::new("recover_scan", 1_000), &dir.0, |b, dir| {
+        b.iter(|| {
+            let recovery = pq_wal::recover(dir).expect("recover");
+            assert_eq!(recovery.deltas.len(), 1_000);
+            recovery.records_replayed
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine,
     bench_engine_update,
     bench_engine_backend,
-    bench_engine_obs
+    bench_engine_obs,
+    bench_engine_wal
 );
 criterion_main!(benches);

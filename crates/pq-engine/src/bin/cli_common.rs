@@ -139,44 +139,86 @@ pub fn split_values(input: &str) -> Vec<String> {
     values
 }
 
-/// One `insert <relation> <v1,...,vk>` request, shared by `pqd`'s `INSERT`
-/// and `pqsh`'s `insert`: validate against the current snapshot **before**
-/// encoding (so typos don't grow the dictionary), then apply a one-row
-/// [`Delta`]. `usage` is the front-end's syntax hint for an empty relation
-/// name; `encode` maps the split tokens to domain values under whatever
-/// locking the front-end uses around its dictionary.
-pub fn insert_row(
+/// Split a `row1;row2;…` batch on unescaped semicolons, leaving every
+/// escape sequence intact for [`split_values`] to resolve per row (so `\;`
+/// inside a value survives the row split and becomes a literal `;` after
+/// the value split). Empty input is one empty row — the single-row path
+/// for nullary relations.
+pub fn split_rows(input: &str) -> Vec<String> {
+    let mut rows = vec![String::new()];
+    let mut chars = input.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                let row = rows.last_mut().expect("never empty");
+                row.push('\\');
+                if let Some(escaped) = chars.next() {
+                    row.push(escaped);
+                }
+            }
+            ';' => rows.push(String::new()),
+            other => rows.last_mut().expect("never empty").push(other),
+        }
+    }
+    rows
+}
+
+/// One `insert <relation> <row1>;<row2>;…` request (each row
+/// `v1,...,vk`), shared by `pqd`'s `INSERT` and `pqsh`'s `insert`:
+/// validate **every** row against the current snapshot before encoding
+/// anything (so typos don't grow the dictionary and a half-bad batch
+/// inserts nothing), then apply the whole batch as **one** [`Delta`] — one
+/// WAL record, one statistics fold, one plan-cache invalidation, however
+/// many rows. `usage` is the front-end's syntax hint for an empty relation
+/// name; `encode` maps one row's split tokens to domain values under
+/// whatever locking the front-end uses around its dictionary.
+pub fn insert_rows(
     session: &Session,
     rest: &str,
     usage: &str,
-    encode: impl FnOnce(&[String]) -> Vec<Value>,
+    mut encode: impl FnMut(&[String]) -> Vec<Value>,
 ) -> Result<String, String> {
     let (relation, values_text) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
     if relation.is_empty() {
         return Err(usage.to_string());
     }
-    let tokens = split_values(values_text.trim());
+    let row_tokens: Vec<Vec<String>> = split_rows(values_text.trim())
+        .iter()
+        .map(|row| split_values(row.trim()))
+        .collect();
     let snapshot = session.engine().snapshot();
-    match snapshot.database().relation(relation) {
+    let arity = match snapshot.database().relation(relation) {
         None => {
             return Err(format!(
                 "relation `{relation}` is not loaded (available: {})",
                 snapshot.database().relation_names().join(", ")
             ))
         }
-        Some(stored) if stored.arity() != tokens.len() => {
-            return Err(format!(
-                "relation `{relation}` has {} column(s) but {} value(s) were given",
-                stored.arity(),
-                tokens.len()
-            ))
+        Some(stored) => stored.arity(),
+    };
+    for (i, tokens) in row_tokens.iter().enumerate() {
+        if tokens.len() != arity {
+            return Err(if row_tokens.len() == 1 {
+                format!(
+                    "relation `{relation}` has {arity} column(s) but {} value(s) were given",
+                    tokens.len()
+                )
+            } else {
+                format!(
+                    "relation `{relation}` has {arity} column(s) but row {} has {} value(s); \
+                     no row inserted",
+                    i + 1,
+                    tokens.len()
+                )
+            });
         }
-        Some(_) => {}
     }
-    let row = encode(&tokens);
-    match session.engine().apply(Delta::insert(relation, vec![row])) {
+    let rows: Vec<Vec<Value>> = row_tokens.iter().map(|tokens| encode(tokens)).collect();
+    let inserted = rows.len();
+    match session.engine().apply(Delta::insert(relation, rows)) {
         Ok(next) => Ok(format!(
-            "inserted 1 row into {relation} ({} rows)",
+            "inserted {inserted} row{} into {relation} ({} rows)",
+            if inserted == 1 { "" } else { "s" },
             next.database().expect_relation(relation).len()
         )),
         Err(e) => Err(e.to_string()),
@@ -185,7 +227,7 @@ pub fn insert_row(
 
 #[cfg(test)]
 mod tests {
-    use super::split_values;
+    use super::{split_rows, split_values};
 
     #[test]
     fn splits_on_unescaped_commas_only() {
@@ -196,5 +238,18 @@ mod tests {
         assert_eq!(split_values(""), Vec::<String>::new());
         // A trailing lone backslash survives as a literal.
         assert_eq!(split_values(r"a\"), vec![r"a\"]);
+    }
+
+    #[test]
+    fn splits_rows_on_unescaped_semicolons_keeping_escapes() {
+        assert_eq!(split_rows("a,b;c,d"), vec!["a,b", "c,d"]);
+        assert_eq!(split_rows("a,b"), vec!["a,b"]);
+        assert_eq!(split_rows(""), vec![""]);
+        // `\;` stays escaped for split_values to resolve into a literal `;`.
+        assert_eq!(split_rows(r"a\;b;c"), vec![r"a\;b", "c"]);
+        assert_eq!(split_values(r"a\;b"), vec!["a;b"]);
+        // `\\` consumes its pair, so the following `;` still splits.
+        assert_eq!(split_rows(r"a\\;b"), vec![r"a\\", "b"]);
+        assert_eq!(split_rows("a;;b"), vec!["a", "", "b"]);
     }
 }

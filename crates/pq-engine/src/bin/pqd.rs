@@ -57,19 +57,21 @@
 //! asks its workers (if any) to exit and then exits itself — the teardown
 //! path scripts and CI use instead of `kill`.
 
-use pq_engine::{Engine, ExecBackend, Session};
+use pq_engine::{open_durable, DurabilityOptions, Engine, ExecBackend, Session};
 use pq_mpc::RunMetrics;
 use pq_obs::{json_text, prometheus_text, Counter, Gauge, LogLevel, Logger, MetricsRegistry};
 use pq_relation::{load_database_files, ValueDictionary};
+use pq_wal::SyncPolicy;
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 use std::time::Duration;
 
 #[path = "cli_common.rs"]
 mod cli_common;
-use cli_common::{insert_row, parse_number, value_of, CommonArgs};
+use cli_common::{insert_rows, parse_number, value_of, CommonArgs};
 
 const USAGE: &str = "\
 pqd — parallel-query daemon (one engine, one plan cache, N client sessions)
@@ -79,6 +81,13 @@ USAGE:
 
 OPTIONS:
     --data PATH            CSV/TSV file, or directory of .csv/.tsv files (repeatable)
+    --data-dir DIR         durable mode: write-ahead log + checkpoints in DIR.
+                           A fresh DIR is initialised from --data; an existing
+                           one recovers its own state (--data then ignored)
+    --wal-sync POLICY      WAL fsync policy: always, group-commit, never
+                           (default group-commit; needs --data-dir)
+    --checkpoint-every N   checkpoint after N logged deltas, 0 = only on
+                           SHUTDOWN (default 1024; needs --data-dir)
     --servers P            default logical servers per session (default 64)
     --seed S               default router hash seed per session (default 7)
     --port PORT            TCP port to listen on (default 0 = ephemeral, printed)
@@ -96,11 +105,14 @@ OPTIONS:
     -h, --help             this text
 
 PROTOCOL: one command per line — RUN <query>, EXPLAIN <query>,
-INSERT <relation> <v1,...,vk>, SERVERS <p>, SEED <n>, STATS, METRICS
-[JSON], SHUTDOWN, QUIT; each response block ends with an OK or ERR line.
+INSERT <relation> <v1,...,vk>[;<v1,...,vk>]..., SERVERS <p>, SEED <n>,
+STATS, METRICS [JSON], SHUTDOWN, QUIT; each response block ends with an
+OK or ERR line. A batched INSERT (rows separated by `;`) applies as one
+delta: one WAL record, one statistics fold, one cache invalidation.
 METRICS dumps the engine's cumulative metrics in the Prometheus text
-format (or one JSON document). SHUTDOWN stops the daemon (and, with
---cluster, its workers); QUIT only closes the connection.
+format (or one JSON document). SHUTDOWN flushes and checkpoints the WAL
+(with --data-dir), then stops the daemon (and, with --cluster, its
+workers); QUIT only closes the connection.
 ";
 
 struct Options {
@@ -112,6 +124,9 @@ struct Options {
     worker: bool,
     log_level: LogLevel,
     slow_query_ms: u64,
+    data_dir: Option<PathBuf>,
+    wal_sync: SyncPolicy,
+    checkpoint_every: u64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -123,6 +138,9 @@ fn parse_args() -> Result<Options, String> {
     let mut worker = false;
     let mut log_level = LogLevel::Info;
     let mut slow_query_ms = 0u64;
+    let mut data_dir: Option<PathBuf> = None;
+    let mut wal_sync = SyncPolicy::GroupCommit;
+    let mut checkpoint_every = 1024u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if common.consume(&arg, &mut args)? {
@@ -130,6 +148,21 @@ fn parse_args() -> Result<Options, String> {
         }
         match arg.as_str() {
             "--worker" => worker = true,
+            "--data-dir" => {
+                data_dir = Some(PathBuf::from(value_of("--data-dir", &mut args)?))
+            }
+            "--wal-sync" => {
+                let value = value_of("--wal-sync", &mut args)?;
+                wal_sync = SyncPolicy::parse(&value).ok_or_else(|| {
+                    format!("--wal-sync: `{value}` is not always|group-commit|never")
+                })?;
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = parse_number(
+                    "--checkpoint-every",
+                    &value_of("--checkpoint-every", &mut args)?,
+                )?
+            }
             // parse_number::<u16> rejects (not truncates) ports above 65535.
             "--port" => port = parse_number("--port", &value_of("--port", &mut args)?)?,
             "--host" => host = value_of("--host", &mut args)?,
@@ -169,9 +202,10 @@ fn parse_args() -> Result<Options, String> {
             .into());
     }
     Ok(Options {
-        // A worker loads no data, so the data-is-required validation only
-        // applies to the coordinator/daemon modes.
-        common: if worker { common } else { common.finish()? },
+        // A worker loads no data, and a durable daemon may recover
+        // everything from --data-dir, so the data-is-required validation
+        // only applies to the plain in-memory daemon mode.
+        common: if worker || data_dir.is_some() { common } else { common.finish()? },
         port,
         host,
         read_timeout,
@@ -179,6 +213,9 @@ fn parse_args() -> Result<Options, String> {
         worker,
         log_level,
         slow_query_ms,
+        data_dir,
+        wal_sync,
+        checkpoint_every,
     })
 }
 
@@ -222,18 +259,18 @@ impl Daemon {
 /// encodes new tokens under a write lock.
 type SharedDictionary = Arc<RwLock<ValueDictionary>>;
 
-/// Handle one `INSERT <relation> <v1,...,vk>` request: the shared
+/// Handle one `INSERT <relation> <row1>[;<row2>]…` request: the shared
 /// validate/encode/apply pipeline, encoding under the dictionary write
-/// lock.
+/// lock. All rows of a batch land as one delta.
 fn handle_insert(
     session: &Session,
     dictionary: &SharedDictionary,
     rest: &str,
 ) -> Result<String, String> {
-    insert_row(
+    insert_rows(
         session,
         rest,
-        "INSERT needs: INSERT <relation> <v1,...,vk>",
+        "INSERT needs: INSERT <relation> <v1,...,vk>[;<v1,...,vk>]...",
         |tokens| {
             let mut dictionary = dictionary.write().unwrap_or_else(PoisonError::into_inner);
             tokens.iter().map(|t| dictionary.encode(t)).collect()
@@ -442,7 +479,26 @@ fn serve(stream: TcpStream, mut session: Session, dictionary: SharedDictionary, 
                 writeln!(writer, "OK")
             }
             "SHUTDOWN" => {
-                let _ = writeln!(writer, "OK shutting down");
+                // Durable daemons leave a clean directory behind: flush the
+                // log and write a final checkpoint so the next startup
+                // replays nothing.
+                match session.engine().checkpoint() {
+                    Ok(Some(lsn)) => {
+                        daemon
+                            .logger
+                            .info("final checkpoint written")
+                            .kv("covered_lsn", lsn)
+                            .emit();
+                        let _ = writeln!(writer, "OK shutting down (checkpoint at lsn {lsn})");
+                    }
+                    Ok(None) => {
+                        let _ = writeln!(writer, "OK shutting down");
+                    }
+                    Err(e) => {
+                        daemon.logger.error("final checkpoint failed").kv("error", &e).emit();
+                        let _ = writeln!(writer, "OK shutting down (checkpoint failed: {e})");
+                    }
+                }
                 let _ = writer.flush();
                 if let ExecBackend::Cluster(config) = session.backend() {
                     pq_mpc::net::shutdown_workers(config);
@@ -538,22 +594,69 @@ fn main() {
         run_worker(&options);
     }
     let logger = Logger::new("pqd", options.log_level);
-    let (database, dictionary) = match load_database_files(&options.common.data) {
-        Ok(loaded) => loaded,
-        Err(e) => {
-            logger.error(e.to_string()).emit();
-            std::process::exit(1);
+    // The base state from --data, when given (required without --data-dir;
+    // the initial content of a fresh --data-dir; ignored by an existing
+    // --data-dir, which recovers its own durable state).
+    let base = if options.common.data.is_empty() {
+        None
+    } else {
+        match load_database_files(&options.common.data) {
+            Ok(loaded) => Some(loaded),
+            Err(e) => {
+                logger.error(e.to_string()).emit();
+                std::process::exit(1);
+            }
         }
     };
-    let engine = Engine::new(database, options.common.servers)
-        .with_seed(options.common.seed)
-        .with_backend(options.common.backend());
+    let (engine, dictionary): (Engine, SharedDictionary) = match &options.data_dir {
+        Some(dir) => {
+            let durability = DurabilityOptions {
+                sync: options.wal_sync,
+                checkpoint_every: options.checkpoint_every,
+            };
+            let opened = match open_durable(dir, durability, options.common.servers, base) {
+                Ok(opened) => opened,
+                Err(e) => {
+                    logger
+                        .error("cannot open data dir")
+                        .kv("dir", dir.display())
+                        .kv("error", e)
+                        .emit();
+                    std::process::exit(1);
+                }
+            };
+            logger
+                .info("durable state opened")
+                .kv("dir", dir.display())
+                .kv("sync", options.wal_sync.name())
+                .kv(
+                    "source",
+                    if opened.from_checkpoint { "checkpoint" } else { "--data" },
+                )
+                .kv("replayed_records", opened.recovered_records)
+                .kv("replayed_rows", opened.recovered_rows)
+                .kv("torn_tail", opened.torn_tail)
+                .kv("checkpoints_discarded", opened.checkpoints_discarded)
+                .emit();
+            let engine = opened
+                .engine
+                .with_seed(options.common.seed)
+                .with_backend(options.common.backend());
+            (engine, opened.dictionary)
+        }
+        None => {
+            let (database, dictionary) = base.expect("finish() required --data");
+            let engine = Engine::new(database, options.common.servers)
+                .with_seed(options.common.seed)
+                .with_backend(options.common.backend());
+            (engine, Arc::new(RwLock::new(dictionary)))
+        }
+    };
     let daemon = Arc::new(Daemon::new(
         logger.clone(),
         options.slow_query_ms,
         &engine.metrics(),
     ));
-    let dictionary: SharedDictionary = Arc::new(RwLock::new(dictionary));
     let listener = match TcpListener::bind((options.host.as_str(), options.port)) {
         Ok(l) => l,
         Err(e) => {

@@ -17,7 +17,7 @@ use std::io::{BufRead, IsTerminal, Write};
 
 #[path = "cli_common.rs"]
 mod cli_common;
-use cli_common::{insert_row, parse_number, value_of, CommonArgs};
+use cli_common::{insert_rows, parse_number, value_of, CommonArgs};
 
 const USAGE: &str = "\
 pqsh — parallel-query shell (parser → cost-based planner → threaded executor)
@@ -48,9 +48,11 @@ COMMAND (one-shot; omit to enter the interactive shell):
                      text format, or as one JSON document
 
 REPL-only commands (take effect immediately):
-    insert R V1,...,Vk  append one row to relation R (O(delta): only R's
-                     statistics are refreshed, plans over other relations
-                     stay cached; `\\,` escapes a comma inside a value)
+    insert R V1,...,Vk[;V1,...,Vk]...
+                     append one or more rows to relation R, all as one
+                     delta (O(delta): only R's statistics are refreshed,
+                     plans over other relations stay cached; `\\,` escapes
+                     a comma inside a value, `\\;` a semicolon)
     servers P        change this session's server budget p
     seed S           change this session's router hash seed
     backend [simulator | cluster ADDRS]
@@ -215,17 +217,18 @@ fn print_stats(session: &Session, dictionary: &ValueDictionary) {
     );
 }
 
-/// The REPL's `insert R v1,...,vk`: the shared validate/encode/apply
-/// pipeline over the locally-owned dictionary.
+/// The REPL's `insert R v1,...,vk[;v1,...,vk]…`: the shared
+/// validate/encode/apply pipeline over the locally-owned dictionary; a
+/// `;`-separated batch lands as one delta.
 fn dispatch_insert(
     session: &Session,
     dictionary: &mut ValueDictionary,
     arguments: &str,
 ) -> Result<String, String> {
-    insert_row(
+    insert_rows(
         session,
         arguments,
-        "`insert` needs: insert RELATION V1,...,Vk",
+        "`insert` needs: insert RELATION V1,...,Vk[;V1,...,Vk]...",
         |tokens| tokens.iter().map(|t| dictionary.encode(t)).collect(),
     )
 }

@@ -110,6 +110,14 @@ pub enum DeltaError {
         /// Length of the offending row.
         given: usize,
     },
+    /// The delta was valid but could not be made durable: the write-ahead
+    /// log rejected the append (an I/O error). The engine's state is
+    /// unchanged — log-before-apply means a delta that never reached the
+    /// log is never applied.
+    Wal {
+        /// The underlying I/O failure, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for DeltaError {
@@ -131,6 +139,9 @@ impl fmt::Display for DeltaError {
                 f,
                 "relation `{relation}` has {stored} column(s) but a delta row has {given} value(s)"
             ),
+            DeltaError::Wal { message } => {
+                write!(f, "write-ahead log append failed, delta not applied: {message}")
+            }
         }
     }
 }

@@ -35,7 +35,8 @@ use crate::planner::{plan_query_on, Plan, PlanError, Strategy};
 use crate::session::Session;
 use crate::snapshot::Snapshot;
 use pq_obs::{MetricsRegistry, Phase, QueryTrace};
-use pq_relation::{Database, DatabaseStatistics, Relation};
+use pq_relation::{Database, DatabaseStatistics, Relation, ValueDictionary};
+use pq_wal::{Lsn, RelationInserts, Wal, WalRecord};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
@@ -103,6 +104,26 @@ pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// The engine's attachment to a write-ahead log (present only on durable
+/// engines, see [`Engine::with_wal`] and [`crate::durability`]).
+///
+/// The interior mutexes exist only for interior mutability: every access
+/// happens under the engine's `update_lock`, so they are never contended.
+#[derive(Debug)]
+struct WalAttachment {
+    wal: Arc<Wal>,
+    /// The dictionary the CLI front-ends encode tokens through; its growth
+    /// is logged as `DictExtend` records so recovered answers decode
+    /// exactly as before the crash.
+    dictionary: Arc<RwLock<ValueDictionary>>,
+    /// Auto-checkpoint after this many logged deltas (0 = never).
+    checkpoint_every: u64,
+    /// Prefix of `dictionary` already durable (in the log or a checkpoint).
+    tokens_logged: Mutex<usize>,
+    /// Deltas logged since the last checkpoint.
+    deltas_since_checkpoint: Mutex<u64>,
+}
+
 /// The shared state behind every clone of one [`Engine`].
 #[derive(Debug)]
 struct SharedState {
@@ -116,6 +137,8 @@ struct SharedState {
     default_backend: ExecBackend,
     /// The engine's metrics registry and pre-resolved hot-path handles.
     obs: EngineObs,
+    /// The write-ahead log, when this engine is durable.
+    wal: Option<WalAttachment>,
 }
 
 /// A cheap, cloneable, thread-safe handle to one loaded database and one
@@ -161,6 +184,7 @@ impl Engine {
                 default_seed: 7,
                 default_backend: ExecBackend::Simulator,
                 obs: EngineObs::new(),
+                wal: None,
             }),
         }
     }
@@ -241,6 +265,142 @@ impl Engine {
         Engine { shared }
     }
 
+    /// Attach an opened write-ahead log: from here on every
+    /// [`Engine::apply`] appends its delta (and any growth of `dictionary`)
+    /// to `wal` **before** installing the new snapshot, and a checkpoint is
+    /// written automatically every `checkpoint_every` logged deltas
+    /// (0 disables auto-checkpointing). The caller is responsible for the
+    /// log/state handshake — an engine built from recovered state must be
+    /// attached to the *same* directory's log; [`crate::open_durable`] does
+    /// all of this in one call and is the usual entry point.
+    ///
+    /// Builder-style: call before the handle is cloned.
+    ///
+    /// # Panics
+    /// Panics when the engine handle has already been cloned or has live
+    /// sessions.
+    pub fn with_wal(
+        self,
+        wal: Arc<Wal>,
+        dictionary: Arc<RwLock<ValueDictionary>>,
+        checkpoint_every: u64,
+    ) -> Self {
+        let tokens_logged = dictionary.read().unwrap_or_else(PoisonError::into_inner).len();
+        let mut shared = self.shared;
+        Arc::get_mut(&mut shared)
+            .expect("configure the engine before sharing it")
+            .wal = Some(WalAttachment {
+            wal,
+            dictionary,
+            checkpoint_every,
+            tokens_logged: Mutex::new(tokens_logged),
+            deltas_since_checkpoint: Mutex::new(0),
+        });
+        Engine { shared }
+    }
+
+    /// The attached write-ahead log, when this engine is durable.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.shared.wal.as_ref().map(|attachment| &attachment.wal)
+    }
+
+    /// Write a checkpoint now: the current snapshot plus the shared value
+    /// dictionary become one durable checkpoint file, and log segments made
+    /// dead by it are truncated. Serialised against concurrent mutations.
+    /// Returns the covered LSN, or `None` when no WAL is attached.
+    pub fn checkpoint(&self) -> Result<Option<Lsn>, DeltaError> {
+        let Some(attachment) = &self.shared.wal else {
+            return Ok(None);
+        };
+        let _serialised = lock_unpoisoned(&self.shared.update_lock);
+        let snapshot = self.snapshot();
+        self.checkpoint_locked(attachment, &snapshot)
+            .map(Some)
+            .map_err(|e| DeltaError::Wal { message: e.to_string() })
+    }
+
+    /// Checkpoint the given snapshot. Caller holds the update lock.
+    fn checkpoint_locked(
+        &self,
+        attachment: &WalAttachment,
+        snapshot: &Snapshot,
+    ) -> std::io::Result<Lsn> {
+        let dictionary =
+            attachment.dictionary.read().unwrap_or_else(PoisonError::into_inner);
+        let covered = attachment.wal.checkpoint(snapshot.database(), &dictionary)?;
+        // The checkpoint file holds the whole dictionary: everything up to
+        // its current length is durable without further DictExtend records.
+        *lock_unpoisoned(&attachment.tokens_logged) = dictionary.len();
+        *lock_unpoisoned(&attachment.deltas_since_checkpoint) = 0;
+        Ok(covered)
+    }
+
+    /// Append `delta` (preceded by any un-logged dictionary growth) to the
+    /// log. Caller holds the update lock; nothing has been applied yet, so
+    /// a failed append leaves the engine exactly as it was.
+    fn log_delta(&self, attachment: &WalAttachment, delta: &Delta) -> Result<(), DeltaError> {
+        let mut records = Vec::with_capacity(2);
+        let dictionary =
+            attachment.dictionary.read().unwrap_or_else(PoisonError::into_inner);
+        let mut tokens_logged = lock_unpoisoned(&attachment.tokens_logged);
+        if dictionary.len() > *tokens_logged {
+            records.push(WalRecord::DictExtend {
+                first_id: *tokens_logged as u64,
+                tokens: dictionary.tokens()[*tokens_logged..].to_vec(),
+            });
+        }
+        let dictionary_len = dictionary.len();
+        drop(dictionary);
+        let inserts = delta
+            .inserts()
+            .iter()
+            .filter(|(_, rows)| !rows.is_empty())
+            .map(|(name, rows)| RelationInserts {
+                relation: name.clone(),
+                arity: rows[0].len(),
+                rows: rows.len(),
+                values: rows.iter().flatten().copied().collect(),
+            })
+            .collect();
+        records.push(WalRecord::DeltaApplied { inserts });
+        attachment
+            .wal
+            .append_all(&records)
+            .map_err(|e| DeltaError::Wal { message: e.to_string() })?;
+        *tokens_logged = dictionary_len;
+        Ok(())
+    }
+
+    /// Count a logged delta towards the auto-checkpoint threshold and
+    /// checkpoint when it trips. Caller holds the update lock; `snapshot`
+    /// is the just-installed state. Checkpoint failures don't fail the
+    /// already-durable, already-applied delta — they are counted on
+    /// `pq_wal_checkpoint_errors_total` and the next delta retries.
+    fn after_logged_apply(&self, attachment: &WalAttachment, snapshot: &Snapshot) {
+        let mut since = lock_unpoisoned(&attachment.deltas_since_checkpoint);
+        *since += 1;
+        let due = attachment.checkpoint_every > 0 && *since >= attachment.checkpoint_every;
+        drop(since);
+        if due {
+            if let Err(error) = self.checkpoint_locked(attachment, snapshot) {
+                self.count_checkpoint_error(&error);
+            }
+        }
+    }
+
+    fn count_checkpoint_error(&self, error: &std::io::Error) {
+        self.shared
+            .obs
+            .registry()
+            .counter(
+                "pq_wal_checkpoint_errors_total",
+                &[],
+                "Checkpoints that failed with an I/O error",
+            )
+            .inc();
+        let _ = error;
+    }
+
     /// The current snapshot. The returned `Arc` stays valid (and fully
     /// queryable through [`crate::run_plan`]) even after a writer installs
     /// a newer snapshot via [`Engine::update`].
@@ -300,7 +460,22 @@ impl Engine {
     /// blocked; sessions holding the previous snapshot finish on it.
     /// Concurrent `apply`/`update` calls are serialised, so no mutation is
     /// lost. An empty delta is a no-op returning the current snapshot.
+    ///
+    /// On a durable engine ([`Engine::with_wal`]) the delta is appended to
+    /// the write-ahead log **before** anything is applied: an append
+    /// failure surfaces as [`DeltaError::Wal`] with the engine untouched,
+    /// and a crash at any later point replays the delta from the log.
     pub fn apply(&self, delta: Delta) -> Result<Arc<Snapshot>, DeltaError> {
+        self.apply_inner(delta, true)
+    }
+
+    /// [`Engine::apply`] with the WAL append optional: recovery replays
+    /// already-logged deltas through `log = false`.
+    pub(crate) fn apply_inner(
+        &self,
+        delta: Delta,
+        log: bool,
+    ) -> Result<Arc<Snapshot>, DeltaError> {
         let _serialised = lock_unpoisoned(&self.shared.update_lock);
         let prev = self.snapshot();
         for (name, rows) in delta.inserts() {
@@ -320,6 +495,11 @@ impl Engine {
         }
         if delta.is_empty() {
             return Ok(prev);
+        }
+        if log {
+            if let Some(attachment) = &self.shared.wal {
+                self.log_delta(attachment, &delta)?;
+            }
         }
         let old_fingerprint = prev.fingerprint();
         let mut database = prev.database().clone();
@@ -362,6 +542,11 @@ impl Engine {
             obs.snapshot_updates.inc();
             obs.cache_invalidated.add(evicted as u64);
         }
+        if log {
+            if let Some(attachment) = &self.shared.wal {
+                self.after_logged_apply(attachment, &next);
+            }
+        }
         Ok(next)
     }
 
@@ -384,6 +569,13 @@ impl Engine {
     /// changed relation, exactly as for `apply` — plans over unchanged
     /// relations keep hitting. Concurrent `update` calls are serialised,
     /// so no mutation is lost.
+    ///
+    /// On a durable engine the closure's edits cannot be logged as a typed
+    /// delta (they are arbitrary), so `update` **forces a full checkpoint**
+    /// after installing the new snapshot — the durable state never lags an
+    /// escape-hatch edit. A failed checkpoint is counted on
+    /// `pq_wal_checkpoint_errors_total` (the in-memory update itself cannot
+    /// fail).
     pub fn update<F: FnOnce(&mut Database)>(&self, mutate: F) -> Arc<Snapshot> {
         let _serialised = lock_unpoisoned(&self.shared.update_lock);
         // `prev` must outlive `mutate`: it pins every shared relation's
@@ -410,6 +602,11 @@ impl Engine {
         if obs.enabled() {
             obs.snapshot_updates.inc();
             obs.cache_invalidated.add(evicted as u64);
+        }
+        if let Some(attachment) = &self.shared.wal {
+            if let Err(error) = self.checkpoint_locked(attachment, &next) {
+                self.count_checkpoint_error(&error);
+            }
         }
         next
     }

@@ -28,6 +28,10 @@
 //! * [`delta`] — typed, insert-only mutation batches ([`Delta`]): the
 //!   O(delta) write path behind [`Engine::apply`], which maintains
 //!   statistics incrementally instead of re-scanning the database;
+//! * [`durability`] — the crash-safety layer over `pq-wal`: [`open_durable`]
+//!   recovers a WAL directory (checkpoint + log replay), attaches the
+//!   reopened log so every applied [`Delta`] is logged before it lands,
+//!   and arms the auto-checkpointer (`pqd --data-dir` is this);
 //! * [`executor`] — runs the chosen plan's rounds on the MPC simulator
 //!   against a `&Snapshot`, with per-server local joins fanned out over
 //!   real OS threads via [`pq_mpc::map_servers_parallel`];
@@ -48,6 +52,7 @@
 pub mod backend;
 pub mod cache;
 pub mod delta;
+pub mod durability;
 pub mod engine;
 pub mod executor;
 mod obs;
@@ -60,6 +65,7 @@ pub mod snapshot;
 pub use backend::ExecBackend;
 pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use delta::{Delta, DeltaError};
+pub use durability::{open_durable, DurabilityOptions, DurableOpen};
 pub use engine::{Engine, EngineError, EngineRun};
 pub use executor::{run_plan, run_plan_on, run_plan_on_observed, RunOutcome};
 pub use pq_mpc::net::{ClusterConfig, ClusterError};

@@ -70,6 +70,22 @@ impl ValueDictionary {
     pub fn is_empty(&self) -> bool {
         self.tokens.is_empty()
     }
+
+    /// The interned tokens in id order (`tokens()[v]` is the token of `v`).
+    pub fn tokens(&self) -> &[String] {
+        &self.tokens
+    }
+
+    /// Rebuild a dictionary from tokens in id order (e.g. read back from a
+    /// checkpoint). Inverse of [`ValueDictionary::tokens`].
+    pub fn from_tokens(tokens: Vec<String>) -> Self {
+        let by_token = tokens
+            .iter()
+            .enumerate()
+            .map(|(v, t)| (t.clone(), v as Value))
+            .collect();
+        ValueDictionary { by_token, tokens }
+    }
 }
 
 /// Errors raised while loading delimited files.

@@ -52,7 +52,7 @@ impl fmt::Display for WireError {
                 f,
                 "row buffer for `{relation}` holds {values} value(s) but {rows} row(s) of \
                  arity {arity} need exactly {}",
-                rows * arity
+                rows.saturating_mul(*arity)
             ),
         }
     }
@@ -94,10 +94,13 @@ impl Relation {
     ///
     /// The byte slice must be exactly `rows · arity · 8` bytes; anything
     /// else (truncation, padding, a row count that disagrees with the
-    /// buffer) is a [`WireError`].
+    /// buffer) is a [`WireError`]. The declared row count comes off the
+    /// wire, so even `rows · arity` overflowing `usize` is an error here,
+    /// never a panic or a wrapped (and thus accidentally matching) size.
     pub fn from_rows_le(schema: Schema, rows: usize, bytes: &[u8]) -> Result<Relation, WireError> {
         let values = values_from_le_bytes(bytes)?;
-        if values.len() != rows * schema.arity() {
+        let expected = rows.checked_mul(schema.arity());
+        if expected != Some(values.len()) {
             return Err(WireError::ShapeMismatch {
                 relation: schema.name().to_string(),
                 rows,
@@ -174,5 +177,96 @@ mod tests {
         values_to_le_bytes(&[1, 2, 3, 4], &mut bytes);
         let err = Relation::from_rows_le(schema, 1, &bytes).unwrap_err();
         assert!(matches!(err, WireError::ShapeMismatch { values: 4, .. }));
+    }
+
+    #[test]
+    fn overflowing_row_count_is_an_error_not_a_panic() {
+        // `rows · arity` would overflow usize; a wrapped multiply could
+        // accidentally equal the buffer's value count and mis-frame it.
+        let schema = Schema::from_strs("R", &["x", "y"]);
+        let err = Relation::from_rows_le(schema, usize::MAX, &[]).unwrap_err();
+        assert!(matches!(err, WireError::ShapeMismatch { values: 0, .. }), "{err}");
+        // The Display path saturates instead of overflowing too.
+        assert!(err.to_string().contains("need exactly"));
+    }
+
+    mod mangling {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        fn relation(arity: usize, rows: usize, values: &[u64]) -> Relation {
+            let attrs: Vec<String> = (0..arity).map(|i| format!("a{i}")).collect();
+            let attrs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            let mut relation = Relation::empty(Schema::from_strs("M", &attrs));
+            if arity == 0 {
+                for _ in 0..rows {
+                    relation.push_row(&[]);
+                }
+            } else {
+                for row in values[..rows * arity].chunks(arity) {
+                    relation.push_row(row);
+                }
+            }
+            relation
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            // Decoding a mangled frame must never panic or over-read: every
+            // outcome is either a clean decode (when the mangling happens to
+            // preserve the frame's shape) or a typed `WireError`.
+            #[test]
+            fn mangled_frames_never_panic(
+                arity in 0usize..4,
+                values in proptest::collection::vec(any::<u64>(), 0..24),
+                cut in 0usize..200,
+                flip_at in 0usize..200,
+                claimed_rows in 0usize..32,
+            ) {
+                let rows = values.len().checked_div(arity).unwrap_or(values.len());
+                let relation = relation(arity, rows, &values);
+                let mut bytes = Vec::new();
+                relation.write_rows_le(&mut bytes);
+
+                // Truncation: a cut that is not on a whole-row boundary must
+                // be rejected; a whole-row cut with the matching count decodes.
+                let cut = cut.min(bytes.len());
+                let truncated = &bytes[..cut];
+                match Relation::from_rows_le(relation.schema().clone(), rows, truncated) {
+                    Ok(back) => {
+                        prop_assert_eq!(cut, bytes.len());
+                        prop_assert_eq!(back, relation.clone());
+                    }
+                    Err(WireError::UnalignedBytes { len }) => prop_assert!(len % 8 != 0),
+                    Err(WireError::ShapeMismatch { values, .. }) => {
+                        prop_assert_eq!(values, cut / 8);
+                    }
+                }
+
+                // Bit flips keep the shape: any u64 is a legal value, so the
+                // decode succeeds and returns exactly the flipped buffer.
+                if !bytes.is_empty() {
+                    let mut flipped = bytes.clone();
+                    let at = flip_at % flipped.len();
+                    flipped[at] ^= 0x40;
+                    let back = Relation::from_rows_le(
+                        relation.schema().clone(), rows, &flipped,
+                    );
+                    let back = back.expect("shape-preserving flip decodes");
+                    prop_assert_eq!(back.len(), rows);
+                    prop_assert_ne!(back, relation.clone());
+                }
+
+                // A dishonest row count never decodes (except nullary, where
+                // zero bytes carry any claimed count by design).
+                if claimed_rows != rows && arity > 0 {
+                    let err = Relation::from_rows_le(
+                        relation.schema().clone(), claimed_rows, &bytes,
+                    );
+                    prop_assert!(err.is_err());
+                }
+            }
+        }
     }
 }

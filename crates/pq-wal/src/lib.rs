@@ -1,0 +1,78 @@
+//! # pq-wal — write-ahead logging and crash recovery for the delta path
+//!
+//! A dependency-free (std-only, offline-safe) durability subsystem for the
+//! workspace. The engine's typed delta path (`Engine::apply`) gets its
+//! redo log here: every delta is appended — CRC-framed, LSN'd — to a
+//! segment log **before** it is applied, checkpoints bound replay work by
+//! serialising the full snapshot, and recovery rebuilds exactly the
+//! longest durable prefix of the pre-crash history.
+//!
+//! The paper this repository reproduces (Beame, Koutris and Suciu,
+//! *Communication Cost in Parallel Query Processing*) analyses stateless
+//! rounds over a *given* database; a serving engine additionally has to
+//! keep that database across process deaths. pq-wal is the smallest
+//! log-then-apply design that does: logical redo records (the deltas
+//! themselves, in the same flat row encoding the cluster codec ships),
+//! physical full checkpoints, and a scan-and-replay recovery with no undo,
+//! because the delta path is insert-only and applies atomically.
+//!
+//! ## Pieces
+//!
+//! - [`record`]: the record types ([`WalRecord`]) and their CRC32-framed
+//!   binary encoding; decoding never panics or over-reads — corruption
+//!   surfaces as a typed [`RecordError`].
+//! - [`log`]: the segment log manager ([`Wal`]) with [`SyncPolicy`]
+//!   `always` / `group-commit` / `never`, explicit [`Wal::flush_up_to`],
+//!   torn-tail truncation on open, and metrics via `pq-obs`.
+//! - [`checkpoint`]: atomic (tmp + fsync + rename) snapshot files of the
+//!   database and value dictionary; retention keeps the two newest so even
+//!   losing the newest checkpoint file recovers from the previous one.
+//! - [`recovery`]: the read-only pass — newest valid checkpoint, then the
+//!   log suffix after it, stopping at the first torn frame.
+//! - [`crc`]: the shared table-driven CRC-32.
+//!
+//! ## Example
+//!
+//! ```
+//! use pq_wal::{recover, RelationInserts, SyncPolicy, Wal, WalOptions, WalRecord};
+//!
+//! let dir = std::env::temp_dir().join(format!("pq-wal-doc-{}", std::process::id()));
+//! let wal = Wal::open(&dir, WalOptions::with_sync(SyncPolicy::Always))?;
+//! let lsn = wal.append(&WalRecord::DeltaApplied {
+//!     inserts: vec![RelationInserts {
+//!         relation: "E".into(),
+//!         arity: 2,
+//!         rows: 1,
+//!         values: vec![7, 8],
+//!     }],
+//! })?;
+//! assert_eq!(lsn, 1);
+//!
+//! let recovery = recover(&dir)?;
+//! assert_eq!(recovery.deltas.len(), 1);
+//! assert_eq!(recovery.last_lsn, 1);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod checkpoint;
+pub mod crc;
+pub mod log;
+pub mod record;
+pub mod recovery;
+#[cfg(test)]
+mod testutil;
+
+pub use checkpoint::{
+    checkpoint_file_name, load_checkpoint_file, load_latest_checkpoint, write_checkpoint_file,
+    Checkpoint, CheckpointError,
+};
+pub use crc::{crc32, Crc32};
+pub use log::{SyncPolicy, Wal, WalOptions};
+pub use record::{
+    encode_record, Lsn, RecordError, RecordReader, RelationInserts, WalRecord, MAX_FRAME_BYTES,
+};
+pub use recovery::{apply_dict_extensions, recover, RecoveredDelta, Recovery};

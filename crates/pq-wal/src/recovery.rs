@@ -1,0 +1,244 @@
+//! Crash recovery: rebuild the state a WAL directory describes.
+//!
+//! The pass is deliberately simple — and therefore easy to trust:
+//!
+//! 1. load the **newest checkpoint that verifies** (corrupt or deleted
+//!    newer ones fall back to the previous checkpoint, which retention
+//!    keeps exactly for this case);
+//! 2. scan the segment log and collect every record with an LSN **after**
+//!    the checkpoint, stopping at the first framing error or LSN
+//!    discontinuity (the torn tail of an interrupted write);
+//! 3. hand the caller the checkpointed state plus the ordered delta and
+//!    dictionary-extension payloads to replay.
+//!
+//! The result is always a **prefix** of the pre-crash history: either
+//! everything, or everything up to the record the crash tore. This crate
+//! cannot replay the deltas itself (that needs the engine's apply path),
+//! so the engine's durability layer drives the replay from this data.
+
+use crate::checkpoint::{load_latest_checkpoint, Checkpoint};
+use crate::log::scan_dir;
+use crate::record::{Lsn, RelationInserts, WalRecord};
+use pq_relation::ValueDictionary;
+use std::io;
+use std::path::Path;
+
+/// One delta payload to replay, in LSN order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredDelta {
+    /// The LSN the delta was logged at.
+    pub lsn: Lsn,
+    /// The per-relation insert batches, exactly as logged.
+    pub inserts: Vec<RelationInserts>,
+}
+
+/// Everything a WAL directory says about the pre-crash state.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The newest checkpoint that verified, if any.
+    pub checkpoint: Option<Checkpoint>,
+    /// Delta payloads with LSN after the checkpoint, in LSN order.
+    pub deltas: Vec<RecoveredDelta>,
+    /// Dictionary extensions with LSN after the checkpoint, in LSN order
+    /// (`first_id`, new tokens). Apply with [`apply_dict_extensions`].
+    pub dict_extensions: Vec<(u64, Vec<String>)>,
+    /// Highest LSN seen anywhere (log or checkpoint); 0 for a fresh dir.
+    pub last_lsn: Lsn,
+    /// Log records scanned past the checkpoint (all kinds).
+    pub records_replayed: u64,
+    /// Valid log bytes scanned (whole log, not just past the checkpoint).
+    pub bytes_scanned: u64,
+    /// True when the log ended in a torn/corrupt tail that was dropped.
+    pub torn_tail: bool,
+    /// Corrupt checkpoint files skipped while looking for a valid one.
+    pub checkpoints_discarded: u64,
+}
+
+impl Recovery {
+    /// Total rows across all recovered delta payloads.
+    pub fn total_rows(&self) -> usize {
+        self.deltas.iter().flat_map(|d| d.inserts.iter()).map(|i| i.rows).sum()
+    }
+}
+
+/// Read a WAL directory back into a [`Recovery`]. Never modifies the
+/// directory (the torn tail is *reported*, not truncated — [`crate::Wal::open`]
+/// truncates when the log is reopened for writing). A missing or empty
+/// directory recovers to the empty state.
+pub fn recover(dir: &Path) -> io::Result<Recovery> {
+    let (checkpoint, checkpoints_discarded) = load_latest_checkpoint(dir)?;
+    let checkpoint_lsn = checkpoint.as_ref().map_or(0, |c| c.covered_lsn);
+    let scan = scan_dir(dir)?;
+    let mut deltas = Vec::new();
+    let mut dict_extensions = Vec::new();
+    let mut records_replayed = 0;
+    for (lsn, record) in scan.records() {
+        if *lsn <= checkpoint_lsn {
+            continue;
+        }
+        records_replayed += 1;
+        match record {
+            WalRecord::DeltaApplied { inserts } => {
+                deltas.push(RecoveredDelta { lsn: *lsn, inserts: inserts.clone() });
+            }
+            WalRecord::DictExtend { first_id, tokens } => {
+                dict_extensions.push((*first_id, tokens.clone()));
+            }
+            // Checkpoint markers carry no redo state; the files they
+            // describe were already considered above.
+            WalRecord::CheckpointStart
+            | WalRecord::SnapshotWritten { .. }
+            | WalRecord::CheckpointEnd { .. } => {}
+        }
+    }
+    Ok(Recovery {
+        checkpoint,
+        deltas,
+        dict_extensions,
+        last_lsn: scan.last_lsn.max(checkpoint_lsn),
+        records_replayed,
+        bytes_scanned: scan.bytes,
+        torn_tail: scan.torn,
+        checkpoints_discarded,
+    })
+}
+
+/// Replay recovered dictionary extensions onto `dictionary`. Tolerates
+/// overlap (extensions the base dictionary already contains re-encode to
+/// their existing ids); a **gap** — an extension starting past the end of
+/// the dictionary — means the log and the base state disagree and is an
+/// error.
+pub fn apply_dict_extensions(
+    dictionary: &mut ValueDictionary,
+    extensions: &[(u64, Vec<String>)],
+) -> Result<(), String> {
+    for (first_id, tokens) in extensions {
+        let len = dictionary.len() as u64;
+        if *first_id > len {
+            return Err(format!(
+                "dictionary extension starts at id {first_id} but only {len} token(s) exist"
+            ));
+        }
+        let skip = (len - first_id) as usize;
+        for token in tokens.iter().skip(skip) {
+            dictionary.encode(token);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::checkpoint_file_name;
+    use crate::log::{SyncPolicy, Wal, WalOptions};
+    use crate::testutil::TempDir;
+    use pq_relation::{Database, Relation, Schema};
+    use std::fs;
+
+    fn delta_record(n: u64) -> WalRecord {
+        WalRecord::DeltaApplied {
+            inserts: vec![RelationInserts {
+                relation: "E".into(),
+                arity: 2,
+                rows: 1,
+                values: vec![n, n + 1],
+            }],
+        }
+    }
+
+    fn state() -> (Database, ValueDictionary) {
+        let mut database = Database::new(8);
+        database.insert(Relation::from_rows(
+            Schema::from_strs("E", &["x", "y"]),
+            vec![vec![0, 1]],
+        ));
+        (database, ValueDictionary::new())
+    }
+
+    #[test]
+    fn fresh_directory_recovers_to_empty() {
+        let dir = TempDir::new("rec-fresh");
+        let recovery = recover(&dir.path().join("does-not-exist")).unwrap();
+        assert!(recovery.checkpoint.is_none());
+        assert!(recovery.deltas.is_empty());
+        assert_eq!(recovery.last_lsn, 0);
+        assert!(!recovery.torn_tail);
+    }
+
+    #[test]
+    fn replays_only_past_the_checkpoint() {
+        let dir = TempDir::new("rec-suffix");
+        let (database, dictionary) = state();
+        let wal = Wal::open(dir.path(), WalOptions::with_sync(SyncPolicy::Always)).unwrap();
+        wal.append(&delta_record(1)).unwrap();
+        wal.append(&delta_record(2)).unwrap();
+        let covered = wal.checkpoint(&database, &dictionary).unwrap();
+        wal.append(&delta_record(3)).unwrap();
+        wal.append(&delta_record(4)).unwrap();
+        drop(wal);
+        let recovery = recover(dir.path()).unwrap();
+        assert_eq!(recovery.checkpoint.as_ref().unwrap().covered_lsn, covered);
+        let lsns: Vec<Lsn> = recovery.deltas.iter().map(|d| d.lsn).collect();
+        assert_eq!(lsns, vec![covered + 3, covered + 4]);
+        assert_eq!(recovery.total_rows(), 2);
+        assert!(!recovery.torn_tail);
+    }
+
+    #[test]
+    fn deleted_newest_checkpoint_falls_back_to_the_previous() {
+        let dir = TempDir::new("rec-del-ckpt");
+        let (database, dictionary) = state();
+        let wal = Wal::open(dir.path(), WalOptions::with_sync(SyncPolicy::Always)).unwrap();
+        wal.append(&delta_record(1)).unwrap();
+        let first = wal.checkpoint(&database, &dictionary).unwrap();
+        wal.append(&delta_record(2)).unwrap();
+        let second = wal.checkpoint(&database, &dictionary).unwrap();
+        wal.append(&delta_record(3)).unwrap();
+        drop(wal);
+        fs::remove_file(dir.path().join(checkpoint_file_name(second))).unwrap();
+        let recovery = recover(dir.path()).unwrap();
+        // Fell back to the first checkpoint; every delta after it — the one
+        // covered by the lost checkpoint too — is still in the retained log.
+        assert_eq!(recovery.checkpoint.as_ref().unwrap().covered_lsn, first);
+        let rows: Vec<u64> = recovery
+            .deltas
+            .iter()
+            .flat_map(|d| d.inserts.iter())
+            .flat_map(|i| i.values.clone())
+            .collect();
+        assert_eq!(rows, vec![2, 3, 3, 4]);
+    }
+
+    #[test]
+    fn torn_tail_recovers_the_prefix() {
+        let dir = TempDir::new("rec-torn");
+        let wal = Wal::open(dir.path(), WalOptions::with_sync(SyncPolicy::Always)).unwrap();
+        for i in 1..=5 {
+            wal.append(&delta_record(i)).unwrap();
+        }
+        drop(wal);
+        let scan = scan_dir(dir.path()).unwrap();
+        let segment = scan.segments.last().unwrap();
+        let path = segment.path.clone();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+        let recovery = recover(dir.path()).unwrap();
+        assert!(recovery.torn_tail);
+        assert_eq!(recovery.deltas.len(), 4, "the torn fifth record is dropped");
+        assert_eq!(recovery.last_lsn, 4);
+    }
+
+    #[test]
+    fn dict_extensions_apply_with_overlap_but_not_gaps() {
+        let mut dictionary = ValueDictionary::new();
+        dictionary.encode("a");
+        dictionary.encode("b");
+        // Overlap: extension re-states "b" then adds "c".
+        apply_dict_extensions(&mut dictionary, &[(1, vec!["b".into(), "c".into()])]).unwrap();
+        assert_eq!(dictionary.tokens(), ["a", "b", "c"]);
+        // Gap: starts past the end.
+        let err = apply_dict_extensions(&mut dictionary, &[(5, vec!["z".into()])]);
+        assert!(err.is_err());
+    }
+}
