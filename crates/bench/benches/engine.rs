@@ -147,6 +147,65 @@ fn bench_engine_backend(c: &mut Criterion) {
     group.finish();
 }
 
+/// The redial tax the connection pool deletes: one minimal single-atom
+/// round driven through a persistent [`pq_mpc::net::WorkerPool`] (dial +
+/// Hello paid once, before the measurement) versus a fresh
+/// [`pq_mpc::net::Coordinator::connect`] per iteration (dial + Hello +
+/// TCP handshake every time — what every cluster query paid before the
+/// pool existed).
+fn bench_cluster_reconnect(c: &mut Criterion) {
+    use pq_mpc::net::{AtomSpec, Coordinator, RoundProgram, WorkerPool};
+    use pq_mpc::Message;
+    use pq_relation::{Relation, Schema};
+
+    let mut group = c.benchmark_group("cluster_reconnect");
+    group.sample_size(10);
+    let program = RoundProgram {
+        name: "Q".into(),
+        output_vars: vec!["x".into(), "y".into()],
+        atoms: vec![AtomSpec {
+            relation: "R".into(),
+            variables: vec!["x".into(), "y".into()],
+        }],
+    };
+    let messages = || {
+        (0..2)
+            .map(|to| {
+                Message::tuples(
+                    to,
+                    Relation::from_rows(
+                        Schema::from_strs("R", &["x", "y"]),
+                        vec![vec![1, 2], vec![3, 4]],
+                    ),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let workers = LocalWorkers::spawn(2).expect("spawn local workers");
+    let config = ClusterConfig::new(workers.addresses().to_vec());
+
+    let pool = WorkerPool::new(config.clone());
+    pool.execute(2, 16, 0, &program, &messages, None).expect("warm-up round");
+    group.bench_function("pooled_round", |b| {
+        b.iter(|| {
+            pool.execute(2, 16, 0, &program, &messages, None)
+                .expect("runs")
+                .0
+                .len()
+        })
+    });
+
+    group.bench_function("fresh_dial_round", |b| {
+        b.iter(|| {
+            let mut coordinator = Coordinator::connect(&config, 2, 16).expect("connect");
+            coordinator.run_round(messages(), &program).expect("runs").len()
+        })
+    });
+    drop(pool);
+    workers.shutdown();
+    group.finish();
+}
+
 /// The cost of the observability layer itself: the identical warm
 /// (plan-cached) triangle run with metrics recording on (the default)
 /// versus stripped (`with_metrics_enabled(false)`, which turns every
@@ -270,6 +329,7 @@ criterion_group!(
     bench_engine,
     bench_engine_update,
     bench_engine_backend,
+    bench_cluster_reconnect,
     bench_engine_obs,
     bench_engine_wal
 );

@@ -8,33 +8,115 @@
 //! ([`pq_mpc::RoundStats::wire_bytes`]). Both backends return the same
 //! answers; the distributed-vs-simulator oracle test suite holds them to
 //! that row for row.
+//!
+//! The cluster variant holds a persistent [`WorkerPool`] — dialled,
+//! Hello'd connections kept alive across runs, with health checks, retry
+//! and a circuit breaker (see [`pq_mpc::net::pool`]) — plus a
+//! [`FallbackPolicy`] deciding what happens when the cluster stays
+//! unhealthy past its whole retry budget.
 
-use pq_mpc::net::ClusterConfig;
-use std::sync::Arc;
+use pq_mpc::net::{ClusterConfig, WorkerPool};
+
+/// What to do when a cluster run fails past its retry budget (or fails
+/// fast on an open circuit breaker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FallbackPolicy {
+    /// Surface the [`pq_mpc::net::ClusterError`] to the caller. The
+    /// default: distributed measurement workloads want to *know* the
+    /// cluster failed, not silently lose their wire numbers.
+    #[default]
+    Error,
+    /// Degrade gracefully: re-run the plan on the in-process simulator
+    /// and mark the outcome `degraded = true` in its
+    /// [`pq_mpc::RunMetrics`]. The answer is exact either way — only the
+    /// measured wire accounting is lost.
+    Simulator,
+}
+
+impl FallbackPolicy {
+    /// Parse a CLI flag value (`error` or `simulator`).
+    pub fn parse(text: &str) -> Option<FallbackPolicy> {
+        match text {
+            "error" => Some(FallbackPolicy::Error),
+            "simulator" => Some(FallbackPolicy::Simulator),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            FallbackPolicy::Error => "error",
+            FallbackPolicy::Simulator => "simulator",
+        }
+    }
+}
 
 /// Where a session executes its plans.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub enum ExecBackend {
     /// The in-process MPC simulator: model-cost accounting, per-server
     /// local joins on OS threads, no sockets.
     #[default]
     Simulator,
-    /// A cluster of worker processes reached over TCP. The shared config
-    /// lists the workers' addresses; the engine maps the plan's `p`
-    /// logical servers onto them (`server % workers`) and reports measured
-    /// per-round wire bytes next to the model's load accounting.
-    Cluster(Arc<ClusterConfig>),
+    /// A cluster of worker processes reached over TCP through a
+    /// persistent connection pool. The pool's config lists the workers'
+    /// addresses; the engine maps the plan's `p` logical servers onto
+    /// them (`server % workers`) and reports measured per-round wire
+    /// bytes next to the model's load accounting.
+    Cluster {
+        /// The shared connection pool (clones share sockets, breaker and
+        /// stats — sessions of one engine reuse the same warm
+        /// connections).
+        pool: WorkerPool,
+        /// What to do when the cluster stays unhealthy past the retry
+        /// budget.
+        fallback: FallbackPolicy,
+    },
+}
+
+impl PartialEq for ExecBackend {
+    /// Backends compare by *configuration* (addresses, timeouts, policy),
+    /// not by pool identity: two backends over the same config are
+    /// interchangeable even if their sockets differ.
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ExecBackend::Simulator, ExecBackend::Simulator) => true,
+            (
+                ExecBackend::Cluster { pool: a, fallback: fa },
+                ExecBackend::Cluster { pool: b, fallback: fb },
+            ) => a.config() == b.config() && fa == fb,
+            _ => false,
+        }
+    }
 }
 
 impl ExecBackend {
-    /// A cluster backend over the given config.
+    /// A cluster backend over the given config with the default
+    /// [`FallbackPolicy::Error`].
     pub fn cluster(config: ClusterConfig) -> Self {
-        ExecBackend::Cluster(Arc::new(config))
+        ExecBackend::cluster_with_fallback(config, FallbackPolicy::default())
+    }
+
+    /// A cluster backend with an explicit fallback policy.
+    pub fn cluster_with_fallback(config: ClusterConfig, fallback: FallbackPolicy) -> Self {
+        ExecBackend::Cluster {
+            pool: WorkerPool::new(config),
+            fallback,
+        }
     }
 
     /// True when plans run on worker processes rather than the simulator.
     pub fn is_cluster(&self) -> bool {
-        matches!(self, ExecBackend::Cluster(_))
+        matches!(self, ExecBackend::Cluster { .. })
+    }
+
+    /// The cluster config, when this is a cluster backend.
+    pub fn cluster_config(&self) -> Option<&ClusterConfig> {
+        match self {
+            ExecBackend::Simulator => None,
+            ExecBackend::Cluster { pool, .. } => Some(pool.config()),
+        }
     }
 
     /// A short human-readable description ("simulator", or the cluster's
@@ -42,8 +124,8 @@ impl ExecBackend {
     pub fn describe(&self) -> String {
         match self {
             ExecBackend::Simulator => "simulator".to_string(),
-            ExecBackend::Cluster(config) => {
-                format!("cluster({} workers)", config.workers.len())
+            ExecBackend::Cluster { pool, .. } => {
+                format!("cluster({} workers)", pool.config().workers.len())
             }
         }
     }
@@ -64,5 +146,28 @@ mod tests {
         ]));
         assert!(cluster.is_cluster());
         assert_eq!(cluster.describe(), "cluster(2 workers)");
+        assert_eq!(cluster.cluster_config().unwrap().workers.len(), 2);
+    }
+
+    #[test]
+    fn backends_compare_by_configuration_not_pool_identity() {
+        let config = ClusterConfig::new(vec!["127.0.0.1:1".into()]);
+        let a = ExecBackend::cluster(config.clone());
+        let b = ExecBackend::cluster(config.clone());
+        assert_eq!(a, b, "same config, distinct pools: equal");
+        let c = ExecBackend::cluster_with_fallback(config.clone(), FallbackPolicy::Simulator);
+        assert_ne!(a, c, "fallback policy is part of the identity");
+        let d = ExecBackend::cluster(ClusterConfig::new(vec!["127.0.0.1:2".into()]));
+        assert_ne!(a, d);
+        assert_ne!(a, ExecBackend::Simulator);
+    }
+
+    #[test]
+    fn fallback_policy_round_trips_through_its_flag_spelling() {
+        for policy in [FallbackPolicy::Error, FallbackPolicy::Simulator] {
+            assert_eq!(FallbackPolicy::parse(policy.name()), Some(policy));
+        }
+        assert_eq!(FallbackPolicy::parse("bogus"), None);
+        assert_eq!(FallbackPolicy::default(), FallbackPolicy::Error);
     }
 }

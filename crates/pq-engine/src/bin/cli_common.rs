@@ -7,10 +7,11 @@
 //! flags and the validate/encode/apply insert pipeline live here once:
 //! same validation, same error style, one place to extend.
 
-use pq_engine::{ClusterConfig, Delta, ExecBackend, Session};
+use pq_engine::{ClusterConfig, Delta, ExecBackend, FallbackPolicy, RetryPolicy, Session};
 use pq_relation::Value;
 use std::path::PathBuf;
 use std::str::FromStr;
+use std::time::Duration;
 
 /// The flags every pq-engine front-end accepts.
 pub struct CommonArgs {
@@ -24,17 +25,30 @@ pub struct CommonArgs {
     /// when non-empty, plans execute on these `pqd --worker` processes
     /// instead of the in-process simulator.
     pub cluster: Vec<String>,
+    /// `--cluster-retries`: extra attempts after a failed cluster run
+    /// (each on a freshly rebuilt topology).
+    pub cluster_retries: u32,
+    /// `--cluster-deadline-ms`: per-query wall-clock budget over all
+    /// attempts, backoff pauses included.
+    pub cluster_deadline_ms: u64,
+    /// `--cluster-fallback`: what to do when the cluster stays unhealthy
+    /// past its retry budget (`error` or `simulator`).
+    pub cluster_fallback: FallbackPolicy,
 }
 
 impl CommonArgs {
     /// Defaults shared by both binaries (`--servers 64 --seed 7`,
-    /// simulator backend).
+    /// simulator backend; 2 cluster retries, 30 s deadline, fallback
+    /// `error`).
     pub fn new() -> Self {
         CommonArgs {
             data: Vec::new(),
             servers: 64,
             seed: 7,
             cluster: Vec::new(),
+            cluster_retries: RetryPolicy::default().retries,
+            cluster_deadline_ms: 30_000,
+            cluster_fallback: FallbackPolicy::default(),
         }
     }
 
@@ -75,17 +89,47 @@ impl CommonArgs {
                 }
                 Ok(true)
             }
+            "--cluster-retries" => {
+                self.cluster_retries =
+                    parse_number("--cluster-retries", &value_of("--cluster-retries", args)?)?;
+                Ok(true)
+            }
+            "--cluster-deadline-ms" => {
+                self.cluster_deadline_ms = parse_number(
+                    "--cluster-deadline-ms",
+                    &value_of("--cluster-deadline-ms", args)?,
+                )?;
+                if self.cluster_deadline_ms == 0 {
+                    return Err("--cluster-deadline-ms must be positive".into());
+                }
+                Ok(true)
+            }
+            "--cluster-fallback" => {
+                let value = value_of("--cluster-fallback", args)?;
+                self.cluster_fallback = FallbackPolicy::parse(&value).ok_or_else(|| {
+                    format!("--cluster-fallback: `{value}` is not `error` or `simulator`")
+                })?;
+                Ok(true)
+            }
             _ => Ok(false),
         }
     }
 
-    /// The execution backend the `--cluster` flag selected (the simulator
-    /// when the flag was absent).
+    /// The cluster configuration the flags describe (addresses, retry
+    /// budget, deadline).
+    pub fn cluster_config(&self) -> ClusterConfig {
+        ClusterConfig::new(self.cluster.clone())
+            .with_retry(RetryPolicy::with_retries(self.cluster_retries))
+            .with_deadline(Duration::from_millis(self.cluster_deadline_ms))
+    }
+
+    /// The execution backend the `--cluster` flags selected (the
+    /// simulator when `--cluster` was absent).
     pub fn backend(&self) -> ExecBackend {
         if self.cluster.is_empty() {
             ExecBackend::Simulator
         } else {
-            ExecBackend::cluster(ClusterConfig::new(self.cluster.clone()))
+            ExecBackend::cluster_with_fallback(self.cluster_config(), self.cluster_fallback)
         }
     }
 

@@ -57,7 +57,7 @@
 //! asks its workers (if any) to exit and then exits itself — the teardown
 //! path scripts and CI use instead of `kill`.
 
-use pq_engine::{open_durable, DurabilityOptions, Engine, ExecBackend, Session};
+use pq_engine::{open_durable, DurabilityOptions, Engine, Session};
 use pq_mpc::RunMetrics;
 use pq_obs::{json_text, prometheus_text, Counter, Gauge, LogLevel, Logger, MetricsRegistry};
 use pq_relation::{load_database_files, ValueDictionary};
@@ -65,13 +65,42 @@ use pq_wal::SyncPolicy;
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 use std::time::Duration;
 
 #[path = "cli_common.rs"]
 mod cli_common;
 use cli_common::{insert_rows, parse_number, value_of, CommonArgs};
+
+/// Set by the C signal handler on SIGTERM/SIGINT; polled by the accept
+/// loops, which then take the same graceful path as `SHUTDOWN` (checkpoint
+/// the WAL, stop the workers, exit 0) instead of dying mid-write.
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn note_shutdown_signal(_signum: i32) {
+    // Only async-signal-safe work here: one atomic store, no allocation,
+    // no locks, no I/O.
+    SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Route SIGTERM and SIGINT to [`note_shutdown_signal`] via libc's
+/// `signal(2)` — no crate dependency, just the symbol every libc exports.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = note_shutdown_signal as extern "C" fn(i32) as usize;
+    // SAFETY: `signal` is the C standard library's handler registration;
+    // the handler only performs an atomic store, which is
+    // async-signal-safe.
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
 
 const USAGE: &str = "\
 pqd — parallel-query daemon (one engine, one plan cache, N client sessions)
@@ -96,8 +125,19 @@ OPTIONS:
     --max-connections N    refuse connections over N with `ERR busy` (default 1024)
     --cluster ADDRS        execute plans on these pqd --worker processes
                            (host:port, repeatable and/or comma-separated)
+    --cluster-retries N    extra attempts after a failed cluster run, each
+                           on a freshly rebuilt topology (default 2)
+    --cluster-deadline-ms MS
+                           per-query wall-clock budget across all cluster
+                           attempts, backoff included (default 30000)
+    --cluster-fallback P   when the cluster stays unhealthy past the retry
+                           budget: error (default) surfaces the failure;
+                           simulator re-runs the plan in-process and marks
+                           the answer degraded=true
     --worker               be a cluster worker: speak the binary frame
                            protocol, load no data, exit on a Shutdown frame
+    --max-fragment-bytes N worker mode: reject fragments once a connection
+                           holds N stored bytes (default 1 GiB)
     --log-level LEVEL      stderr log verbosity: quiet, error, warn, info,
                            debug (default info)
     --slow-query-ms MS     warn-log RUNs slower than MS milliseconds, with
@@ -112,7 +152,9 @@ delta: one WAL record, one statistics fold, one cache invalidation.
 METRICS dumps the engine's cumulative metrics in the Prometheus text
 format (or one JSON document). SHUTDOWN flushes and checkpoints the WAL
 (with --data-dir), then stops the daemon (and, with --cluster, its
-workers); QUIT only closes the connection.
+workers); QUIT only closes the connection. SIGTERM and SIGINT take the
+same graceful path as SHUTDOWN: stop accepting, checkpoint, stop the
+workers, exit 0.
 ";
 
 struct Options {
@@ -122,6 +164,7 @@ struct Options {
     read_timeout: u64,
     max_connections: usize,
     worker: bool,
+    max_fragment_bytes: u64,
     log_level: LogLevel,
     slow_query_ms: u64,
     data_dir: Option<PathBuf>,
@@ -136,6 +179,7 @@ fn parse_args() -> Result<Options, String> {
     let mut read_timeout = 0u64;
     let mut max_connections = 1024usize;
     let mut worker = false;
+    let mut max_fragment_bytes = pq_mpc::net::WorkerLimits::default().max_fragment_bytes;
     let mut log_level = LogLevel::Info;
     let mut slow_query_ms = 0u64;
     let mut data_dir: Option<PathBuf> = None;
@@ -148,6 +192,15 @@ fn parse_args() -> Result<Options, String> {
         }
         match arg.as_str() {
             "--worker" => worker = true,
+            "--max-fragment-bytes" => {
+                max_fragment_bytes = parse_number(
+                    "--max-fragment-bytes",
+                    &value_of("--max-fragment-bytes", &mut args)?,
+                )?;
+                if max_fragment_bytes == 0 {
+                    return Err("--max-fragment-bytes must be positive".into());
+                }
+            }
             "--data-dir" => {
                 data_dir = Some(PathBuf::from(value_of("--data-dir", &mut args)?))
             }
@@ -211,6 +264,7 @@ fn parse_args() -> Result<Options, String> {
         read_timeout,
         max_connections,
         worker,
+        max_fragment_bytes,
         log_level,
         slow_query_ms,
         data_dir,
@@ -362,9 +416,18 @@ fn serve(stream: TcpStream, mut session: Session, dictionary: SharedDictionary, 
                     } else {
                         String::new()
                     };
+                    // Cluster sessions always say whether the answer came
+                    // off the workers or the simulator fallback, so a
+                    // client need not infer health from a missing
+                    // bytes_on_wire field.
+                    let degraded = if session.backend().is_cluster() {
+                        format!(" degraded={}", run.outcome.metrics.degraded)
+                    } else {
+                        String::new()
+                    };
                     let result = writeln!(
                         writer,
-                        "OK {} rows strategy={} cache={}{wire}",
+                        "OK {} rows strategy={} cache={}{wire}{degraded}",
                         run.outcome.output.len(),
                         run.plan.strategy.name(),
                         if run.cache_hit { "HIT" } else { "MISS" }
@@ -500,7 +563,7 @@ fn serve(stream: TcpStream, mut session: Session, dictionary: SharedDictionary, 
                     }
                 }
                 let _ = writer.flush();
-                if let ExecBackend::Cluster(config) = session.backend() {
+                if let Some(config) = session.backend().cluster_config() {
                     pq_mpc::net::shutdown_workers(config);
                 }
                 daemon
@@ -565,7 +628,10 @@ fn run_worker(options: &Options) -> ! {
     }
     let registry = MetricsRegistry::new();
     let obs = pq_mpc::net::WorkerObs::new(&registry, logger.clone());
-    if let Err(e) = pq_mpc::net::serve_worker_observed(&listener, &obs) {
+    let limits = pq_mpc::net::WorkerLimits {
+        max_fragment_bytes: options.max_fragment_bytes,
+    };
+    if let Err(e) = pq_mpc::net::serve_worker_with(&listener, &obs, limits) {
         logger.error("worker failed").kv("error", e).emit();
         std::process::exit(1);
     }
@@ -674,9 +740,20 @@ fn main() {
     }
     let active = Arc::new(AtomicUsize::new(0));
     let read_timeout = (options.read_timeout > 0).then(|| Duration::from_secs(options.read_timeout));
-    for stream in listener.incoming() {
-        match stream {
-            Ok(stream) => {
+    // A nonblocking accept loop instead of `listener.incoming()`: the
+    // listener is polled every 50 ms so a SIGTERM/SIGINT noticed by the
+    // handler turns into the graceful SHUTDOWN path below instead of the
+    // process dying mid-write. Accepted streams are switched back to
+    // blocking before they reach their serving thread.
+    install_signal_handlers();
+    if let Err(e) = listener.set_nonblocking(true) {
+        logger.error("cannot poll listener").kv("error", e).emit();
+        std::process::exit(1);
+    }
+    while !SHUTDOWN_REQUESTED.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
                 let permit =
                     ConnectionPermit(Arc::clone(&active), daemon.connections_active.clone());
                 permit.1.add(1);
@@ -704,7 +781,29 @@ fn main() {
                     serve(stream, session, dictionary, daemon);
                 });
             }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
             Err(e) => logger.warn("accept failed").kv("error", e).emit(),
         }
     }
+    // The graceful signal path: same teardown as the SHUTDOWN command.
+    // In-flight connection threads keep their engine clones and finish
+    // their current request; new connections are no longer accepted.
+    logger
+        .info("signal received, shutting down")
+        .kv("connections_active", active.load(Ordering::SeqCst))
+        .emit();
+    match engine.checkpoint() {
+        Ok(Some(lsn)) => logger
+            .info("final checkpoint written")
+            .kv("covered_lsn", lsn)
+            .emit(),
+        Ok(None) => {}
+        Err(e) => logger.error("final checkpoint failed").kv("error", &e).emit(),
+    }
+    if !options.common.cluster.is_empty() {
+        pq_mpc::net::shutdown_workers(&options.common.cluster_config());
+    }
+    std::process::exit(0);
 }

@@ -34,6 +34,16 @@ OPTIONS:
     --cluster ADDRS  execute on pqd --worker processes at these host:port
                      addresses (repeatable and/or comma-separated) instead
                      of the in-process simulator
+    --cluster-retries N
+                     extra attempts after a failed cluster run, each on a
+                     freshly rebuilt topology (default 2)
+    --cluster-deadline-ms MS
+                     per-query wall-clock budget across all cluster
+                     attempts, backoff included (default 30000)
+    --cluster-fallback P
+                     when the cluster stays unhealthy past the retry
+                     budget: error (default), or simulator to degrade
+                     gracefully (the run summary then says `degraded`)
     -h, --help       this text
 
 COMMAND (one-shot; omit to enter the interactive shell):
@@ -134,9 +144,17 @@ fn print_run(run: &EngineRun, dictionary: &ValueDictionary, limit: usize) {
     } else {
         String::new()
     };
+    // A degraded run answered from the simulator fallback because the
+    // cluster stayed unhealthy past its retry budget — exact rows, but no
+    // measured wire traffic.
+    let degraded = if run.outcome.metrics.degraded {
+        " · degraded: simulator fallback"
+    } else {
+        ""
+    };
     println!(
         "-- {} rows{elided} · {:.1} ms · strategy: {} · rounds: {} · max load: {} bits · \
-         replication rate: {:.2}{wire} · plan cache: {}",
+         replication rate: {:.2}{wire}{degraded} · plan cache: {}",
         output.len(),
         run.outcome.wall.as_secs_f64() * 1e3,
         run.plan.strategy.name(),

@@ -7,14 +7,14 @@
 //! timing. Answers are returned with columns in the user's head order,
 //! whatever variable order the underlying algorithm produced.
 
-use crate::backend::ExecBackend;
+use crate::backend::{ExecBackend, FallbackPolicy};
 use crate::planner::{Plan, Strategy};
 use crate::snapshot::Snapshot;
 use pq_core::hypercube::{run_hypercube_with_shares, HyperCubeRouter};
 use pq_core::multiround::plan::execute_plan as execute_multiround;
 use pq_core::skew::star::run_star_skew_aware;
 use pq_core::skew::triangle::run_triangle_skew_aware;
-use pq_mpc::net::{AtomSpec, ClusterConfig, ClusterError, Coordinator, RoundProgram};
+use pq_mpc::net::{AtomSpec, ClusterError, RoundProgram, WorkerPool};
 use pq_mpc::RunMetrics;
 use pq_obs::MetricsRegistry;
 use pq_query::{bind_atom, instantiate, ConjunctiveQuery};
@@ -110,7 +110,8 @@ pub fn run_plan_on(
 
 /// [`run_plan_on`] with cluster rounds additionally recorded into
 /// `registry` (round counts, per-round wall-time histogram, per-worker
-/// wire-byte counters — see [`Coordinator::set_registry`]). The simulator
+/// wire-byte counters — see [`pq_mpc::net::Coordinator::set_registry`]).
+/// The simulator
 /// path records nothing here; the engine layers account it from the
 /// returned [`RunOutcome`].
 ///
@@ -128,32 +129,56 @@ pub fn run_plan_on_observed(
 ) -> Result<RunOutcome, ClusterError> {
     match backend {
         ExecBackend::Simulator => Ok(run_plan(plan, snapshot, seed)),
-        ExecBackend::Cluster(config) => run_plan_cluster(plan, snapshot, seed, config, registry),
+        ExecBackend::Cluster { pool, fallback } => {
+            match run_plan_cluster(plan, snapshot, seed, pool, registry) {
+                Ok(outcome) => Ok(outcome),
+                Err(error) => match fallback {
+                    FallbackPolicy::Error => Err(error),
+                    FallbackPolicy::Simulator => {
+                        // Graceful degradation: the cluster stayed
+                        // unhealthy past its whole retry budget, so serve
+                        // the exact answer from the simulator and mark
+                        // the run degraded (only the measured wire
+                        // accounting is lost).
+                        if let Some(registry) = registry.filter(|r| r.is_enabled()) {
+                            registry
+                                .counter(
+                                    "pq_cluster_degraded_total",
+                                    &[],
+                                    "Runs served by the simulator fallback after the cluster \
+                                     failed past its retry budget",
+                                )
+                                .inc();
+                        }
+                        let mut outcome = run_plan(plan, snapshot, seed);
+                        outcome.metrics.degraded = true;
+                        Ok(outcome)
+                    }
+                },
+            }
+        }
     }
 }
 
-/// One HyperCube round over the configured workers: connect, route the
-/// bound atoms with the plan's shares (the same router and seed the
-/// simulator would use, so the model's per-round `received_bits` come out
-/// identical), barrier on every worker's local join, and merge.
+/// One HyperCube round on the pool's workers: borrow warm (health-checked)
+/// connections, route the bound atoms with the plan's shares (the same
+/// router and seed the simulator would use, so the model's per-round
+/// `received_bits` come out identical), barrier on every worker's local
+/// join, and merge. The routing closure re-runs per retry attempt over the
+/// immutable snapshot — which is what makes the pool's automatic retry of
+/// a failed round safe (see [`pq_mpc::net::pool`]).
 fn run_plan_cluster(
     plan: &Plan,
     snapshot: &Snapshot,
     seed: u64,
-    config: &ClusterConfig,
+    pool: &WorkerPool,
     registry: Option<&Arc<MetricsRegistry>>,
 ) -> Result<RunOutcome, ClusterError> {
     let database = snapshot.database();
     let query = &plan.parsed.query;
     let start = Instant::now();
     let bound = instantiate(query, database);
-    let mut coordinator = Coordinator::connect(config, plan.p, database.bits_per_value())?;
-    coordinator.set_input_bits(database.total_size_bits());
-    if let Some(registry) = registry {
-        coordinator.set_registry(registry.clone());
-    }
     let router = HyperCubeRouter::new(query, &plan.shares, seed, 0, 0);
-    let messages = router.route_bound(&bound);
     let program = RoundProgram {
         name: query.name().to_string(),
         output_vars: query.variables(),
@@ -165,8 +190,14 @@ fn run_plan_cluster(
             })
             .collect(),
     };
-    let raw = coordinator.run_round(messages, &program)?;
-    let metrics = coordinator.into_metrics();
+    let (raw, metrics) = pool.execute(
+        plan.p,
+        database.bits_per_value(),
+        database.total_size_bits(),
+        &program,
+        &|| router.route_bound(&bound),
+        registry,
+    )?;
     let mut output = raw.project(&plan.parsed.head, query.name());
     output.dedup();
     Ok(RunOutcome {
@@ -307,8 +338,42 @@ mod tests {
             sim.metrics.rounds[0].received_bits
         );
         assert!(run.metrics.is_measured());
+        assert!(!run.metrics.degraded);
         assert!(!sim.metrics.is_measured());
         workers.shutdown();
+    }
+
+    #[test]
+    fn an_unreachable_cluster_degrades_to_the_simulator_when_asked() {
+        use pq_mpc::net::{ClusterConfig, RetryPolicy};
+        let parsed = parse_query("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let db = matching_db(&parsed.query, 100, 5);
+        let plan = plan_query(&parsed, &db, 4).unwrap();
+        let snapshot = Snapshot::new(db);
+        // Bind-then-drop: the address is reliably dead.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let config = ClusterConfig::new(vec![dead]).with_retry(RetryPolicy {
+            retries: 1,
+            base: std::time::Duration::from_millis(1),
+            cap: std::time::Duration::from_millis(1),
+        });
+
+        // Default policy: the failure surfaces.
+        let strict = ExecBackend::cluster(config.clone());
+        assert!(run_plan_on(&plan, &snapshot, 3, &strict).is_err());
+
+        // Fallback policy: the run succeeds on the simulator, marked
+        // degraded, answers identical to a plain simulator run.
+        let graceful =
+            ExecBackend::cluster_with_fallback(config, crate::backend::FallbackPolicy::Simulator);
+        let run = run_plan_on(&plan, &snapshot, 3, &graceful).unwrap();
+        assert!(run.metrics.degraded);
+        assert!(!run.metrics.is_measured(), "the fallback has no wire");
+        let sim = run_plan(&plan, &snapshot, 3);
+        assert_eq!(run.output.canonicalized(), sim.output.canonicalized());
     }
 
     #[test]

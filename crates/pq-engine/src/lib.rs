@@ -62,13 +62,13 @@ pub mod prepared;
 pub mod session;
 pub mod snapshot;
 
-pub use backend::ExecBackend;
+pub use backend::{ExecBackend, FallbackPolicy};
 pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use delta::{Delta, DeltaError};
 pub use durability::{open_durable, DurabilityOptions, DurableOpen};
 pub use engine::{Engine, EngineError, EngineRun};
 pub use executor::{run_plan, run_plan_on, run_plan_on_observed, RunOutcome};
-pub use pq_mpc::net::{ClusterConfig, ClusterError};
+pub use pq_mpc::net::{ClusterConfig, ClusterError, RetryPolicy, WorkerPool};
 pub use pq_obs::{MetricsRegistry, Phase, QueryTrace};
 pub use parser::{parse_query, ParseError, ParsedQuery, Span};
 pub use planner::{plan_query, plan_query_on, HeavyReport, Plan, PlanError, Strategy};

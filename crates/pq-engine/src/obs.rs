@@ -27,6 +27,18 @@
 //! | `pq_deltas_applied_total` | counter | — |
 //! | `pq_rows_inserted_total` | counter | — |
 //! | `pq_snapshot_updates_total` | counter | — |
+//!
+//! A cluster backend folds its resilience metrics into the same registry
+//! (registered lazily by [`pq_mpc::net::WorkerPool`] on its first run, and
+//! by the degrade path in [`crate::executor`]):
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `pq_cluster_retries_total` | counter | failed attempts retried on a rebuilt topology |
+//! | `pq_cluster_reconnects_total` | counter | worker connections (re)dialled |
+//! | `pq_cluster_degraded_total` | counter | runs answered by the simulator fallback |
+//! | `pq_cluster_pool_size` | gauge | warm pooled connections after the last run |
+//! | `pq_cluster_breaker_state` | gauge | 0 = closed, 1 = open, 2 = half-open |
 
 use crate::engine::EngineRun;
 use pq_obs::{Counter, Histogram, MetricsRegistry, Phase, QueryTrace};

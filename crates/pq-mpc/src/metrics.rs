@@ -79,6 +79,12 @@ pub struct RunMetrics {
     /// not charge output collection, so mixing it into round loads would
     /// skew any comparison against the paper's bounds.
     pub result_wire_bytes: u64,
+    /// True when the run's answer came from a *fallback* path rather than
+    /// the requested backend — the cluster stayed unhealthy past its
+    /// retry budget and the engine degraded to the simulator. A retry
+    /// that succeeded on the cluster (even on a reduced worker topology,
+    /// which computes the exact answer) is **not** degraded.
+    pub degraded: bool,
 }
 
 impl RunMetrics {
@@ -159,6 +165,7 @@ mod tests {
             ],
             input_bits: 400,
             result_wire_bytes: 0,
+            degraded: false,
         }
     }
 
@@ -197,6 +204,7 @@ mod tests {
             rounds: vec![RoundStats::simulated(1, vec![1 << 16; 16], 16)],
             input_bits: 1 << 20,
             result_wire_bytes: 0,
+            degraded: false,
         };
         let eps = m.space_exponent(16).unwrap();
         assert!(eps.abs() < 1e-9);
@@ -205,6 +213,7 @@ mod tests {
             rounds: vec![RoundStats::simulated(1, vec![1 << 18; 16], 16)],
             input_bits: 1 << 20,
             result_wire_bytes: 0,
+            degraded: false,
         };
         let eps = m.space_exponent(16).unwrap();
         assert!((eps - 0.5).abs() < 1e-9);

@@ -40,6 +40,8 @@ const TYPE_EXECUTE: u8 = 3;
 const TYPE_ANSWER: u8 = 4;
 const TYPE_ERROR: u8 = 5;
 const TYPE_SHUTDOWN: u8 = 6;
+const TYPE_PING: u8 = 7;
+const TYPE_PONG: u8 = 8;
 
 /// One protocol frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,6 +100,22 @@ pub enum Frame {
     },
     /// Coordinator (or admin) → worker: exit the serve loop cleanly.
     Shutdown,
+    /// Coordinator → worker: a liveness probe. A healthy worker answers
+    /// immediately with a [`Frame::Pong`] echoing the nonce; the connection
+    /// pool uses the exchange to detect dead or stale pooled sockets
+    /// cheaply, before committing a round's fragments to them. A ping never
+    /// touches the worker's fragment state or its round byte accounting.
+    Ping {
+        /// Opaque echo token: the pong must carry it back, so a pool that
+        /// pipelines probes can match responses to requests.
+        nonce: u64,
+    },
+    /// Worker → coordinator: the answer to a [`Frame::Ping`], carrying the
+    /// probe's nonce back.
+    Pong {
+        /// The nonce of the ping being answered.
+        nonce: u64,
+    },
 }
 
 impl Frame {
@@ -109,6 +127,8 @@ impl Frame {
             Frame::Answer { .. } => TYPE_ANSWER,
             Frame::Error { .. } => TYPE_ERROR,
             Frame::Shutdown => TYPE_SHUTDOWN,
+            Frame::Ping { .. } => TYPE_PING,
+            Frame::Pong { .. } => TYPE_PONG,
         }
     }
 }
@@ -264,6 +284,9 @@ pub fn write_frame(writer: &mut impl Write, frame: &Frame) -> std::io::Result<u6
             put_str(&mut payload, &message.chars().take(1024).collect::<String>());
         }
         Frame::Shutdown => {}
+        Frame::Ping { nonce } | Frame::Pong { nonce } => {
+            put_u64(&mut payload, *nonce);
+        }
     }
     let len = u32::try_from(payload.len()).expect("payload under 4 GiB");
     assert!(len <= MAX_FRAME_LEN, "frame payload exceeds the protocol cap");
@@ -452,6 +475,16 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Option<(Frame, u64)>, FrameE
             d.finish("shutdown")?;
             Frame::Shutdown
         }
+        TYPE_PING => {
+            let nonce = d.u64("ping.nonce")?;
+            d.finish("ping")?;
+            Frame::Ping { nonce }
+        }
+        TYPE_PONG => {
+            let nonce = d.u64("pong.nonce")?;
+            d.finish("pong")?;
+            Frame::Pong { nonce }
+        }
         other => return Err(FrameError::UnknownType { type_byte: other }),
     };
     Ok(Some((frame, 9 + len as u64)))
@@ -551,6 +584,34 @@ mod tests {
             message: "it broke".into(),
         };
         assert_eq!(roundtrip(error.clone()), error);
+    }
+
+    #[test]
+    fn ping_and_pong_round_trip_with_their_nonce() {
+        for nonce in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(roundtrip(Frame::Ping { nonce }), Frame::Ping { nonce });
+            assert_eq!(roundtrip(Frame::Pong { nonce }), Frame::Pong { nonce });
+        }
+    }
+
+    #[test]
+    fn ping_with_a_short_or_long_payload_is_malformed() {
+        // 7 bytes: one short of the nonce.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(7);
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 7]);
+        let err = read_frame(&mut Cursor::new(bytes)).unwrap_err();
+        assert_eq!(err, FrameError::Malformed { context: "ping.nonce" });
+        // 9 bytes: a trailing byte after the nonce.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(8);
+        bytes.extend_from_slice(&9u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 9]);
+        let err = read_frame(&mut Cursor::new(bytes)).unwrap_err();
+        assert_eq!(err, FrameError::Malformed { context: "pong" });
     }
 
     #[test]

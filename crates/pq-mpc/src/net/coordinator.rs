@@ -22,6 +22,7 @@
 use crate::message::{Message, Payload};
 use crate::metrics::{RoundStats, RunMetrics};
 use crate::net::codec::{read_frame, write_frame, Frame, FrameError};
+use crate::net::retry::RetryPolicy;
 use pq_obs::MetricsRegistry;
 use pq_relation::Relation;
 use std::io::{BufReader, BufWriter, Write};
@@ -29,24 +30,54 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Where the workers live and how long to wait for them.
+/// Where the workers live, how long to wait for them, and how hard the
+/// resilience layer ([`crate::net::WorkerPool`]) tries before giving up.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterConfig {
     /// Worker addresses (`host:port`), one per worker slot.
     pub workers: Vec<String>,
     /// Read timeout applied to every worker socket; a worker that stays
     /// silent longer than this during the barrier yields
-    /// [`ClusterError::Timeout`] instead of a hang.
+    /// [`ClusterError::Timeout`] instead of a hang. The per-query
+    /// [`ClusterConfig::deadline`] caps it further as the budget drains.
     pub read_timeout: Duration,
+    /// Per-query wall-clock budget covering *all* attempts of a run —
+    /// dials, Hellos, rounds and backoff pauses included. When it runs
+    /// out mid-run the result is [`ClusterError::DeadlineExceeded`], never
+    /// a hang.
+    pub deadline: Duration,
+    /// How failed runs are retried on a freshly rebuilt topology.
+    pub retry: RetryPolicy,
+    /// A pooled connection idle longer than this is pinged before reuse;
+    /// a missed pong means a silent redial rather than a failed round.
+    pub health_check_after: Duration,
+    /// Minimum live workers a *retry* attempt may route around dead
+    /// peers down to. `0` (the default) means a majority of the
+    /// configured workers. The first attempt of every run always requires
+    /// the full topology.
+    pub min_workers: usize,
+    /// Consecutive failed runs before the circuit breaker opens.
+    pub breaker_threshold: u32,
+    /// How long an open breaker fails fast before admitting a half-open
+    /// probe run.
+    pub breaker_cooldown: Duration,
 }
 
 impl ClusterConfig {
     /// A config for the given worker addresses with the default 10 s read
-    /// timeout.
+    /// timeout, a 30 s per-query deadline, 2 retries (50 ms base backoff,
+    /// 2 s cap), majority `min_workers`, and a breaker that opens after
+    /// 3 consecutive failed runs for a 5 s cooldown.
     pub fn new(workers: Vec<String>) -> Self {
         ClusterConfig {
             workers,
             read_timeout: Duration::from_secs(10),
+            deadline: Duration::from_secs(30),
+            retry: RetryPolicy::default(),
+            health_check_after: Duration::from_millis(500),
+            min_workers: 0,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(5),
         }
     }
 
@@ -55,6 +86,55 @@ impl ClusterConfig {
     pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
         self.read_timeout = timeout;
         self
+    }
+
+    /// Replace the per-query deadline budget.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Replace the retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Replace the minimum live workers retry attempts may degrade to
+    /// (`0` = majority of the configured workers).
+    #[must_use]
+    pub fn with_min_workers(mut self, min_workers: usize) -> Self {
+        self.min_workers = min_workers;
+        self
+    }
+
+    /// Replace the circuit-breaker tuning.
+    #[must_use]
+    pub fn with_breaker(mut self, threshold: u32, cooldown: Duration) -> Self {
+        self.breaker_threshold = threshold;
+        self.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// Replace the idle age past which pooled connections are pinged.
+    #[must_use]
+    pub fn with_health_check_after(mut self, age: Duration) -> Self {
+        self.health_check_after = age;
+        self
+    }
+
+    /// The live-worker floor retry attempts enforce: `min_workers`, or a
+    /// majority of the configured workers when it is `0`, never more than
+    /// the configured worker count and never less than one.
+    pub fn effective_min_workers(&self) -> usize {
+        let floor = if self.min_workers == 0 {
+            self.workers.len() / 2 + 1
+        } else {
+            self.min_workers
+        };
+        floor.clamp(1, self.workers.len().max(1))
     }
 }
 
@@ -82,11 +162,33 @@ pub struct RoundProgram {
     pub atoms: Vec<AtomSpec>,
 }
 
-/// Everything that can go wrong talking to the cluster. Every variant
-/// names the worker slot so a failing test or operator log points at a
-/// concrete process.
+/// Everything that can go wrong talking to the cluster. Per-connection
+/// variants name the worker slot so a failing test or operator log points
+/// at a concrete process; the run-level variants describe the resilience
+/// layer giving up as a whole.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClusterError {
+    /// The per-query deadline budget ran out (across all attempts,
+    /// backoff pauses included).
+    DeadlineExceeded {
+        /// The budget that was exhausted.
+        budget: Duration,
+    },
+    /// The circuit breaker is open: the cluster failed too many
+    /// consecutive runs and is cooling down, so the run failed fast
+    /// without touching a socket.
+    BreakerOpen {
+        /// Time left on the cooldown before a probe run is admitted.
+        retry_in: Duration,
+    },
+    /// Too few workers are reachable to satisfy the configured
+    /// `min_workers` floor, even routing around the dead ones.
+    Unavailable {
+        /// Workers that answered.
+        live: usize,
+        /// The floor the attempt had to meet.
+        needed: usize,
+    },
     /// An I/O error on a worker connection (connect, write or read).
     Io {
         /// Worker slot.
@@ -133,6 +235,21 @@ pub enum ClusterError {
 impl std::fmt::Display for ClusterError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ClusterError::DeadlineExceeded { budget } => {
+                write!(f, "query deadline of {budget:?} exceeded")
+            }
+            ClusterError::BreakerOpen { retry_in } => {
+                write!(
+                    f,
+                    "circuit breaker open; cluster cooling down for another {retry_in:?}"
+                )
+            }
+            ClusterError::Unavailable { live, needed } => {
+                write!(
+                    f,
+                    "only {live} workers reachable but at least {needed} are required"
+                )
+            }
             ClusterError::Io { worker, message } => {
                 write!(f, "worker {worker}: i/o error: {message}")
             }
@@ -169,11 +286,83 @@ fn read_error(worker: usize, timeout: Duration, error: FrameError) -> ClusterErr
     }
 }
 
-/// One live worker connection.
+/// One live worker connection: a dialled, nodelay TCP stream split into a
+/// buffered reader/writer pair. [`crate::net::WorkerPool`] keeps these
+/// alive between runs; a bare [`Coordinator::connect`] dials fresh ones.
 #[derive(Debug)]
-struct Connection {
+pub(crate) struct Connection {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+}
+
+impl Connection {
+    /// Dial `address` with `read_timeout` on the socket. Errors name
+    /// `worker`, the slot this connection is being dialled for.
+    pub(crate) fn dial(
+        address: &str,
+        read_timeout: Duration,
+        worker: usize,
+    ) -> Result<Connection, ClusterError> {
+        let io = |e: std::io::Error| ClusterError::Io {
+            worker,
+            message: e.to_string(),
+        };
+        let stream = TcpStream::connect(address).map_err(io)?;
+        stream.set_nodelay(true).map_err(io)?;
+        stream.set_read_timeout(Some(read_timeout)).map_err(io)?;
+        let reader = BufReader::new(stream.try_clone().map_err(io)?);
+        let writer = BufWriter::new(stream);
+        Ok(Connection { reader, writer })
+    }
+
+    /// Introduce this run: `Hello` resets whatever fragment state the
+    /// worker kept from an earlier run on a reused connection.
+    pub(crate) fn send_hello(
+        &mut self,
+        worker: usize,
+        workers: usize,
+        bits_per_value: u64,
+    ) -> Result<(), ClusterError> {
+        let io = |e: std::io::Error| ClusterError::Io {
+            worker,
+            message: e.to_string(),
+        };
+        write_frame(
+            &mut self.writer,
+            &Frame::Hello {
+                worker: worker as u64,
+                workers: workers as u64,
+                bits_per_value,
+            },
+        )
+        .map_err(io)?;
+        self.writer.flush().map_err(io)
+    }
+
+    /// Liveness-check the connection: send a `Ping` and demand the
+    /// matching `Pong` back. Any failure — write, read, timeout, a stale
+    /// leftover frame — means the socket cannot be trusted for a round.
+    pub(crate) fn ping(&mut self, nonce: u64) -> bool {
+        if write_frame(&mut self.writer, &Frame::Ping { nonce }).is_err()
+            || self.writer.flush().is_err()
+        {
+            return false;
+        }
+        matches!(
+            read_frame(&mut self.reader),
+            Ok(Some((Frame::Pong { nonce: echoed }, _))) if echoed == nonce
+        )
+    }
+
+    /// Adjust the socket's read timeout (the deadline budget shrinks it
+    /// as a run burns time).
+    fn set_read_timeout(&self, timeout: Duration) -> std::io::Result<()> {
+        // A zero timeout would mean "blocking forever"; the deadline check
+        // guarantees a positive remainder before calling this.
+        self.reader
+            .get_ref()
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))
+    }
 }
 
 /// The round driver over real worker processes. Create with
@@ -183,6 +372,10 @@ struct Connection {
 pub struct Coordinator {
     connections: Vec<Connection>,
     timeout: Duration,
+    /// Absolute cut-off for this run plus the budget it came from, set by
+    /// [`Coordinator::set_deadline`]; per-read socket timeouts shrink to
+    /// the remaining budget as it drains.
+    deadline: Option<(Instant, Duration)>,
     p: usize,
     bits_per_value: u64,
     metrics: RunMetrics,
@@ -218,37 +411,70 @@ impl Coordinator {
         let workers = config.workers.len();
         let mut connections = Vec::with_capacity(workers);
         for (worker, address) in config.workers.iter().enumerate() {
-            let io = |e: std::io::Error| ClusterError::Io {
-                worker,
-                message: e.to_string(),
-            };
-            let stream = TcpStream::connect(address).map_err(io)?;
-            stream.set_nodelay(true).map_err(io)?;
-            stream
-                .set_read_timeout(Some(config.read_timeout))
-                .map_err(io)?;
-            let reader = BufReader::new(stream.try_clone().map_err(io)?);
-            let mut writer = BufWriter::new(stream);
-            write_frame(
-                &mut writer,
-                &Frame::Hello {
-                    worker: worker as u64,
-                    workers: workers as u64,
-                    bits_per_value,
-                },
-            )
-            .map_err(io)?;
-            writer.flush().map_err(io)?;
-            connections.push(Connection { reader, writer });
+            let mut connection = Connection::dial(address, config.read_timeout, worker)?;
+            connection.send_hello(worker, workers, bits_per_value)?;
+            connections.push(connection);
         }
-        Ok(Coordinator {
+        Ok(Coordinator::from_connections(
             connections,
-            timeout: config.read_timeout,
+            config.read_timeout,
+            p,
+            bits_per_value,
+        ))
+    }
+
+    /// Build a coordinator over already-dialled, already-Hello'd
+    /// connections — the pool's entry point, which is what makes
+    /// connection reuse across runs possible at all.
+    pub(crate) fn from_connections(
+        connections: Vec<Connection>,
+        timeout: Duration,
+        p: usize,
+        bits_per_value: u64,
+    ) -> Coordinator {
+        Coordinator {
+            connections,
+            timeout,
+            deadline: None,
             p,
             bits_per_value,
             metrics: RunMetrics::default(),
             registry: None,
-        })
+        }
+    }
+
+    /// Take the connections back out (for the pool to keep), along with
+    /// the metrics of the run they just served.
+    pub(crate) fn take_connections(self) -> (Vec<Connection>, RunMetrics) {
+        (self.connections, self.metrics)
+    }
+
+    /// Enforce an absolute per-run deadline: every subsequent barrier read
+    /// caps its socket timeout at the remaining budget, and a drained
+    /// budget yields [`ClusterError::DeadlineExceeded`] instead of another
+    /// read.
+    pub fn set_deadline(&mut self, deadline: Option<(Instant, Duration)>) {
+        self.deadline = deadline;
+    }
+
+    /// The timeout for the next read on `worker`'s socket: the flat
+    /// per-socket timeout, capped by what is left of the deadline budget.
+    fn prepare_read(&mut self, worker: usize) -> Result<Duration, ClusterError> {
+        let Some((deadline, budget)) = self.deadline else {
+            return Ok(self.timeout);
+        };
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(ClusterError::DeadlineExceeded { budget });
+        }
+        let effective = remaining.min(self.timeout);
+        self.connections[worker]
+            .set_read_timeout(effective)
+            .map_err(|e| ClusterError::Io {
+                worker,
+                message: e.to_string(),
+            })?;
+        Ok(effective)
     }
 
     /// Also record every completed round into `registry` (cumulative
@@ -341,8 +567,9 @@ impl Coordinator {
         let mut wire_bytes = vec![0u64; workers];
         let mut merged: Option<Relation> = None;
         for (worker, wire) in wire_bytes.iter_mut().enumerate() {
+            let timeout = self.prepare_read(worker)?;
             let (frame, frame_bytes) = read_frame(&mut self.connections[worker].reader)
-                .map_err(|e| read_error(worker, self.timeout, e))?
+                .map_err(|e| read_error(worker, timeout, e))?
                 .ok_or(ClusterError::Died { worker })?;
             match frame {
                 Frame::Answer {
@@ -532,8 +759,6 @@ mod tests {
             .run_round(vec![Message::raw(0, "stats", 64)], &join_program())
             .unwrap_err();
         assert!(matches!(err, ClusterError::Protocol { .. }), "{err}");
-        // Workers serve one connection at a time: close ours so the
-        // shutdown connection gets accepted.
         drop(coordinator);
         workers.shutdown();
     }

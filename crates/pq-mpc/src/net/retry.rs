@@ -1,0 +1,352 @@
+//! Retry scheduling for the cluster backend: capped exponential backoff
+//! with deterministic jitter, a test-injectable [`Clock`], and the
+//! [`Breaker`] that stops a persistently failing cluster from being
+//! hammered (and lets the engine degrade to the simulator instead).
+//!
+//! Everything here is deliberately free of randomness sources and wall
+//! clocks that tests cannot control: jitter is a hash of `(salt, attempt)`
+//! — stable across runs for the same query seed, different across
+//! attempts — and sleeping goes through the [`Clock`] trait, so the test
+//! suite swaps in a [`TestClock`] that records the requested pauses
+//! instead of serving them.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How a failed cluster attempt is retried: up to `retries` extra attempts,
+/// separated by exponentially growing, jittered pauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first failure (0 = fail immediately).
+    pub retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base: Duration,
+    /// Upper bound on any single backoff pause.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 2,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+        }
+    }
+}
+
+/// SplitMix64: a tiny, well-mixed hash — all the "randomness" the jitter
+/// needs, with none of the irreproducibility.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl RetryPolicy {
+    /// A policy with `retries` extra attempts and the default backoff
+    /// shape (50 ms base, 2 s cap).
+    pub fn with_retries(retries: u32) -> Self {
+        RetryPolicy {
+            retries,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The pause before retry number `attempt` (1-based), salted so two
+    /// coordinators retrying the same cluster do not march in lockstep.
+    ///
+    /// Equal-jitter backoff: the uncapped target is `base << (attempt-1)`,
+    /// clamped to `cap`, and the pause lands deterministically in
+    /// `[target/2, target]` — a hash of `(salt, attempt)` picks the point,
+    /// so the same salt always reproduces the same schedule.
+    pub fn delay(&self, attempt: u32, salt: u64) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let exp = attempt.saturating_sub(1).min(20);
+        let target = self
+            .base
+            .saturating_mul(1u32 << exp)
+            .min(self.cap)
+            .as_nanos() as u64;
+        let half = target / 2;
+        let jitter = if half == 0 {
+            0
+        } else {
+            mix(salt ^ u64::from(attempt).wrapping_mul(0xA24B_AED4_963E_E407)) % (half + 1)
+        };
+        Duration::from_nanos(half + jitter)
+    }
+}
+
+/// The clock the retry loop sleeps and reads time through. Production code
+/// uses [`SystemClock`]; tests use [`TestClock`] to observe the schedule
+/// without actually waiting it out.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Pause the calling thread for `duration`.
+    fn sleep(&self, duration: Duration);
+    /// The current instant, coherent with [`Clock::sleep`].
+    fn now(&self) -> Instant;
+}
+
+/// The real thing: `std::thread::sleep` and `Instant::now`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn sleep(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// A deterministic clock for tests: [`Clock::sleep`] returns immediately
+/// but records the requested pause and advances the virtual time that
+/// [`Clock::now`] reports.
+#[derive(Debug)]
+pub struct TestClock {
+    origin: Instant,
+    state: Mutex<(Duration, Vec<Duration>)>,
+}
+
+impl Default for TestClock {
+    fn default() -> Self {
+        TestClock::new()
+    }
+}
+
+impl TestClock {
+    /// A clock whose virtual time starts "now" and only advances through
+    /// [`Clock::sleep`] calls.
+    pub fn new() -> Self {
+        TestClock {
+            origin: Instant::now(),
+            state: Mutex::new((Duration::ZERO, Vec::new())),
+        }
+    }
+
+    /// Every pause requested so far, in order.
+    pub fn sleeps(&self) -> Vec<Duration> {
+        self.state.lock().unwrap().1.clone()
+    }
+}
+
+impl Clock for TestClock {
+    fn sleep(&self, duration: Duration) {
+        let mut state = self.state.lock().unwrap();
+        state.0 += duration;
+        state.1.push(duration);
+    }
+    fn now(&self) -> Instant {
+        self.origin + self.state.lock().unwrap().0
+    }
+}
+
+/// The circuit breaker's externally visible state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: runs are admitted; consecutive failures are counted.
+    Closed,
+    /// Tripped: runs fail fast until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: one probe run is admitted; its outcome decides
+    /// between [`BreakerState::Closed`] and re-opening.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// The gauge encoding exposed as `pq_cluster_breaker_state`:
+    /// closed = 0, open = 1, half-open = 2.
+    pub fn gauge(self) -> u64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+}
+
+/// A three-state circuit breaker over whole cluster runs (not individual
+/// sockets): `threshold` consecutive run failures open it, runs then fail
+/// fast for `cooldown`, after which a single probe run is admitted
+/// half-open — success closes the breaker, failure re-opens it.
+#[derive(Debug)]
+pub struct Breaker {
+    threshold: u32,
+    cooldown: Duration,
+    inner: Mutex<BreakerInner>,
+}
+
+impl Breaker {
+    /// A breaker that opens after `threshold` consecutive failures and
+    /// stays open for `cooldown` before probing.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        Breaker {
+            threshold: threshold.max(1),
+            cooldown,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+            }),
+        }
+    }
+
+    /// Ask to run at time `now`. `Ok(())` admits the run (possibly as the
+    /// half-open probe); `Err(retry_in)` fails fast with the time left on
+    /// the cooldown.
+    pub fn admit(&self, now: Instant) -> Result<(), Duration> {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.state {
+            BreakerState::Closed | BreakerState::HalfOpen => Ok(()),
+            BreakerState::Open => {
+                let opened_at = inner.opened_at.unwrap_or(now);
+                let elapsed = now.saturating_duration_since(opened_at);
+                if elapsed >= self.cooldown {
+                    inner.state = BreakerState::HalfOpen;
+                    Ok(())
+                } else {
+                    Err(self.cooldown - elapsed)
+                }
+            }
+        }
+    }
+
+    /// Record a successful run: the breaker closes and the failure count
+    /// resets, whatever the previous state.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.state = BreakerState::Closed;
+        inner.consecutive_failures = 0;
+        inner.opened_at = None;
+    }
+
+    /// Record a failed run at time `now`. A half-open probe failure
+    /// re-opens immediately; closed-state failures open once they reach
+    /// the threshold.
+    pub fn record_failure(&self, now: Instant) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
+        let trip = matches!(inner.state, BreakerState::HalfOpen)
+            || inner.consecutive_failures >= self.threshold;
+        if trip {
+            inner.state = BreakerState::Open;
+            inner.opened_at = Some(now);
+        }
+    }
+
+    /// The current state (for the `pq_cluster_breaker_state` gauge).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().unwrap().state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_deterministic_bounded_and_grow() {
+        let policy = RetryPolicy::default();
+        for attempt in 1..=10u32 {
+            let a = policy.delay(attempt, 42);
+            let b = policy.delay(attempt, 42);
+            assert_eq!(a, b, "same salt, same schedule");
+            let target = policy
+                .base
+                .saturating_mul(1 << (attempt - 1).min(20))
+                .min(policy.cap);
+            assert!(a >= target / 2, "attempt {attempt}: {a:?} < {:?}", target / 2);
+            assert!(a <= target, "attempt {attempt}: {a:?} > {target:?}");
+        }
+        // Different salts decorrelate the schedules.
+        assert_ne!(policy.delay(3, 1), policy.delay(3, 2));
+        // The cap holds even for absurd attempt numbers.
+        assert!(policy.delay(64, 7) <= policy.cap);
+        assert_eq!(policy.delay(0, 7), Duration::ZERO);
+    }
+
+    #[test]
+    fn the_test_clock_records_instead_of_sleeping() {
+        let clock = TestClock::new();
+        let before = clock.now();
+        clock.sleep(Duration::from_secs(3600));
+        clock.sleep(Duration::from_millis(5));
+        assert_eq!(
+            clock.sleeps(),
+            vec![Duration::from_secs(3600), Duration::from_millis(5)]
+        );
+        assert_eq!(
+            clock.now().duration_since(before),
+            Duration::from_secs(3600) + Duration::from_millis(5)
+        );
+    }
+
+    #[test]
+    fn the_breaker_opens_cools_down_probes_and_recloses() {
+        let clock = TestClock::new();
+        let breaker = Breaker::new(3, Duration::from_secs(5));
+        assert_eq!(breaker.state(), BreakerState::Closed);
+
+        // Two failures: still closed.
+        breaker.record_failure(clock.now());
+        breaker.record_failure(clock.now());
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert!(breaker.admit(clock.now()).is_ok());
+
+        // Third failure trips it; admission now fails fast with the
+        // remaining cooldown.
+        breaker.record_failure(clock.now());
+        assert_eq!(breaker.state(), BreakerState::Open);
+        let retry_in = breaker.admit(clock.now()).unwrap_err();
+        assert!(retry_in <= Duration::from_secs(5) && retry_in > Duration::ZERO);
+
+        // After the cooldown a probe is admitted half-open.
+        clock.sleep(Duration::from_secs(5));
+        assert!(breaker.admit(clock.now()).is_ok());
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+
+        // A failed probe re-opens immediately (no threshold counting).
+        breaker.record_failure(clock.now());
+        assert_eq!(breaker.state(), BreakerState::Open);
+
+        // Cool down again; this time the probe succeeds and closes it.
+        clock.sleep(Duration::from_secs(5));
+        assert!(breaker.admit(clock.now()).is_ok());
+        breaker.record_success();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert!(breaker.admit(clock.now()).is_ok());
+    }
+
+    #[test]
+    fn a_success_resets_the_consecutive_failure_count() {
+        let clock = TestClock::new();
+        let breaker = Breaker::new(2, Duration::from_secs(1));
+        breaker.record_failure(clock.now());
+        breaker.record_success();
+        breaker.record_failure(clock.now());
+        assert_eq!(
+            breaker.state(),
+            BreakerState::Closed,
+            "non-consecutive failures never trip the breaker"
+        );
+    }
+
+    #[test]
+    fn breaker_state_gauge_encoding_is_stable() {
+        assert_eq!(BreakerState::Closed.gauge(), 0);
+        assert_eq!(BreakerState::Open.gauge(), 1);
+        assert_eq!(BreakerState::HalfOpen.gauge(), 2);
+    }
+}

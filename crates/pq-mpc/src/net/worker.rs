@@ -1,20 +1,27 @@
 //! The worker side of the cluster protocol.
 //!
-//! A worker is a passive party: it accepts one coordinator connection at a
-//! time, accumulates relation fragments exactly like the simulator's
+//! A worker is a passive party: it serves each coordinator connection on
+//! its own thread (so a connection pool holding a socket open between runs
+//! never blocks a second coordinator, a liveness probe, or the shutdown
+//! path), accumulates relation fragments exactly like the simulator's
 //! [`crate::Server`] (merged by relation name — one flat-buffer append per
-//! fragment), and on every `Execute` frame joins the fragments of the
-//! listed atoms, projects to the output variables and replies with an
-//! `Answer` frame carrying its head fragment and the bytes it measured on
-//! the wire for the round. Local computation is free in the MPC model, so
-//! the join itself is the plain sequential
-//! [`pq_relation::natural_join_all`].
+//! fragment, state strictly per connection), and on every `Execute` frame
+//! joins the fragments of the listed atoms, projects to the output
+//! variables and replies with an `Answer` frame carrying its head fragment
+//! and the bytes it measured on the wire for the round. Local computation
+//! is free in the MPC model, so the join itself is the plain sequential
+//! [`pq_relation::natural_join_all`]. A `Ping` frame is answered with an
+//! immediate `Pong` without touching fragment state — the cheap liveness
+//! check of the coordinator-side [`crate::net::WorkerPool`].
 //!
 //! A `Shutdown` frame ends the whole serve loop (not just the current
 //! connection) — the fix for the daemon's listener otherwise looping
-//! forever with no teardown path. [`LocalWorkers`] runs the same loop on
-//! in-process threads bound to ephemeral localhost ports, which is how the
-//! test suites and benchmarks stand up a real-socket cluster without
+//! forever with no teardown path. Connections are bounded by
+//! [`WorkerLimits`]: a peer that ships more accumulated fragment bytes
+//! than the cap gets a typed `Error` frame and a structured log line
+//! instead of unbounded merge growth. [`LocalWorkers`] runs the same loop
+//! on in-process threads bound to ephemeral localhost ports, which is how
+//! the test suites and benchmarks stand up a real-socket cluster without
 //! managing child processes.
 
 use crate::net::codec::{read_frame, write_frame, Frame};
@@ -23,6 +30,8 @@ use pq_relation::{natural_join_all, project, Relation, Schema};
 use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// A worker loop's observability bundle: frame/byte/round counters
 /// resolved once from a [`MetricsRegistry`], plus the structured logger
@@ -74,9 +83,32 @@ impl WorkerObs {
     }
 }
 
+/// Per-connection resource bounds for the worker loop.
+///
+/// A coordinator that keeps shipping fragments without ever executing a
+/// round would otherwise grow the worker's merge store without limit; the
+/// cap turns that into a typed `Error` frame and a dropped connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerLimits {
+    /// Maximum accumulated fragment bytes (stored row-buffer bytes, summed
+    /// across all relations) one connection may hold. Exceeding it rejects
+    /// the offending fragment with an `Error` frame and closes the
+    /// connection. The default matches the 1 GiB frame cap
+    /// [`crate::net::MAX_FRAME_LEN`].
+    pub max_fragment_bytes: u64,
+}
+
+impl Default for WorkerLimits {
+    fn default() -> Self {
+        WorkerLimits {
+            max_fragment_bytes: crate::net::codec::MAX_FRAME_LEN as u64,
+        }
+    }
+}
+
 /// Serve one coordinator connection. Returns `true` when a `Shutdown`
 /// frame asked the whole worker to exit (vs. the peer merely hanging up).
-fn serve_connection(stream: TcpStream, obs: &WorkerObs) -> bool {
+fn serve_connection(stream: TcpStream, obs: &WorkerObs, limits: WorkerLimits) -> bool {
     let peer = stream.local_addr().map(|a| a.to_string()).unwrap_or_default();
     let reader_stream = match stream.try_clone() {
         Ok(s) => s,
@@ -89,6 +121,9 @@ fn serve_connection(stream: TcpStream, obs: &WorkerObs) -> bool {
     let mut fragments: BTreeMap<String, Relation> = BTreeMap::new();
     // Measured bytes read since the last Answer (frame headers included).
     let mut wire_bytes = 0u64;
+    // Stored fragment bytes accumulated on this connection, checked
+    // against `limits.max_fragment_bytes`.
+    let mut fragment_bytes = 0u64;
     loop {
         let (frame, frame_bytes) = match read_frame(&mut reader) {
             Ok(Some(read)) => read,
@@ -120,14 +155,49 @@ fn serve_connection(stream: TcpStream, obs: &WorkerObs) -> bool {
                 // A new run on a reused connection: forget previous state.
                 fragments.clear();
                 wire_bytes = 0;
+                fragment_bytes = 0;
             }
             Frame::Fragment { relation, .. } => {
                 wire_bytes += frame_bytes;
+                let incoming = (relation.len() * relation.arity()) as u64 * 8;
+                if fragment_bytes.saturating_add(incoming) > limits.max_fragment_bytes {
+                    obs.logger
+                        .warn("rejecting fragment over the per-connection byte cap")
+                        .kv("peer", &peer)
+                        .kv("relation", relation.name())
+                        .kv("held_bytes", fragment_bytes)
+                        .kv("incoming_bytes", incoming)
+                        .kv("max_fragment_bytes", limits.max_fragment_bytes)
+                        .emit();
+                    let _ = write_frame(
+                        &mut writer,
+                        &Frame::Error {
+                            message: format!(
+                                "worker {peer}: fragment store over the {}-byte cap \
+                                 ({fragment_bytes} held + {incoming} incoming)",
+                                limits.max_fragment_bytes
+                            ),
+                        },
+                    );
+                    let _ = writer.flush();
+                    return false;
+                }
+                fragment_bytes += incoming;
                 match fragments.get_mut(relation.name()) {
                     Some(existing) => existing.append(&relation),
                     None => {
                         fragments.insert(relation.name().to_string(), relation);
                     }
+                }
+            }
+            Frame::Ping { nonce } => {
+                // Liveness probe: answer immediately, touch nothing else —
+                // pings are pool traffic, not round traffic, so they stay
+                // out of the round's `wire_bytes` account.
+                let ok = write_frame(&mut writer, &Frame::Pong { nonce }).is_ok()
+                    && writer.flush().is_ok();
+                if !ok {
+                    return false;
                 }
             }
             Frame::Execute {
@@ -163,11 +233,12 @@ fn serve_connection(stream: TcpStream, obs: &WorkerObs) -> bool {
                     .emit();
                 return false;
             }
-            Frame::Answer { .. } => {
+            Frame::Answer { .. } | Frame::Pong { .. } => {
                 let _ = write_frame(
                     &mut writer,
                     &Frame::Error {
-                        message: "protocol violation: workers receive no Answer frames".into(),
+                        message: "protocol violation: workers receive no Answer or Pong frames"
+                            .into(),
                     },
                 );
                 let _ = writer.flush();
@@ -198,22 +269,41 @@ fn local_answer(
     project(&joined, output_vars, name)
 }
 
-/// Run the worker loop on `listener`: serve coordinator connections one at
-/// a time until a `Shutdown` frame arrives, then return. I/O errors on a
-/// single connection never kill the loop; accept errors do (the listener
-/// itself is broken).
+/// Run the worker loop on `listener`: accept coordinator connections and
+/// serve each on its own thread until a `Shutdown` frame arrives on any of
+/// them, then return. Concurrent service is what lets a coordinator-side
+/// [`crate::net::WorkerPool`] keep an idle Hello'd connection open between
+/// runs without starving other coordinators (or the shutdown path) of the
+/// accept loop. I/O errors on a single connection never kill the loop;
+/// accept errors do (the listener itself is broken).
 ///
 /// Counters go to a throwaway registry and warnings to stderr; a daemon
 /// that wants the numbers uses [`serve_worker_observed`].
 pub fn serve_worker(listener: &TcpListener) -> std::io::Result<()> {
-    serve_worker_observed(listener, &WorkerObs::fallback())
+    serve_worker_with(listener, &WorkerObs::fallback(), WorkerLimits::default())
 }
 
 /// [`serve_worker`] with the worker's frames/bytes/rounds counted into the
 /// registry behind `obs` and connection events logged structurally: what
 /// `pqd --worker` runs.
 pub fn serve_worker_observed(listener: &TcpListener, obs: &WorkerObs) -> std::io::Result<()> {
+    serve_worker_with(listener, obs, WorkerLimits::default())
+}
+
+/// [`serve_worker_observed`] with explicit per-connection resource bounds.
+pub fn serve_worker_with(
+    listener: &TcpListener,
+    obs: &WorkerObs,
+    limits: WorkerLimits,
+) -> std::io::Result<()> {
+    // Set by the connection thread that receives a Shutdown frame; the
+    // accept loop checks it after every accept. The shutting-down thread
+    // also dials the listener itself so a blocked accept wakes up.
+    let stop = Arc::new(AtomicBool::new(false));
     for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
         let stream = stream?;
         let peer = stream
             .peer_addr()
@@ -223,15 +313,25 @@ pub fn serve_worker_observed(listener: &TcpListener, obs: &WorkerObs) -> std::io
             .debug("coordinator connected")
             .kv("peer", &peer)
             .emit();
-        let shutdown = serve_connection(stream, obs);
-        obs.logger
-            .debug("coordinator connection closed")
-            .kv("peer", &peer)
-            .kv("shutdown", shutdown)
-            .emit();
-        if shutdown {
-            return Ok(());
-        }
+        let obs = obs.clone();
+        let stop = Arc::clone(&stop);
+        let wake = listener.local_addr();
+        std::thread::spawn(move || {
+            let shutdown = serve_connection(stream, &obs, limits);
+            obs.logger
+                .debug("coordinator connection closed")
+                .kv("peer", &peer)
+                .kv("shutdown", shutdown)
+                .emit();
+            if shutdown {
+                stop.store(true, Ordering::SeqCst);
+                // Wake the accept loop so it notices the flag; the dialled
+                // connection is dropped immediately and serves no frames.
+                if let Ok(addr) = wake {
+                    let _ = TcpStream::connect(addr);
+                }
+            }
+        });
     }
     Ok(())
 }
@@ -254,13 +354,22 @@ impl LocalWorkers {
     /// # Errors
     /// Fails when an ephemeral localhost port cannot be bound.
     pub fn spawn(n: usize) -> std::io::Result<LocalWorkers> {
+        LocalWorkers::spawn_with(n, WorkerLimits::default())
+    }
+
+    /// [`LocalWorkers::spawn`] with explicit per-connection resource
+    /// bounds applied to every worker.
+    ///
+    /// # Errors
+    /// Fails when an ephemeral localhost port cannot be bound.
+    pub fn spawn_with(n: usize, limits: WorkerLimits) -> std::io::Result<LocalWorkers> {
         let mut addresses = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         for _ in 0..n {
             let listener = TcpListener::bind("127.0.0.1:0")?;
             addresses.push(listener.local_addr()?.to_string());
             handles.push(std::thread::spawn(move || {
-                let _ = serve_worker(&listener);
+                let _ = serve_worker_with(&listener, &WorkerObs::fallback(), limits);
             }));
         }
         Ok(LocalWorkers { addresses, handles })
@@ -457,5 +566,158 @@ mod tests {
             read_frame(&mut probe_reader).unwrap(),
             Some((Frame::Answer { .. }, _))
         ));
+    }
+
+    /// A Ping is answered with a matching Pong and leaves the connection's
+    /// fragment state and round byte account untouched.
+    #[test]
+    fn ping_is_answered_without_disturbing_round_state() {
+        let workers = LocalWorkers::spawn(1).unwrap();
+        let stream = TcpStream::connect(&workers.addresses()[0]).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        let mut sent = 0u64;
+        sent += write_frame(
+            &mut writer,
+            &Frame::Fragment {
+                round: 1,
+                relation: frag("R", &["x"], vec![vec![7]]),
+            },
+        )
+        .unwrap();
+        write_frame(&mut writer, &Frame::Ping { nonce: 0xFEED }).unwrap();
+        writer.flush().unwrap();
+        let (frame, _) = read_frame(&mut reader).unwrap().expect("a pong");
+        assert!(matches!(frame, Frame::Pong { nonce: 0xFEED }), "{frame:?}");
+        // The round's byte account excludes the ping: the Answer reports
+        // exactly fragment + execute bytes.
+        sent += write_frame(
+            &mut writer,
+            &Frame::Execute {
+                round: 1,
+                name: "Q".into(),
+                output_vars: vec!["x".into()],
+                atoms: vec![("R".into(), vec!["x".into()])],
+            },
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        let (frame, _) = read_frame(&mut reader).unwrap().expect("an answer");
+        let Frame::Answer {
+            bytes_received,
+            relation,
+            ..
+        } = frame
+        else {
+            panic!("expected an Answer, got {frame:?}");
+        };
+        assert_eq!(bytes_received, sent, "pings stay out of round accounting");
+        assert_eq!(relation.len(), 1, "the pre-ping fragment survived");
+    }
+
+    /// Fragments past the per-connection byte cap get a typed Error frame
+    /// and a dropped connection, while the worker keeps serving new ones;
+    /// a fresh Hello resets the budget.
+    #[test]
+    fn over_budget_fragments_are_rejected_with_a_typed_error() {
+        // Budget of exactly two 2-column rows (2 rows × 2 cols × 8 bytes).
+        let limits = WorkerLimits {
+            max_fragment_bytes: 32,
+        };
+        let workers = LocalWorkers::spawn_with(1, limits).unwrap();
+        let stream = TcpStream::connect(&workers.addresses()[0]).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        write_frame(
+            &mut writer,
+            &Frame::Fragment {
+                round: 1,
+                relation: frag("R", &["x", "y"], vec![vec![1, 2], vec![3, 4]]),
+            },
+        )
+        .unwrap();
+        // One more row blows the 32-byte budget.
+        write_frame(
+            &mut writer,
+            &Frame::Fragment {
+                round: 1,
+                relation: frag("R", &["x", "y"], vec![vec![5, 6]]),
+            },
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        let (frame, _) = read_frame(&mut reader).unwrap().expect("an error frame");
+        let Frame::Error { message } = frame else {
+            panic!("expected an Error frame, got {frame:?}");
+        };
+        assert!(message.contains("byte cap"), "{message}");
+        // The worker survives: a new connection starts with a fresh budget.
+        let stream = TcpStream::connect(&workers.addresses()[0]).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        write_frame(
+            &mut writer,
+            &Frame::Fragment {
+                round: 1,
+                relation: frag("R", &["x", "y"], vec![vec![1, 2], vec![3, 4]]),
+            },
+        )
+        .unwrap();
+        write_frame(
+            &mut writer,
+            &Frame::Execute {
+                round: 1,
+                name: "Q".into(),
+                output_vars: vec!["x".into(), "y".into()],
+                atoms: vec![("R".into(), vec!["x".into(), "y".into()])],
+            },
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        assert!(matches!(
+            read_frame(&mut reader).unwrap(),
+            Some((Frame::Answer { .. }, _))
+        ));
+    }
+
+    /// Two coordinators are served concurrently: one holds its connection
+    /// open (as a pool does between runs) while the other completes a full
+    /// round — impossible under one-connection-at-a-time service.
+    #[test]
+    fn an_idle_held_connection_does_not_block_other_coordinators() {
+        let workers = LocalWorkers::spawn(1).unwrap();
+        // Coordinator A connects and goes idle, holding the socket open.
+        let idle = TcpStream::connect(&workers.addresses()[0]).unwrap();
+        // Coordinator B runs a complete round meanwhile.
+        let stream = TcpStream::connect(&workers.addresses()[0]).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        write_frame(
+            &mut writer,
+            &Frame::Execute {
+                round: 1,
+                name: "Q".into(),
+                output_vars: vec![],
+                atoms: vec![],
+            },
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        assert!(matches!(
+            read_frame(&mut reader).unwrap(),
+            Some((Frame::Answer { .. }, _))
+        ));
+        // A's connection still works after B's round.
+        let mut idle_reader = BufReader::new(idle.try_clone().unwrap());
+        let mut idle_writer = BufWriter::new(idle);
+        write_frame(&mut idle_writer, &Frame::Ping { nonce: 1 }).unwrap();
+        idle_writer.flush().unwrap();
+        assert!(matches!(
+            read_frame(&mut idle_reader).unwrap(),
+            Some((Frame::Pong { nonce: 1 }, _))
+        ));
+        drop(idle_writer);
+        drop(idle_reader);
+        workers.shutdown();
     }
 }

@@ -11,12 +11,16 @@
 //! raw byte level beneath the codec.
 
 use pq_mpc::net::{
-    read_frame, AtomSpec, ClusterConfig, ClusterError, Coordinator, Frame, RoundProgram, MAGIC,
+    read_frame, serve_worker, shutdown_workers, AtomSpec, BreakerState, Clock, ClusterConfig,
+    ClusterError, Coordinator, Frame, LocalWorkers, RetryPolicy, RoundProgram, TestClock,
+    WorkerPool, MAGIC,
 };
 use pq_mpc::Message;
 use pq_relation::{Relation, Schema};
+use proptest::prelude::*;
 use std::io::{BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -214,6 +218,218 @@ fn a_silent_worker_times_out_within_the_configured_deadline() {
         "a 500 ms read timeout must not take {:?}",
         started.elapsed()
     );
+}
+
+/// The answer the round must produce, computed with a textbook
+/// nested-loop join over the same R and S rows — independent of every
+/// cluster code path, so it can act as the oracle for the recovery and
+/// chaos tests below.
+fn oracle_join() -> Vec<Vec<u64>> {
+    let r = [[1u64, 2], [3, 4]];
+    let s = [[2u64, 20]];
+    let mut rows: Vec<Vec<u64>> = r
+        .iter()
+        .flat_map(|&[x, y]| {
+            s.iter()
+                .filter(move |&&[sy, _]| sy == y)
+                .map(move |&[_, z]| vec![x, y, z])
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn sorted_rows(output: &Relation) -> Vec<Vec<u64>> {
+    let mut rows: Vec<Vec<u64>> = output.iter().map(|t| t.to_vec()).collect();
+    rows.sort();
+    rows
+}
+
+/// A pool tuned for the fault tests: short read timeout so Silent faults
+/// surface quickly, a few retries, millisecond backoff.
+fn resilient_pool(addresses: Vec<String>, retries: u32) -> WorkerPool {
+    WorkerPool::new(
+        ClusterConfig::new(addresses)
+            .with_read_timeout(Duration::from_millis(300))
+            .with_retry(RetryPolicy {
+                retries,
+                base: Duration::from_millis(5),
+                cap: Duration::from_millis(20),
+            }),
+    )
+}
+
+/// Every injected fault, driven through the pool instead of a bare
+/// coordinator: with two healthy workers beside the faulty one (majority
+/// floor 2 of 3), the run must *recover* — retry on a rebuilt topology,
+/// route around the dead peer, and return the exact answer — instead of
+/// surfacing the error the bare-coordinator tests above assert on.
+#[test]
+fn every_fault_is_recovered_by_a_pool_retry() {
+    for fault in [
+        Fault::DieOnAccept,
+        Fault::DieMidRound,
+        Fault::TruncateAnswer,
+        Fault::Silent,
+    ] {
+        let workers = LocalWorkers::spawn(2).expect("spawn");
+        let (faulty_address, handle) = faulty_worker(fault);
+        let mut addresses = workers.addresses().to_vec();
+        addresses.push(faulty_address);
+        let pool = resilient_pool(addresses, 4);
+        let (output, metrics) = pool
+            .execute(2, 8, 0, &round_program(), &|| round_messages(), None)
+            .expect("the pool must recover from a single faulty worker");
+        assert_eq!(sorted_rows(&output), oracle_join());
+        assert_eq!(
+            metrics.rounds[0].wire_bytes.len(),
+            2,
+            "the successful attempt routed around the faulty worker"
+        );
+        let stats = pool.stats();
+        assert!(stats.retries >= 1, "recovery implies at least one retry: {stats:?}");
+        assert_eq!(stats.runs_ok, 1);
+        drop(pool);
+        workers.shutdown();
+        handle.join().expect("faulty worker thread exits");
+    }
+}
+
+/// A flapping cluster: every worker down long enough for consecutive
+/// failed runs to open the breaker, which then fails fast without
+/// touching a socket; once the cooldown elapses (on the injected test
+/// clock) the half-open probe is admitted and — the workers having come
+/// back on the same addresses — closes the breaker again.
+#[test]
+fn a_flapping_cluster_opens_the_breaker_then_recovers_through_half_open() {
+    // Bind three listeners to learn their addresses, then drop them: the
+    // cluster starts fully down, every dial refused.
+    let addresses: Vec<String> = (0..3)
+        .map(|_| {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr").to_string()
+        })
+        .collect();
+    let clock = Arc::new(TestClock::new());
+    let config = ClusterConfig::new(addresses.clone())
+        .with_read_timeout(Duration::from_millis(300))
+        .with_retry(RetryPolicy {
+            retries: 0,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(1),
+        })
+        .with_breaker(2, Duration::from_secs(5));
+    let pool = WorkerPool::with_clock(config, clock.clone());
+    let run = || pool.execute(2, 8, 0, &round_program(), &|| round_messages(), None);
+    assert!(run().is_err());
+    assert!(run().is_err());
+    assert_eq!(pool.breaker_state(), BreakerState::Open);
+    // Open: fail fast, no dial attempted.
+    let reconnects_before = pool.stats().reconnects;
+    let err = run().unwrap_err();
+    assert!(matches!(err, ClusterError::BreakerOpen { .. }), "{err}");
+    assert_eq!(pool.stats().reconnects, reconnects_before);
+    // The workers come back on the same ports while the breaker cools off.
+    let handles: Vec<JoinHandle<()>> = addresses
+        .iter()
+        .map(|address| {
+            let listener = TcpListener::bind(address.as_str()).expect("rebind");
+            std::thread::spawn(move || {
+                serve_worker(&listener).expect("worker serves");
+            })
+        })
+        .collect();
+    clock.sleep(Duration::from_secs(5));
+    let (output, _) = run().expect("the half-open probe reaches the revived workers");
+    assert_eq!(sorted_rows(&output), oracle_join());
+    assert_eq!(
+        pool.breaker_state(),
+        BreakerState::Closed,
+        "a successful half-open probe closes the breaker"
+    );
+    shutdown_workers(pool.config());
+    for handle in handles {
+        handle.join().expect("worker thread exits");
+    }
+}
+
+// Chaos: a random fault schedule over three workers — each either healthy
+// or exhibiting one of the four injected faults. Whenever the pool reports
+// success, its answer must equal the oracle join; with a healthy majority
+// it must not fail at all, and with a faulty majority it must fail
+// (typed, within the deadline) rather than hang or fabricate rows.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn chaos_schedules_agree_with_the_oracle_whenever_they_succeed(
+        schedule in proptest::collection::vec(0usize..6, 3..4),
+    ) {
+        // 0–3 pick a fault; 4–5 mean healthy, biasing ~1 fault per run.
+        let faults = [
+            Fault::DieOnAccept,
+            Fault::DieMidRound,
+            Fault::TruncateAnswer,
+            Fault::Silent,
+        ];
+        let mut addresses = Vec::new();
+        let mut fault_handles = Vec::new();
+        let mut healthy_handles = Vec::new();
+        let mut healthy = 0usize;
+        for &choice in &schedule {
+            if let Some(&fault) = faults.get(choice) {
+                let (address, handle) = faulty_worker(fault);
+                addresses.push(address);
+                fault_handles.push(handle);
+            } else {
+                healthy += 1;
+                let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+                addresses.push(listener.local_addr().expect("addr").to_string());
+                healthy_handles.push(std::thread::spawn(move || {
+                    serve_worker(&listener).expect("worker serves");
+                }));
+            }
+        }
+        let config = pool_addresses_config(&addresses);
+        let pool = WorkerPool::new(config);
+        let result = pool.execute(2, 8, 0, &round_program(), &|| round_messages(), None);
+        let majority = addresses.len() / 2 + 1;
+        match result {
+            Ok((output, _)) => {
+                prop_assert_eq!(sorted_rows(&output), oracle_join());
+                prop_assert!(
+                    healthy >= majority,
+                    "a run without a healthy majority must not succeed"
+                );
+            }
+            Err(error) => {
+                prop_assert!(
+                    healthy < majority,
+                    "a healthy majority must recover, got: {error}"
+                );
+            }
+        }
+        shutdown_workers(pool.config());
+        drop(pool);
+        for handle in healthy_handles {
+            handle.join().expect("healthy worker exits");
+        }
+        for handle in fault_handles {
+            handle.join().expect("faulty worker exits");
+        }
+    }
+}
+
+/// The chaos pool's config: same tuning as [`resilient_pool`], factored
+/// so the proptest body stays readable.
+fn pool_addresses_config(addresses: &[String]) -> ClusterConfig {
+    ClusterConfig::new(addresses.to_vec())
+        .with_read_timeout(Duration::from_millis(300))
+        .with_retry(RetryPolicy {
+            retries: 4,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(20),
+        })
 }
 
 /// A healthy round straight after a faulty one on a fresh coordinator:
