@@ -206,6 +206,46 @@ fn bench_cluster_reconnect(c: &mut Criterion) {
     group.finish();
 }
 
+/// The persistent executor pool's scaling curve: the same warm
+/// (plan-cached) triangle — a three-way join — run on engines whose pool
+/// is sized 1, 2 and 4. Pool size 1 is the fully inline path (zero worker
+/// threads, the regression guard against the pre-pool records); larger
+/// pools split per-server work and, at m=100k, the morsel-parallel join
+/// and routing kernels (per-server fragments cross the 2×MORSEL_ROWS
+/// probe threshold). Every size returns byte-identical rows.
+fn bench_engine_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_parallel");
+    group.sample_size(10);
+    let query = ConjunctiveQuery::triangle();
+    let text = query.to_string();
+
+    // The big three-way join where parallelism has room to pay.
+    let big = matching_database_for_query(&query, 100_000, 7);
+    for threads in [1usize, 2, 4] {
+        let session = Engine::new(big.clone(), 16).with_threads(threads).session();
+        session.run(&text).expect("warm-up run");
+        group.bench_with_input(
+            BenchmarkId::new(format!("three_way_join_t{threads}"), 100_000),
+            &text,
+            |b, text| b.iter(|| session.run(text).expect("runs").outcome.output.len()),
+        );
+    }
+
+    // The small warm triangle: the fixed pool overhead must stay in the
+    // noise at every size (t1 inline ≈ the engine_end_to_end record).
+    let small = matching_database_for_query(&query, 4_000, 7);
+    for threads in [1usize, 2, 4] {
+        let session = Engine::new(small.clone(), 16).with_threads(threads).session();
+        session.run(&text).expect("warm-up run");
+        group.bench_with_input(
+            BenchmarkId::new(format!("triangle_warm_t{threads}"), 4_000),
+            &text,
+            |b, text| b.iter(|| session.run(text).expect("runs").outcome.output.len()),
+        );
+    }
+    group.finish();
+}
+
 /// The cost of the observability layer itself: the identical warm
 /// (plan-cached) triangle run with metrics recording on (the default)
 /// versus stripped (`with_metrics_enabled(false)`, which turns every
@@ -330,6 +370,7 @@ criterion_group!(
     bench_engine_update,
     bench_engine_backend,
     bench_cluster_reconnect,
+    bench_engine_parallel,
     bench_engine_obs,
     bench_engine_wal
 );

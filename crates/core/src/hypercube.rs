@@ -159,21 +159,52 @@ impl HyperCubeRouter {
     /// returns one message per non-empty fragment. The per-row work is
     /// allocation-free — rows land in the flat fragment buffers by
     /// `extend_from_slice`.
+    ///
+    /// Like the join kernels, a large relation routes morsel-parallel when
+    /// the calling thread has a `pq-exec` pool installed: each morsel fills
+    /// its own per-destination fragment set and the sets are merged in
+    /// morsel order, so every fragment keeps its rows in input order at any
+    /// pool size.
     pub fn route_relation(&self, relation: &Relation) -> Vec<Message> {
         let (bound, free_offsets) = self.route_plan(relation.schema().attributes());
         let grid = self.grid_size();
+        let n = relation.len();
         // Expected fragment size under balanced hashing: every row goes to
         // |free_offsets| of the `grid` destinations.
-        let per_dest = relation.len() * free_offsets.len() / grid.max(1) + 1;
-        let mut fragments: Vec<Relation> = (0..grid)
-            .map(|_| Relation::with_capacity(relation.schema().clone(), per_dest))
-            .collect();
-        for row in relation.iter() {
-            let base = self.base_index(&bound, row);
-            for &off in &free_offsets {
-                fragments[base + off].push_row(row);
+        let route_morsel = |lo: usize, hi: usize| -> Vec<Relation> {
+            let per_dest = (hi - lo) * free_offsets.len() / grid.max(1) + 1;
+            let mut fragments: Vec<Relation> = (0..grid)
+                .map(|_| Relation::with_capacity(relation.schema().clone(), per_dest))
+                .collect();
+            for r in lo..hi {
+                let row = relation.row(r);
+                let base = self.base_index(&bound, row);
+                for &off in &free_offsets {
+                    fragments[base + off].push_row(row);
+                }
             }
-        }
+            fragments
+        };
+        let pool = pq_exec::current().filter(|p| p.threads() > 1);
+        let fragments: Vec<Relation> = match pool {
+            Some(pool) if n >= 2 * pq_relation::MORSEL_ROWS => {
+                let ranges: Vec<(usize, usize)> = (0..n)
+                    .step_by(pq_relation::MORSEL_ROWS)
+                    .map(|lo| (lo, (lo + pq_relation::MORSEL_ROWS).min(n)))
+                    .collect();
+                let mut parts = pool
+                    .map_indexed(&ranges, |_, &(lo, hi)| route_morsel(lo, hi))
+                    .into_iter();
+                let mut merged = parts.next().unwrap_or_default();
+                for part in parts {
+                    for (dest, fragment) in merged.iter_mut().zip(&part) {
+                        dest.append(fragment);
+                    }
+                }
+                merged
+            }
+            _ => route_morsel(0, n),
+        };
         fragments
             .into_iter()
             .enumerate()

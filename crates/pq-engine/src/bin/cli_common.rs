@@ -34,6 +34,10 @@ pub struct CommonArgs {
     /// `--cluster-fallback`: what to do when the cluster stays unhealthy
     /// past its retry budget (`error` or `simulator`).
     pub cluster_fallback: FallbackPolicy,
+    /// `--threads`: executor-pool parallelism (worker threads plus the
+    /// helping caller; `1` runs queries fully inline). Defaults to the
+    /// `PQ_THREADS` environment variable, then `available_parallelism`.
+    pub threads: usize,
 }
 
 impl CommonArgs {
@@ -49,6 +53,7 @@ impl CommonArgs {
             cluster_retries: RetryPolicy::default().retries,
             cluster_deadline_ms: 30_000,
             cluster_fallback: FallbackPolicy::default(),
+            threads: pq_exec::default_threads(),
         }
     }
 
@@ -109,6 +114,13 @@ impl CommonArgs {
                 self.cluster_fallback = FallbackPolicy::parse(&value).ok_or_else(|| {
                     format!("--cluster-fallback: `{value}` is not `error` or `simulator`")
                 })?;
+                Ok(true)
+            }
+            "--threads" => {
+                self.threads = parse_number("--threads", &value_of("--threads", args)?)?;
+                if self.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
                 Ok(true)
             }
             _ => Ok(false),

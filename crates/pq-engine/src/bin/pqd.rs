@@ -119,6 +119,12 @@ OPTIONS:
                            SHUTDOWN (default 1024; needs --data-dir)
     --servers P            default logical servers per session (default 64)
     --seed S               default router hash seed per session (default 7)
+    --threads N            executor-pool parallelism: N-1 persistent worker
+                           threads plus the helping caller; 1 runs queries
+                           fully inline (default: PQ_THREADS, then the
+                           machine's available parallelism). With --worker,
+                           sizes the pool that parallelises each fragment
+                           join
     --port PORT            TCP port to listen on (default 0 = ephemeral, printed)
     --host HOST            address to bind (default 127.0.0.1)
     --read-timeout SECS    close connections idle for SECS seconds (default 0 = never)
@@ -631,7 +637,11 @@ fn run_worker(options: &Options) -> ! {
     let limits = pq_mpc::net::WorkerLimits {
         max_fragment_bytes: options.max_fragment_bytes,
     };
-    if let Err(e) = pq_mpc::net::serve_worker_with(&listener, &obs, limits) {
+    // The worker's own executor pool: every Execute frame's fragment join
+    // runs on it, so `--threads` is worker-side parallelism.
+    let pool = pq_exec::TaskPool::new(options.common.threads);
+    pool.attach_registry(&registry);
+    if let Err(e) = pq_mpc::net::serve_worker_pooled(&listener, &obs, limits, &pool) {
         logger.error("worker failed").kv("error", e).emit();
         std::process::exit(1);
     }
@@ -707,14 +717,16 @@ fn main() {
             let engine = opened
                 .engine
                 .with_seed(options.common.seed)
-                .with_backend(options.common.backend());
+                .with_backend(options.common.backend())
+                .with_threads(options.common.threads);
             (engine, opened.dictionary)
         }
         None => {
             let (database, dictionary) = base.expect("finish() required --data");
             let engine = Engine::new(database, options.common.servers)
                 .with_seed(options.common.seed)
-                .with_backend(options.common.backend());
+                .with_backend(options.common.backend())
+                .with_threads(options.common.threads);
             (engine, Arc::new(RwLock::new(dictionary)))
         }
     };

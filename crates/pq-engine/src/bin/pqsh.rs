@@ -30,6 +30,10 @@ OPTIONS:
                      (repeatable; one shared value dictionary)
     --servers P      number of logical servers (default 64)
     --seed S         hash seed for the routers (default 7)
+    --threads N      executor-pool parallelism: N-1 persistent worker
+                     threads plus the helping caller; 1 runs queries fully
+                     inline (default: PQ_THREADS, then the machine's
+                     available parallelism)
     --limit N        maximum rows printed by `run` (default 20)
     --cluster ADDRS  execute on pqd --worker processes at these host:port
                      addresses (repeatable and/or comma-separated) instead
@@ -448,7 +452,8 @@ fn main() {
     };
     let engine = Engine::new(database, options.common.servers)
         .with_seed(options.common.seed)
-        .with_backend(options.common.backend());
+        .with_backend(options.common.backend())
+        .with_threads(options.common.threads);
     let mut session = engine.session();
 
     match options.command.split_first() {

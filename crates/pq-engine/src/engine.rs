@@ -139,6 +139,10 @@ struct SharedState {
     obs: EngineObs,
     /// The write-ahead log, when this engine is durable.
     wal: Option<WalAttachment>,
+    /// The persistent executor pool every session installs around plan
+    /// execution: per-server fan-out and morsel-parallel join kernels run
+    /// on it, so no thread is ever spawned on the query hot path.
+    pool: Arc<pq_exec::TaskPool>,
 }
 
 /// A cheap, cloneable, thread-safe handle to one loaded database and one
@@ -185,8 +189,35 @@ impl Engine {
                 default_backend: ExecBackend::Simulator,
                 obs: EngineObs::new(),
                 wal: None,
+                pool: pq_exec::global(),
             }),
         }
+    }
+
+    /// Size the engine's executor pool: a dedicated [`pq_exec::TaskPool`]
+    /// of total parallelism `threads` (worker threads plus the helping
+    /// caller; `1` spawns no threads and runs queries fully inline). The
+    /// pool's `pq_exec_*` counters are mirrored into this engine's metrics
+    /// registry. Without this call the engine shares the process-wide
+    /// [`pq_exec::global`] pool (sized by `PQ_THREADS`, default
+    /// `available_parallelism`), whose counters stay internal.
+    /// Builder-style: call before the handle is cloned.
+    ///
+    /// # Panics
+    /// Panics when the engine handle has already been cloned or has live
+    /// sessions.
+    pub fn with_threads(self, threads: usize) -> Self {
+        let pool = pq_exec::TaskPool::new(threads);
+        let mut shared = self.shared;
+        let state = Arc::get_mut(&mut shared).expect("configure the engine before sharing it");
+        pool.attach_registry(state.obs.registry());
+        state.pool = pool;
+        Engine { shared }
+    }
+
+    /// The executor pool this engine's sessions run plans on.
+    pub fn pool(&self) -> &Arc<pq_exec::TaskPool> {
+        &self.shared.pool
     }
 
     /// The engine's cumulative [`MetricsRegistry`]: query counts, latency

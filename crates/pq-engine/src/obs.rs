@@ -39,6 +39,18 @@
 //! | `pq_cluster_degraded_total` | counter | runs answered by the simulator fallback |
 //! | `pq_cluster_pool_size` | gauge | warm pooled connections after the last run |
 //! | `pq_cluster_breaker_state` | gauge | 0 = closed, 1 = open, 2 = half-open |
+//!
+//! An engine sized with [`crate::Engine::with_threads`] additionally
+//! mirrors its dedicated executor pool's counters
+//! ([`pq_exec::TaskPool::attach_registry`]):
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `pq_exec_tasks_total` | counter | tasks scheduled on the persistent pool |
+//! | `pq_exec_steals_total` | counter | tasks taken from another worker's queue |
+//! | `pq_exec_threads_spawned_total` | counter | worker threads ever spawned — flat across queries |
+//! | `pq_exec_pool_size` | gauge | configured parallelism, helping caller included |
+//! | `pq_exec_queue_depth` | gauge | tasks queued and not yet started |
 
 use crate::engine::EngineRun;
 use pq_obs::{Counter, Histogram, MetricsRegistry, Phase, QueryTrace};

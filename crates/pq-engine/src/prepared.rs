@@ -123,8 +123,12 @@ impl PreparedQuery {
         };
         let registry = self.engine.metrics();
         let observe_cluster = registry.is_enabled().then_some(&registry);
+        let pool = self.engine.pool();
+        trace.parallelism = Some(pool.threads() as u64);
         let outcome = trace.time(Phase::Execute, || {
-            run_plan_on_observed(&plan, &snapshot, self.seed, &self.backend, observe_cluster)
+            pool.install(|| {
+                run_plan_on_observed(&plan, &snapshot, self.seed, &self.backend, observe_cluster)
+            })
         })?;
         Ok(EngineRun {
             plan,

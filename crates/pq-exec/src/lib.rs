@@ -1,0 +1,755 @@
+//! The persistent executor pool behind the query hot path.
+//!
+//! The MPC cost model charges only communication, but the simulator and the
+//! cluster workers still have to *perform* the local joins. Before this
+//! crate existed, every round of every query spawned a fresh set of OS
+//! threads (`std::thread::scope`) and funnelled results through a contended
+//! mutex; a panicking task poisoned that mutex and surfaced as
+//! `"result lock poisoned"` instead of the original panic. A [`TaskPool`]
+//! replaces all of that with long-lived parked workers:
+//!
+//! ```text
+//!               map_indexed(&items, f)
+//!                        │  split into fixed-size chunks ("morsels")
+//!                        ▼
+//!        ┌──────────── injector ────────────┐      global FIFO queue
+//!        │        ┌─ local[0] ─┐            │      per-worker queues
+//!        │        │  local[1]  │ …          │
+//!        ▼        ▼            ▼            ▼
+//!     caller   worker 0     worker 1  …  worker N-1
+//!     (helps)  (parked on a condvar until work arrives)
+//! ```
+//!
+//! * **Zero per-query thread spawns.** Workers are spawned once at pool
+//!   construction and parked on a condvar between queries;
+//!   [`PoolStats::threads_spawned`] stays flat no matter how many maps run.
+//! * **Work stealing.** Tasks are dealt round-robin over the injector and
+//!   the per-worker queues; a worker pops its own queue first, then the
+//!   injector, then steals from a sibling (counted on
+//!   [`PoolStats::steals`]).
+//! * **Deterministic output.** [`TaskPool::map_indexed`] writes each
+//!   chunk's results into a disjoint slice of one pre-sized output vector,
+//!   so the caller sees results in input order regardless of scheduling.
+//! * **The caller helps.** While waiting for its scope the calling thread
+//!   executes queued tasks itself, which makes nested `map_indexed` calls
+//!   (a parallel join inside a parallel per-server map) deadlock-free.
+//! * **Clean panic propagation.** A panicking task is caught, its payload
+//!   stored, and re-thrown on the calling thread via
+//!   [`std::panic::resume_unwind`] once the scope has drained — the pool
+//!   itself stays usable afterwards.
+//! * **Inline fast path.** A pool of size 1 spawns no threads at all and
+//!   runs every map as a plain sequential loop — single-core machines pay
+//!   nothing for the machinery.
+//!
+//! Pools are reached either explicitly (the engine owns one) or through
+//! the rayon-style ambient mechanism: [`TaskPool::install`] marks a pool
+//! as the thread's *current* pool for the duration of a closure, and
+//! library code deep in the stack (the morsel-parallel join kernels in
+//! `pq-relation`, the per-server fan-out in `pq-mpc`) picks it up with
+//! [`current`] without threading a handle through every signature.
+//! [`global`] lazily builds one process-wide fallback pool sized from the
+//! `PQ_THREADS` environment variable (default: `available_parallelism`).
+
+#![deny(missing_docs)]
+
+use pq_obs::{Counter, Gauge, MetricsRegistry};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, Weak};
+use std::thread::JoinHandle;
+
+/// Target number of tasks per pool thread when `map_indexed` chunks its
+/// input: a few tasks per thread keeps the queues busy enough for stealing
+/// to balance skewed chunks, while keeping tasks coarse enough that the
+/// single scheduler lock never becomes the bottleneck.
+const TASKS_PER_THREAD: usize = 4;
+
+/// A queued unit of work. The `'static` bound is produced by the audited
+/// lifetime erasure in [`TaskPool::map_indexed`] — see the safety comment
+/// there for why it is sound.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Lock a mutex ignoring poisoning: every task body is wrapped in
+/// `catch_unwind`, so the protected queues are structurally valid after any
+/// panic, and the pool must stay usable (resume-safe) afterwards.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The scheduler state: one global injector queue plus one queue per
+/// worker, all behind a single mutex (tasks are coarse morsels, so the
+/// lock is taken a handful of times per task, not per row).
+struct Sched {
+    injector: VecDeque<Job>,
+    locals: Vec<VecDeque<Job>>,
+    /// Queued-but-not-started tasks across all queues (the queue-depth
+    /// gauge).
+    depth: usize,
+    /// Set once by [`TaskPool`]'s `Drop`; workers exit at the next wakeup.
+    shutdown: bool,
+}
+
+/// Per-scope completion state for one `map_indexed` call.
+struct ScopeState {
+    /// Tasks of this scope that have not finished yet. Decremented under
+    /// the scheduler lock so a waiter that just checked it cannot miss the
+    /// wakeup.
+    pending: AtomicUsize,
+    /// First panic payload raised by a task of this scope, re-thrown on
+    /// the calling thread once the scope has drained.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Registry-resolved mirrors of the pool's internal counters, attached at
+/// most once per pool (the engine attaches its own registry so `pqd
+/// METRICS` exposes the pool next to the query counters).
+struct ExecMetrics {
+    tasks: Counter,
+    steals: Counter,
+    spawned: Counter,
+    pool_size: Gauge,
+    queue_depth: Gauge,
+}
+
+/// State shared between the pool handle and its worker threads. Workers
+/// hold a strong reference so the queues outlive the handle during
+/// shutdown; the handle's `Drop` flips [`Sched::shutdown`] and joins them.
+struct Shared {
+    sched: Mutex<Sched>,
+    /// Workers park here between queries; pushed work, finished tasks and
+    /// shutdown all notify it.
+    work: Condvar,
+    tasks: AtomicU64,
+    steals: AtomicU64,
+    spawned: AtomicU64,
+    threads: usize,
+    /// Back-reference to the owning [`TaskPool`], so worker threads can
+    /// mark the pool as their ambient *current* pool (nested maps inside a
+    /// task then parallelise too). Weak: workers must not keep the pool
+    /// alive.
+    self_ref: OnceLock<Weak<TaskPool>>,
+    metrics: OnceLock<ExecMetrics>,
+}
+
+impl Shared {
+    fn wait<'a>(&self, guard: MutexGuard<'a, Sched>) -> MutexGuard<'a, Sched> {
+        self.work
+            .wait(guard)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Deal `jobs` round-robin over the injector and the worker queues,
+    /// then wake everyone.
+    fn push_jobs(&self, jobs: Vec<Job>) {
+        let count = jobs.len();
+        let mut guard = lock_unpoisoned(&self.sched);
+        let queues = guard.locals.len() + 1;
+        for (j, job) in jobs.into_iter().enumerate() {
+            match j % queues {
+                0 => guard.injector.push_back(job),
+                slot => guard.locals[slot - 1].push_back(job),
+            }
+        }
+        guard.depth += count;
+        self.tasks.fetch_add(count as u64, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.tasks.add(count as u64);
+            m.queue_depth.set(guard.depth as u64);
+        }
+        drop(guard);
+        self.work.notify_all();
+    }
+
+    fn note_pop(&self, guard: &mut MutexGuard<'_, Sched>, stolen: bool) {
+        guard.depth -= 1;
+        if stolen {
+            self.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(m) = self.metrics.get() {
+            if stolen {
+                m.steals.inc();
+            }
+            m.queue_depth.set(guard.depth as u64);
+        }
+    }
+
+    /// Worker `me`'s pop order: own queue, injector, then steal from a
+    /// sibling's queue (back end, classic steal side).
+    fn pop_worker(&self, guard: &mut MutexGuard<'_, Sched>, me: usize) -> Option<Job> {
+        if let Some(job) = guard.locals[me].pop_front() {
+            self.note_pop(guard, false);
+            return Some(job);
+        }
+        if let Some(job) = guard.injector.pop_front() {
+            self.note_pop(guard, false);
+            return Some(job);
+        }
+        let siblings = guard.locals.len();
+        let job = (0..siblings)
+            .filter(|&other| other != me)
+            .find_map(|other| guard.locals[other].pop_back());
+        if job.is_some() {
+            self.note_pop(guard, true);
+        }
+        job
+    }
+
+    /// A non-worker (the caller helping its own scope along) pops the
+    /// injector first and otherwise steals from any worker queue.
+    fn pop_helper(&self, guard: &mut MutexGuard<'_, Sched>) -> Option<Job> {
+        if let Some(job) = guard.injector.pop_front() {
+            self.note_pop(guard, false);
+            return Some(job);
+        }
+        let job = guard.locals.iter_mut().find_map(VecDeque::pop_back);
+        if job.is_some() {
+            self.note_pop(guard, true);
+        }
+        job
+    }
+
+    /// Run queued tasks on the calling thread until `scope` has drained;
+    /// park on the condvar while other threads hold the last tasks.
+    fn help_until(&self, scope: &ScopeState) {
+        let mut guard = lock_unpoisoned(&self.sched);
+        loop {
+            if scope.pending.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            if let Some(job) = self.pop_helper(&mut guard) {
+                drop(guard);
+                job();
+                guard = lock_unpoisoned(&self.sched);
+            } else {
+                guard = self.wait(guard);
+            }
+        }
+    }
+}
+
+/// The long-lived worker body: park until work or shutdown, run tasks with
+/// the pool marked as the thread's current pool.
+fn worker_loop(shared: Arc<Shared>, me: usize) {
+    let mut marked = false;
+    let mut guard = lock_unpoisoned(&shared.sched);
+    loop {
+        if guard.shutdown {
+            return;
+        }
+        match shared.pop_worker(&mut guard, me) {
+            Some(job) => {
+                drop(guard);
+                if !marked {
+                    // Permanently mark this thread as belonging to the
+                    // pool, so a task that itself calls a parallel kernel
+                    // (nested map) finds the pool via `current()`. The
+                    // back-reference is set right after construction,
+                    // before any task can be queued.
+                    if let Some(weak) = shared.self_ref.get() {
+                        CURRENT.with(|c| c.borrow_mut().push(weak.clone()));
+                        marked = true;
+                    }
+                }
+                job();
+                guard = lock_unpoisoned(&shared.sched);
+            }
+            None => guard = shared.wait(guard),
+        }
+    }
+}
+
+/// A pool of `threads - 1` persistent worker threads plus the helping
+/// caller: `threads` is the total parallelism of a map. See the crate docs
+/// for the architecture; see [`TaskPool::map_indexed`] for the one
+/// execution primitive everything else is built from.
+pub struct TaskPool {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for TaskPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskPool")
+            .field("threads", &self.shared.threads)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// A point-in-time snapshot of a pool's internal counters — the same
+/// numbers [`TaskPool::attach_registry`] mirrors as `pq_exec_*` metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Tasks ever scheduled on the pool.
+    pub tasks: u64,
+    /// Tasks taken from another worker's queue.
+    pub steals: u64,
+    /// Worker threads ever spawned. Constant after construction: the
+    /// warm-query-path invariant asserted by tests and the CI smoke.
+    pub threads_spawned: u64,
+    /// Configured parallelism (worker threads + the helping caller).
+    pub pool_size: usize,
+    /// Tasks currently queued and not yet started.
+    pub queue_depth: usize,
+}
+
+impl TaskPool {
+    /// Build a pool of total parallelism `threads` (clamped to at least 1):
+    /// `threads - 1` worker threads are spawned immediately and parked; the
+    /// thread calling [`TaskPool::map_indexed`] contributes the final unit
+    /// of parallelism by helping. `TaskPool::new(1)` spawns no threads and
+    /// maps inline.
+    pub fn new(threads: usize) -> Arc<TaskPool> {
+        let threads = threads.max(1);
+        let workers = threads - 1;
+        let shared = Arc::new(Shared {
+            sched: Mutex::new(Sched {
+                injector: VecDeque::new(),
+                locals: (0..workers).map(|_| VecDeque::new()).collect(),
+                depth: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            tasks: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            spawned: AtomicU64::new(0),
+            threads,
+            self_ref: OnceLock::new(),
+            metrics: OnceLock::new(),
+        });
+        let pool = Arc::new(TaskPool {
+            shared: Arc::clone(&shared),
+            handles: Mutex::new(Vec::new()),
+        });
+        let _ = shared.self_ref.set(Arc::downgrade(&pool));
+        let mut handles = Vec::with_capacity(workers);
+        for me in 0..workers {
+            let worker_shared = Arc::clone(&shared);
+            shared.spawned.fetch_add(1, Ordering::Relaxed);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("pq-exec-{me}"))
+                    .spawn(move || worker_loop(worker_shared, me))
+                    .expect("spawn pq-exec worker thread"),
+            );
+        }
+        *lock_unpoisoned(&pool.handles) = handles;
+        pool
+    }
+
+    /// Total parallelism of the pool (worker threads + helping caller).
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Apply `f` to every indexed item of `items` in parallel and return
+    /// the outputs **in input order** — the same outputs, in the same
+    /// order, at any pool size.
+    ///
+    /// The input is split into fixed-size chunks (a few per pool thread);
+    /// each chunk writes its results into a disjoint slice of one
+    /// pre-sized output vector, so no result ever crosses a lock. The
+    /// calling thread executes queued chunks itself while it waits, which
+    /// makes nested calls from inside a task safe. If a task panics, the
+    /// first panic payload is re-thrown here once all chunks have drained;
+    /// the pool remains usable.
+    pub fn map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Inline fast path: a size-1 pool (or a single item) runs the plain
+        // sequential loop — no queue, no lock, no condvar.
+        if self.shared.threads <= 1 || n == 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let chunk = n.div_ceil(self.shared.threads * TASKS_PER_THREAD).max(1);
+        let tasks = n.div_ceil(chunk);
+        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        let scope = Arc::new(ScopeState {
+            pending: AtomicUsize::new(tasks),
+            panic: Mutex::new(None),
+        });
+        let f_ref = &f;
+        let jobs: Vec<Job> = items
+            .chunks(chunk)
+            .zip(results.chunks_mut(chunk))
+            .enumerate()
+            .map(|(j, (in_chunk, out_chunk))| {
+                let scope = Arc::clone(&scope);
+                let shared = Arc::clone(&self.shared);
+                let base = j * chunk;
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        for (k, (item, slot)) in
+                            in_chunk.iter().zip(out_chunk.iter_mut()).enumerate()
+                        {
+                            *slot = Some(f_ref(base + k, item));
+                        }
+                    }));
+                    if let Err(payload) = run {
+                        let mut first = lock_unpoisoned(&scope.panic);
+                        if first.is_none() {
+                            *first = Some(payload);
+                        }
+                    }
+                    // Decrement under the scheduler lock so a waiter that
+                    // just observed pending > 0 cannot miss the wakeup.
+                    let guard = lock_unpoisoned(&shared.sched);
+                    scope.pending.fetch_sub(1, Ordering::SeqCst);
+                    drop(guard);
+                    shared.work.notify_all();
+                });
+                // SAFETY: the closure borrows `items`, `results` and `f`,
+                // which live on this stack frame, so its true type is
+                // `Box<dyn FnOnce() + Send + 'frame>`. Erasing the lifetime
+                // to `'static` is sound because `help_until` below does not
+                // return until `scope.pending` reaches zero — i.e. until
+                // every one of these closures has finished running (a
+                // panicking closure still decrements) — and unqueued
+                // closures cannot outlive the queue drain either, because
+                // pending counts *all* of them. No borrow escapes the call.
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) }
+            })
+            .collect();
+        self.shared.push_jobs(jobs);
+        self.shared.help_until(&scope);
+        if let Some(payload) = lock_unpoisoned(&scope.panic).take() {
+            resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("drained scope filled every slot"))
+            .collect()
+    }
+
+    /// Run `f` with this pool as the thread's *current* pool: parallel
+    /// kernels deep in the stack (morsel joins, per-server maps) reach it
+    /// via [`current`] for the duration. Installs nest; the previous
+    /// current pool is restored on exit, panic included.
+    pub fn install<R>(self: &Arc<Self>, f: impl FnOnce() -> R) -> R {
+        CURRENT.with(|c| c.borrow_mut().push(Arc::downgrade(self)));
+        struct PopGuard;
+        impl Drop for PopGuard {
+            fn drop(&mut self) {
+                CURRENT.with(|c| {
+                    c.borrow_mut().pop();
+                });
+            }
+        }
+        let _restore = PopGuard;
+        f()
+    }
+
+    /// Snapshot the pool's internal counters.
+    pub fn stats(&self) -> PoolStats {
+        let depth = lock_unpoisoned(&self.shared.sched).depth;
+        PoolStats {
+            tasks: self.shared.tasks.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            threads_spawned: self.shared.spawned.load(Ordering::Relaxed),
+            pool_size: self.shared.threads,
+            queue_depth: depth,
+        }
+    }
+
+    /// Mirror the pool's counters into `registry` as `pq_exec_tasks_total`,
+    /// `pq_exec_steals_total`, `pq_exec_threads_spawned_total` and the
+    /// `pq_exec_pool_size` / `pq_exec_queue_depth` gauges. The first call
+    /// wins (a pool mirrors into at most one registry); counts accumulated
+    /// before attachment are carried over.
+    pub fn attach_registry(&self, registry: &MetricsRegistry) {
+        // Initialised under the scheduler lock: every counter move also
+        // happens under it, so the carry-over below cannot double-count.
+        let guard = lock_unpoisoned(&self.shared.sched);
+        self.shared.metrics.get_or_init(|| {
+            let metrics = ExecMetrics {
+                tasks: registry.counter(
+                    "pq_exec_tasks_total",
+                    &[],
+                    "Tasks scheduled on the persistent executor pool",
+                ),
+                steals: registry.counter(
+                    "pq_exec_steals_total",
+                    &[],
+                    "Pool tasks taken from another worker's queue",
+                ),
+                spawned: registry.counter(
+                    "pq_exec_threads_spawned_total",
+                    &[],
+                    "Pool worker threads ever spawned (flat across queries)",
+                ),
+                pool_size: registry.gauge(
+                    "pq_exec_pool_size",
+                    &[],
+                    "Configured executor-pool parallelism, helping caller included",
+                ),
+                queue_depth: registry.gauge(
+                    "pq_exec_queue_depth",
+                    &[],
+                    "Pool tasks currently queued and not yet started",
+                ),
+            };
+            metrics.tasks.add(self.shared.tasks.load(Ordering::Relaxed));
+            metrics
+                .steals
+                .add(self.shared.steals.load(Ordering::Relaxed));
+            metrics
+                .spawned
+                .add(self.shared.spawned.load(Ordering::Relaxed));
+            metrics.pool_size.set(self.shared.threads as u64);
+            metrics.queue_depth.set(guard.depth as u64);
+            metrics
+        });
+        drop(guard);
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        {
+            let mut guard = lock_unpoisoned(&self.shared.sched);
+            guard.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in lock_unpoisoned(&self.handles).drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+thread_local! {
+    /// The stack of installed pools for this thread (weak: an installed
+    /// pool must still be droppable from another thread).
+    static CURRENT: RefCell<Vec<Weak<TaskPool>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The thread's current pool: the innermost live [`TaskPool::install`] on
+/// this thread, or — on a pool worker thread — the worker's own pool.
+/// `None` outside any install, in which case parallel kernels fall back to
+/// their sequential paths or to [`global`].
+pub fn current() -> Option<Arc<TaskPool>> {
+    CURRENT.with(|c| c.borrow().last().and_then(Weak::upgrade))
+}
+
+static GLOBAL: OnceLock<Arc<TaskPool>> = OnceLock::new();
+
+/// The lazily-built process-wide fallback pool, sized by
+/// [`default_threads`] on first use. Used by callers with no engine in
+/// sight (library tests, the shim over the legacy `map_servers_parallel`
+/// entry point).
+pub fn global() -> Arc<TaskPool> {
+    Arc::clone(GLOBAL.get_or_init(|| TaskPool::new(default_threads())))
+}
+
+/// The thread's current pool if one is installed, else the global pool.
+pub fn current_or_global() -> Arc<TaskPool> {
+    current().unwrap_or_else(global)
+}
+
+/// The default pool size: the `PQ_THREADS` environment variable when it
+/// parses as a positive integer, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn default_threads() -> usize {
+    parse_threads(std::env::var("PQ_THREADS").ok())
+}
+
+fn parse_threads(var: Option<String>) -> usize {
+    var.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_input_order_at_every_pool_size() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().enumerate().map(|(i, &x)| x * 3 + i as u64).collect();
+        for threads in 1..=8 {
+            let pool = TaskPool::new(threads);
+            let out = pool.map_indexed(&items, |i, &x| x * 3 + i as u64);
+            assert_eq!(out, expected, "pool size {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let pool = TaskPool::new(4);
+        let empty: Vec<u32> = pool.map_indexed(&Vec::<u32>::new(), |_, &x| x);
+        assert!(empty.is_empty());
+        assert_eq!(pool.map_indexed(&[41u32], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn size_one_pool_spawns_no_threads_and_counts_no_tasks() {
+        let pool = TaskPool::new(1);
+        let out = pool.map_indexed(&[1u64, 2, 3], |_, &x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+        let stats = pool.stats();
+        assert_eq!(stats.threads_spawned, 0, "inline path spawns nothing");
+        assert_eq!(stats.tasks, 0, "inline path never queues");
+        assert_eq!(stats.pool_size, 1);
+    }
+
+    #[test]
+    fn threads_spawned_stays_flat_across_many_maps() {
+        let pool = TaskPool::new(4);
+        let after_build = pool.stats().threads_spawned;
+        assert_eq!(after_build, 3, "N-1 workers for total parallelism N");
+        let items: Vec<u64> = (0..256).collect();
+        for _ in 0..50 {
+            pool.map_indexed(&items, |_, &x| x + 1);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.threads_spawned, after_build, "warm maps spawn nothing");
+        assert!(stats.tasks > 0);
+        assert_eq!(stats.queue_depth, 0, "scopes drain completely");
+    }
+
+    #[test]
+    fn a_panicking_task_propagates_its_payload_and_the_pool_survives() {
+        let pool = TaskPool::new(4);
+        let items: Vec<u64> = (0..100).collect();
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map_indexed(&items, |_, &x| {
+                if x == 57 {
+                    panic!("fragment 57 is cursed");
+                }
+                x
+            })
+        }))
+        .expect_err("the task panic must reach the caller");
+        let message = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            message.contains("cursed"),
+            "original payload, not a poisoned-lock error: {message}"
+        );
+        // Resume-safe: the same pool keeps working after the panic.
+        let out = pool.map_indexed(&items, |_, &x| x + 1);
+        assert_eq!(out[99], 100);
+    }
+
+    #[test]
+    fn nested_maps_do_not_deadlock() {
+        let pool = TaskPool::new(3);
+        let outer: Vec<u64> = (0..16).collect();
+        let inner: Vec<u64> = (0..32).collect();
+        let out = pool.map_indexed(&outer, |_, &o| {
+            // Runs on a worker (or the helping caller); the nested map must
+            // make progress rather than park every thread.
+            let sums = current_or_global().map_indexed(&inner, |_, &i| o * 100 + i);
+            sums.iter().sum::<u64>()
+        });
+        for (o, total) in out.iter().enumerate() {
+            let o = o as u64;
+            assert_eq!(*total, (0..32).map(|i| o * 100 + i).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn worker_queues_are_stolen_from_when_their_owner_is_busy() {
+        // 24 items at 3 threads chunk into 12 tasks over 3 queues
+        // (injector, local 0, local 1). The first item of the task dealt to
+        // local 0 blocks until every item outside its own chunk is done, so
+        // whoever popped it cannot run the rest of local 0 — those tasks
+        // *must* be stolen (by a sibling worker or the helping caller).
+        let threads = 3;
+        let items: Vec<u64> = (0..24).collect();
+        let chunk = items.len().div_ceil(threads * TASKS_PER_THREAD).max(1);
+        assert_eq!(chunk, 2, "test assumes 2-item chunks");
+        let blocker = chunk as u64; // first item of the second task
+        let done = AtomicUsize::new(0);
+        let pool = TaskPool::new(threads);
+        pool.map_indexed(&items, |_, &x| {
+            if x == blocker {
+                while done.load(Ordering::SeqCst) < items.len() - chunk {
+                    std::thread::yield_now();
+                }
+            }
+            done.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert!(
+            pool.stats().steals >= 1,
+            "blocked owner forces at least one steal: {:?}",
+            pool.stats()
+        );
+    }
+
+    #[test]
+    fn install_sets_and_restores_the_current_pool() {
+        assert!(current().is_none());
+        let a = TaskPool::new(2);
+        let b = TaskPool::new(2);
+        a.install(|| {
+            assert!(Arc::ptr_eq(&current().unwrap(), &a));
+            b.install(|| assert!(Arc::ptr_eq(&current().unwrap(), &b)));
+            assert!(Arc::ptr_eq(&current().unwrap(), &a), "inner install popped");
+        });
+        assert!(current().is_none(), "outer install popped");
+        // Restored even when the closure panics.
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            a.install(|| panic!("boom"));
+        }));
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn attach_registry_mirrors_counters_and_carries_over() {
+        let pool = TaskPool::new(3);
+        let items: Vec<u64> = (0..64).collect();
+        pool.map_indexed(&items, |_, &x| x); // tasks before attachment
+        let registry = MetricsRegistry::new();
+        pool.attach_registry(&registry);
+        let carried = registry.counter_value("pq_exec_tasks_total", &[]);
+        assert!(carried > 0, "pre-attachment tasks carried over");
+        assert_eq!(
+            registry.counter_value("pq_exec_threads_spawned_total", &[]),
+            2
+        );
+        pool.map_indexed(&items, |_, &x| x);
+        assert!(
+            registry.counter_value("pq_exec_tasks_total", &[]) > carried,
+            "post-attachment tasks mirror live"
+        );
+    }
+
+    #[test]
+    fn parse_threads_prefers_the_env_value_and_rejects_garbage() {
+        assert_eq!(parse_threads(Some("3".into())), 3);
+        assert_eq!(parse_threads(Some(" 5 ".into())), 5);
+        let fallback = parse_threads(None);
+        assert!(fallback >= 1);
+        assert_eq!(parse_threads(Some("0".into())), fallback);
+        assert_eq!(parse_threads(Some("lots".into())), fallback);
+    }
+
+    #[test]
+    fn global_pool_is_one_process_wide_instance() {
+        let g1 = global();
+        let g2 = global();
+        assert!(Arc::ptr_eq(&g1, &g2));
+        assert!(g1.threads() >= 1);
+    }
+}

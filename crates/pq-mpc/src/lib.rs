@@ -17,8 +17,9 @@
 //! * [`partition`] distributes input relations across servers
 //!   (the partitioned-input model) or keeps them whole on conceptual input
 //!   servers (the input-server model used by the lower bounds);
-//! * [`parallel`] runs per-server computation phases on real threads — the
-//!   simulator's wall-clock accelerator, irrelevant to the cost model;
+//! * [`parallel`] fans per-server computation phases out over the
+//!   persistent `pq-exec` worker pool — the simulator's wall-clock
+//!   accelerator, irrelevant to the cost model;
 //! * [`net`] runs the same round structure over real TCP sockets — worker
 //!   processes, a coordinator, and a binary framed protocol — so the
 //!   model's idealised load can be compared against measured bytes on an

@@ -53,5 +53,6 @@ pub use coordinator::{
 pub use pool::{PoolStats, WorkerPool};
 pub use retry::{Breaker, BreakerState, Clock, RetryPolicy, SystemClock, TestClock};
 pub use worker::{
-    serve_worker, serve_worker_observed, serve_worker_with, LocalWorkers, WorkerLimits, WorkerObs,
+    serve_worker, serve_worker_observed, serve_worker_pooled, serve_worker_with, LocalWorkers,
+    WorkerLimits, WorkerObs,
 };

@@ -9,10 +9,17 @@
 //! joins the fragments of the listed atoms, projects to the output
 //! variables and replies with an `Answer` frame carrying its head fragment
 //! and the bytes it measured on the wire for the round. Local computation
-//! is free in the MPC model, so the join itself is the plain sequential
-//! [`pq_relation::natural_join_all`]. A `Ping` frame is answered with an
-//! immediate `Pong` without touching fragment state — the cheap liveness
-//! check of the coordinator-side [`crate::net::WorkerPool`].
+//! is free in the MPC model, but the wall clock still pays for it: the
+//! coordinator folds many logical servers onto each worker (`server %
+//! workers`) and merges their fragments, so the one join a worker runs per
+//! round is large — each connection therefore runs its local join under
+//! the worker's persistent [`pq_exec::TaskPool`]
+//! ([`serve_worker_pooled`]; the other entry points use the process-wide
+//! pool), which lets the morsel-parallel kernels in [`pq_relation`] spread
+//! that single join across cores without spawning a thread per round. A
+//! `Ping` frame is answered with an immediate `Pong` without touching
+//! fragment state — the cheap liveness check of the coordinator-side
+//! [`crate::net::WorkerPool`].
 //!
 //! A `Shutdown` frame ends the whole serve loop (not just the current
 //! connection) — the fix for the daemon's listener otherwise looping
@@ -108,7 +115,12 @@ impl Default for WorkerLimits {
 
 /// Serve one coordinator connection. Returns `true` when a `Shutdown`
 /// frame asked the whole worker to exit (vs. the peer merely hanging up).
-fn serve_connection(stream: TcpStream, obs: &WorkerObs, limits: WorkerLimits) -> bool {
+fn serve_connection(
+    stream: TcpStream,
+    obs: &WorkerObs,
+    limits: WorkerLimits,
+    pool: &Arc<pq_exec::TaskPool>,
+) -> bool {
     let peer = stream.local_addr().map(|a| a.to_string()).unwrap_or_default();
     let reader_stream = match stream.try_clone() {
         Ok(s) => s,
@@ -208,7 +220,12 @@ fn serve_connection(stream: TcpStream, obs: &WorkerObs, limits: WorkerLimits) ->
             } => {
                 wire_bytes += frame_bytes;
                 obs.rounds.inc();
-                let answer = local_answer(&fragments, &name, &output_vars, &atoms);
+                // The folded logical servers were merged into these
+                // fragments by the coordinator, so this one join carries
+                // the whole round's local work — run it on the pool so the
+                // morsel kernels parallelise it.
+                let answer =
+                    pool.install(|| local_answer(&fragments, &name, &output_vars, &atoms));
                 let ok = write_frame(
                     &mut writer,
                     &Frame::Answer {
@@ -296,6 +313,20 @@ pub fn serve_worker_with(
     obs: &WorkerObs,
     limits: WorkerLimits,
 ) -> std::io::Result<()> {
+    serve_worker_pooled(listener, obs, limits, &pq_exec::global())
+}
+
+/// [`serve_worker_with`] running every round's local join on `pool`: the
+/// entry point for a daemon that sizes (`--threads`) and meters its own
+/// executor pool. Each connection still gets its own service thread —
+/// that thread parks on socket reads; the pool parallelises the join
+/// *inside* a round.
+pub fn serve_worker_pooled(
+    listener: &TcpListener,
+    obs: &WorkerObs,
+    limits: WorkerLimits,
+    pool: &Arc<pq_exec::TaskPool>,
+) -> std::io::Result<()> {
     // Set by the connection thread that receives a Shutdown frame; the
     // accept loop checks it after every accept. The shutting-down thread
     // also dials the listener itself so a blocked accept wakes up.
@@ -316,8 +347,9 @@ pub fn serve_worker_with(
         let obs = obs.clone();
         let stop = Arc::clone(&stop);
         let wake = listener.local_addr();
+        let pool = Arc::clone(pool);
         std::thread::spawn(move || {
-            let shutdown = serve_connection(stream, &obs, limits);
+            let shutdown = serve_connection(stream, &obs, limits, &pool);
             obs.logger
                 .debug("coordinator connection closed")
                 .kv("peer", &peer)

@@ -3,54 +3,25 @@
 //! The MPC cost model does not charge local computation, but the simulator
 //! still has to *perform* it. For large experiments the per-server local
 //! joins dominate wall-clock time, so this module fans the per-server work
-//! out over real threads with `std::thread::scope`. Results are collected
-//! in server order, so callers see a deterministic outcome regardless of
-//! scheduling.
-
-use std::num::NonZeroUsize;
-use std::sync::Mutex;
+//! out over the persistent executor pool in `pq-exec` — the engine's pool
+//! when one is installed on the calling thread, the process-wide fallback
+//! otherwise. No thread is ever spawned on the query hot path; workers are
+//! long-lived and parked between queries. Results are collected in server
+//! order, so callers see a deterministic outcome regardless of scheduling,
+//! and a panicking server task re-raises its original panic payload on the
+//! caller (it no longer surfaces as a poisoned result lock).
 
 /// Apply `f` to every server-indexed item of `inputs` in parallel and return
-/// the outputs in input order. Falls back to a sequential loop for small
-/// inputs or single-CPU machines.
+/// the outputs in input order. A thin shim over
+/// [`TaskPool::map_indexed`](pq_exec::TaskPool::map_indexed) on the current
+/// (or global) pool, which runs inline when the pool has size 1.
 pub fn map_servers_parallel<T, R, F>(inputs: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let n = inputs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(n);
-    if workers <= 1 || n <= 2 {
-        return inputs.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f(i, &inputs[i]);
-                results.lock().expect("result lock poisoned")[i] = Some(out);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("result lock poisoned")
-        .into_iter()
-        .map(|r| r.expect("every index processed"))
-        .collect()
+    pq_exec::current_or_global().map_indexed(inputs, f)
 }
 
 #[cfg(test)]
@@ -86,5 +57,45 @@ mod tests {
             let x = i as u64;
             assert_eq!(*out, x * (x + 1) / 2);
         }
+    }
+
+    #[test]
+    fn runs_on_an_installed_pool() {
+        let pool = pq_exec::TaskPool::new(2);
+        let before = pool.stats().tasks;
+        let inputs: Vec<u64> = (0..200).collect();
+        let outputs = pool.install(|| map_servers_parallel(&inputs, |_, &x| x + 1));
+        assert_eq!(outputs[199], 200);
+        assert!(
+            pool.stats().tasks > before,
+            "the shim must route work through the installed pool"
+        );
+    }
+
+    #[test]
+    fn a_panicking_server_propagates_the_original_payload() {
+        let inputs: Vec<u64> = (0..50).collect();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            map_servers_parallel(&inputs, |_, &x| {
+                if x == 13 {
+                    panic!("server 13 exploded");
+                }
+                x
+            })
+        }))
+        .expect_err("the panic must reach the caller");
+        let message = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            message.contains("exploded"),
+            "original payload, not a poisoned-lock error: {message}"
+        );
+        // The shared pool is resume-safe: the next map still works.
+        let outputs = map_servers_parallel(&inputs, |_, &x| x);
+        assert_eq!(outputs.len(), inputs.len());
     }
 }

@@ -79,6 +79,9 @@ pub struct QueryTrace {
     pub rows_out: Option<u64>,
     /// Measured bytes on the wire (cluster backend; simulator reports 0).
     pub bytes_on_wire: Option<u64>,
+    /// Executor-pool parallelism the query ran under (worker threads plus
+    /// the helping caller; 1 = fully inline).
+    pub parallelism: Option<u64>,
     started: Instant,
     total: Option<Duration>,
 }
@@ -94,6 +97,7 @@ impl QueryTrace {
             cache_hit: None,
             rows_out: None,
             bytes_on_wire: None,
+            parallelism: None,
             started: Instant::now(),
             total: None,
         }
@@ -169,6 +173,9 @@ impl QueryTrace {
         if let Some(bytes) = self.bytes_on_wire {
             fields.push(("bytes_on_wire".to_string(), bytes.to_string()));
         }
+        if let Some(parallelism) = self.parallelism {
+            fields.push(("parallelism".to_string(), parallelism.to_string()));
+        }
         fields
     }
 }
@@ -215,6 +222,7 @@ mod tests {
         trace.strategy = Some("one-round HyperCube".to_string());
         trace.cache_hit = Some(true);
         trace.rows_out = Some(200);
+        trace.parallelism = Some(4);
         trace.finish();
         let fields = trace.summary_fields();
         let get = |name: &str| {
@@ -228,6 +236,7 @@ mod tests {
         assert_eq!(get("strategy"), Some("one-round HyperCube".to_string()));
         assert_eq!(get("cache"), Some("hit".to_string()));
         assert_eq!(get("rows"), Some("200".to_string()));
+        assert_eq!(get("parallelism"), Some("4".to_string()));
         assert_eq!(get("query_id"), Some(trace.query_id.to_string()));
     }
 }

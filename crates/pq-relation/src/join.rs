@@ -20,6 +20,16 @@
 //! with the seeded mixer of [`crate::hash`] (no key tuple, no SipHash), the
 //! output is pre-sized from the build-side match counts, and output rows are
 //! emitted by `extend_from_slice` into the flat buffer.
+//!
+//! **Morsel parallelism.** When the calling thread has a `pq-exec` pool
+//! installed (the engine installs its pool around execution; cluster
+//! workers install theirs around `local_answer`), a large probe side is
+//! split into fixed-size morsels of [`MORSEL_ROWS`] rows. Every morsel
+//! probes the same shared read-only `RowKeyIndex` build, emits into its
+//! own exactly pre-sized buffer, and the buffers are concatenated in morsel
+//! order — so the output is byte-identical to the sequential path at any
+//! pool size. Small inputs (and pool size 1) take the sequential path
+//! unconditionally.
 
 use crate::hash::hash_key;
 use crate::relation::Relation;
@@ -79,46 +89,116 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Relation {
     // and stream the larger side over it. The output row format is the same
     // either way (left row followed by the extra right attributes), so the
     // choice of build side never changes the output schema or contents.
-    if right.len() <= left.len() {
-        let index = RowKeyIndex::build(right, &right_positions);
-        // First pass: hash every probe key once and sum the build-side match
-        // counts to pre-size the output buffer.
-        let mut probe_hashes: Vec<u64> = Vec::with_capacity(left.len());
-        let mut expected = 0usize;
-        for lrow in left.iter() {
-            let h = hash_key(lrow, &left_positions);
-            expected += index.count_for_hash(h);
-            probe_hashes.push(h);
-        }
-        out.reserve_rows(expected);
-        for (lrow, &h) in left.iter().zip(&probe_hashes) {
-            for i in index.candidates(h) {
-                let rrow = right.row(i);
-                if keys_match(lrow, &left_positions, rrow, &right_positions) {
-                    push_joined(&mut out, lrow, rrow, &right_extra);
-                }
-            }
+    let spec = if right.len() <= left.len() {
+        JoinSpec {
+            probe: left,
+            probe_positions: &left_positions,
+            build: right,
+            build_positions: &right_positions,
+            index: RowKeyIndex::build(right, &right_positions),
+            right_extra: &right_extra,
+            build_is_left: false,
         }
     } else {
-        let index = RowKeyIndex::build(left, &left_positions);
-        let mut probe_hashes: Vec<u64> = Vec::with_capacity(right.len());
-        let mut expected = 0usize;
-        for rrow in right.iter() {
-            let h = hash_key(rrow, &right_positions);
-            expected += index.count_for_hash(h);
-            probe_hashes.push(h);
+        JoinSpec {
+            probe: right,
+            probe_positions: &right_positions,
+            build: left,
+            build_positions: &left_positions,
+            index: RowKeyIndex::build(left, &left_positions),
+            right_extra: &right_extra,
+            build_is_left: true,
         }
-        out.reserve_rows(expected);
-        for (rrow, &h) in right.iter().zip(&probe_hashes) {
-            for i in index.candidates(h) {
-                let lrow = left.row(i);
-                if keys_match(lrow, &left_positions, rrow, &right_positions) {
-                    push_joined(&mut out, lrow, rrow, &right_extra);
-                }
+    };
+
+    let n = spec.probe.len();
+    let pool = pq_exec::current().filter(|p| p.threads() > 1);
+    match pool {
+        // Morsel-parallel path: split the probe side into fixed-size row
+        // ranges over the shared read-only build index. Each morsel emits
+        // into its own pre-sized buffer; in-order concatenation makes the
+        // output identical to the sequential path.
+        Some(pool) if n >= 2 * MORSEL_ROWS => {
+            let ranges: Vec<(usize, usize)> = (0..n)
+                .step_by(MORSEL_ROWS)
+                .map(|lo| (lo, (lo + MORSEL_ROWS).min(n)))
+                .collect();
+            let parts = pool.map_indexed(&ranges, |_, &(lo, hi)| {
+                let mut values = Vec::new();
+                let rows = spec.probe_range(lo, hi, &mut values);
+                (values, rows)
+            });
+            let total: usize = parts.iter().map(|(values, _)| values.len()).sum();
+            out.values.reserve(total);
+            for (values, rows) in parts {
+                out.values.extend_from_slice(&values);
+                out.rows += rows;
             }
+        }
+        _ => {
+            out.rows = spec.probe_range(0, n, &mut out.values);
         }
     }
     out
+}
+
+/// Probe-side rows per parallel task. Coarse enough that per-morsel
+/// bookkeeping (two passes over the range, one buffer append) is noise
+/// next to the hash probes; fine enough that a skewed key leaves the other
+/// workers with plenty of morsels to steal.
+pub const MORSEL_ROWS: usize = 4096;
+
+/// Everything one probe pass needs, resolved once per join so both the
+/// sequential path and every parallel morsel share the exact same loop.
+struct JoinSpec<'a> {
+    probe: &'a Relation,
+    probe_positions: &'a [usize],
+    build: &'a Relation,
+    build_positions: &'a [usize],
+    index: RowKeyIndex,
+    right_extra: &'a [usize],
+    /// Which side of the output the build rows land on: output rows are
+    /// always the *left* row followed by the extra *right* columns,
+    /// independent of which side was indexed.
+    build_is_left: bool,
+}
+
+impl JoinSpec<'_> {
+    /// Probe rows `lo..hi` against the build index, appending output rows to
+    /// `values` (exactly pre-sized from the build-side match counts) and
+    /// returning the number of rows emitted.
+    fn probe_range(&self, lo: usize, hi: usize, values: &mut Vec<Value>) -> usize {
+        // First pass: hash every probe key once and sum the build-side
+        // match counts to pre-size the output buffer.
+        let mut hashes: Vec<u64> = Vec::with_capacity(hi - lo);
+        let mut expected = 0usize;
+        for r in lo..hi {
+            let h = hash_key(self.probe.row(r), self.probe_positions);
+            expected += self.index.count_for_hash(h);
+            hashes.push(h);
+        }
+        let out_arity = self.probe.arity() + self.build.arity() - self.build_positions.len();
+        values.reserve(expected * out_arity);
+        let mut rows = 0usize;
+        for (k, &h) in hashes.iter().enumerate() {
+            let prow = self.probe.row(lo + k);
+            for i in self.index.candidates(h) {
+                let brow = self.build.row(i);
+                if !keys_match(prow, self.probe_positions, brow, self.build_positions) {
+                    continue;
+                }
+                let (lrow, rrow) = if self.build_is_left {
+                    (brow, prow)
+                } else {
+                    (prow, brow)
+                };
+                values.extend_from_slice(lrow);
+                values.extend(self.right_extra.iter().map(|&p| rrow[p]));
+                rows += 1;
+            }
+        }
+        rows
+    }
 }
 
 /// Do two rows agree on their respective key positions?
@@ -374,6 +454,35 @@ mod tests {
         let s2 = r("S2", &["z", "x2"], vec![vec![1, 100], vec![2, 200], vec![3, 300]]);
         let out = natural_join_all(&[s1, s2]);
         assert_eq!(out.len(), 3); // (1,10,100), (1,11,100), (2,20,200)
+    }
+
+    #[test]
+    fn morsel_parallel_join_is_byte_identical_to_sequential() {
+        // Probe side large enough for the parallel path (≥ 2 morsels),
+        // with repeated keys so morsels emit different row counts.
+        let m = 2 * MORSEL_ROWS + 777;
+        let left_rows: Vec<Vec<u64>> = (0..m as u64).map(|i| vec![i, i % 97]).collect();
+        let right_rows: Vec<Vec<u64>> = (0..97u64).flat_map(|y| [vec![y, y + 1000], vec![y, y + 2000]]).collect();
+        let left = r("R", &["x", "y"], left_rows);
+        let right = r("S", &["y", "z"], right_rows);
+        let sequential = natural_join(&left, &right);
+        for threads in [2, 4] {
+            let pool = pq_exec::TaskPool::new(threads);
+            let parallel = pool.install(|| natural_join(&left, &right));
+            assert_eq!(parallel.schema().attributes(), sequential.schema().attributes());
+            assert_eq!(parallel.len(), sequential.len());
+            assert!(
+                parallel.iter().zip(sequential.iter()).all(|(a, b)| a == b),
+                "rows must match in order at pool size {threads}"
+            );
+            assert!(pool.stats().tasks > 0, "the probe must run on the pool");
+        }
+        // Build side as the big side: probe is still the bigger relation.
+        let swapped_seq = natural_join(&right, &left);
+        let pool = pq_exec::TaskPool::new(4);
+        let swapped_par = pool.install(|| natural_join(&right, &left));
+        assert_eq!(swapped_par.len(), swapped_seq.len());
+        assert!(swapped_par.iter().zip(swapped_seq.iter()).all(|(a, b)| a == b));
     }
 
     #[test]

@@ -22,9 +22,10 @@
 //! * [`generator`] — synthetic data generators: matching databases (every
 //!   degree exactly one, the distribution used by the lower-bound proofs),
 //!   heavy-hitter injectors and Zipf-skewed relations,
-//! * [`join`] — sequential natural-join evaluation used both as the local
-//!   computation performed by each simulated server and as a correctness
-//!   oracle in tests.
+//! * [`join`] — natural-join evaluation used both as the local computation
+//!   performed by each simulated server and as a correctness oracle in
+//!   tests; large probe sides split into morsels over the installed
+//!   `pq-exec` pool with sequential-identical output.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -50,7 +51,7 @@ pub use hash::{
     hash_key, hash_values, mix64, BucketHasher, HashFamily, MultiplyShiftHash, PrehashedBuild,
     TabulationHash,
 };
-pub use join::{natural_join, natural_join_all, project};
+pub use join::{natural_join, natural_join_all, project, MORSEL_ROWS};
 pub use relation::{Relation, Rows};
 pub use schema::Schema;
 pub use statistics::{
